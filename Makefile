@@ -1,0 +1,42 @@
+# IQ-Paths build/test/reproduction targets (stdlib-only Go module).
+
+GO ?= go
+
+.PHONY: all build test race cover bench figures ablations html fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/transport/ ./internal/gridftp/ .
+
+cover:
+	$(GO) test -cover ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure into ./figures as CSV + stdout tables.
+figures:
+	$(GO) run ./cmd/iqbench -fig all -out figures
+
+ablations:
+	$(GO) run ./cmd/iqbench -fig ablations -out figures
+
+# One self-contained HTML report with SVG charts for every figure.
+html:
+	$(GO) run ./cmd/iqbench -html figures/report.html
+
+fuzz:
+	$(GO) test -fuzz FuzzUnmarshal -fuzztime 30s -run xxx ./internal/transport/
+	$(GO) test -fuzz FuzzReadMessage -fuzztime 30s -run xxx ./internal/transport/
+	$(GO) test -fuzz FuzzRead -fuzztime 30s -run xxx ./internal/trace/
+
+clean:
+	rm -rf figures

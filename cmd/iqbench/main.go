@@ -1,0 +1,346 @@
+// Command iqbench regenerates the paper's tables and figures on the
+// emulated testbed and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	iqbench -fig 4            # bandwidth prediction (Fig. 4)
+//	iqbench -fig 9            # SmartPointer throughput time series (Fig. 9)
+//	iqbench -fig 10           # SmartPointer throughput CDFs (Fig. 10)
+//	iqbench -fig 11           # SmartPointer summary bars (Fig. 11)
+//	iqbench -fig 12           # GridFTP vs IQPG time series (Fig. 12)
+//	iqbench -fig 13           # GridFTP vs IQPG CDFs (Fig. 13)
+//	iqbench -fig all          # everything
+//	iqbench -fig ablations    # DESIGN.md §5 ablation sweeps
+//
+// Flags -seed, -duration, -warmup control the run; -csv switches output
+// from aligned tables to CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"iqpaths/internal/experiment"
+	"iqpaths/internal/report"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure to regenerate: 4, 9, 10, 11, 12, 13, video, all, ablations")
+		seed     = flag.Int64("seed", 42, "experiment seed")
+		duration = flag.Float64("duration", 150, "measured seconds per run")
+		warmup   = flag.Float64("warmup", 60, "warm-up seconds before measurement")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		outDir   = flag.String("out", "", "also write each table as a CSV file into this directory")
+		seeds    = flag.Int("seeds", 0, "with -fig multiseed: number of seeds to aggregate over")
+		htmlPath = flag.String("html", "", "write a self-contained HTML report (charts + tables) to this file")
+	)
+	flag.Parse()
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "iqbench:", err)
+			os.Exit(1)
+		}
+		teeDir = *outDir
+	}
+	seedCount = *seeds
+	if *htmlPath != "" {
+		if err := writeHTML(*htmlPath, *seed, *duration, *warmup); err != nil {
+			fmt.Fprintln(os.Stderr, "iqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*fig, *seed, *duration, *warmup, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "iqbench:", err)
+		os.Exit(1)
+	}
+}
+
+// writeHTML runs the full figure set and renders the HTML report.
+func writeHTML(path string, seed int64, duration, warmup float64) error {
+	cfg := experiment.RunConfig{Seed: seed, DurationSec: duration, WarmupSec: warmup}
+	smart, err := smartPointerSuite(cfg)
+	if err != nil {
+		return err
+	}
+	grid, err := gridFTPSuite(cfg)
+	if err != nil {
+		return err
+	}
+	video, err := experiment.RunVideo(cfg, experiment.AlgWFQ, experiment.AlgMSFQ, experiment.AlgPGOS)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = report.Generate(f, report.Data{
+		Fig4:        experiment.Fig4(experiment.Fig4Config{Seed: seed}),
+		SmartSuite:  smart,
+		GridSuite:   grid,
+		Video:       video,
+		GeneratedBy: fmt.Sprintf("iqbench -html, seed %d, %gs measured after %gs warm-up", seed, duration, warmup),
+	})
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
+func run(fig string, seed int64, duration, warmup float64, csv bool) error {
+	cfg := experiment.RunConfig{Seed: seed, DurationSec: duration, WarmupSec: warmup}
+	switch fig {
+	case "4":
+		return fig4(seed, csv)
+	case "9", "10", "11":
+		return smartPointer(fig, cfg, csv)
+	case "12", "13":
+		return gridFTP(fig, cfg, csv)
+	case "all":
+		if err := fig4(seed, csv); err != nil {
+			return err
+		}
+		for _, f := range []string{"9", "10", "11"} {
+			if err := smartPointer(f, cfg, csv); err != nil {
+				return err
+			}
+		}
+		for _, f := range []string{"12", "13"} {
+			if err := gridFTP(f, cfg, csv); err != nil {
+				return err
+			}
+		}
+		return videoFig(cfg, csv)
+	case "ablations":
+		return ablations(cfg, csv)
+	case "video":
+		return videoFig(cfg, csv)
+	case "multiseed":
+		n := seedCount
+		if n <= 1 {
+			n = 5
+		}
+		list := make([]int64, n)
+		for i := range list {
+			list[i] = seed + int64(i)
+		}
+		banner(fmt.Sprintf("Multi-seed Fig. 11 aggregate over %d seeds (mean ± standard error)", n))
+		rows, err := experiment.MultiSeedSmartPointer(cfg, list)
+		if err != nil {
+			return err
+		}
+		return tee(func(w io.Writer, csv bool) error { return experiment.RenderAgg(w, rows, csv) }, csv)
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+}
+
+// teeDir, when set, receives a CSV copy of each rendered table.
+var teeDir string
+
+// seedCount is the -seeds flag value (multiseed figure).
+var seedCount int
+
+// currentSection names the file the next table tees into.
+var currentSection string
+
+func banner(s string) {
+	fmt.Printf("\n== %s ==\n", s)
+	currentSection = s
+}
+
+// out returns the writer for a table: stdout, teed into a CSV file when
+// -out is set (the file gets the CSV rendering regardless of -csv).
+func tee(render func(w io.Writer, csv bool) error, csv bool) error {
+	if err := render(os.Stdout, csv); err != nil {
+		return err
+	}
+	if teeDir == "" {
+		return nil
+	}
+	name := slug(currentSection) + ".csv"
+	f, err := os.Create(filepath.Join(teeDir, name))
+	if err != nil {
+		return err
+	}
+	if err := render(f, true); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func slug(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ' || r == '-' || r == ':':
+			if len(out) > 0 && out[len(out)-1] != '_' {
+				out = append(out, '_')
+			}
+		}
+	}
+	return strings.Trim(string(out), "_")
+}
+
+func fig4(seed int64, csv bool) error {
+	banner("Figure 4: bandwidth prediction — mean predictors vs percentile prediction")
+	points := experiment.Fig4(experiment.Fig4Config{Seed: seed})
+	return tee(func(w io.Writer, csv bool) error { return experiment.RenderFig4(w, points, csv) }, csv)
+}
+
+var spSuite *experiment.Suite
+
+func smartPointerSuite(cfg experiment.RunConfig) (*experiment.Suite, error) {
+	if spSuite != nil {
+		return spSuite, nil
+	}
+	s, err := experiment.RunSmartPointerSuite(cfg)
+	if err == nil {
+		spSuite = s
+	}
+	return s, err
+}
+
+func smartPointer(fig string, cfg experiment.RunConfig, csv bool) error {
+	suite, err := smartPointerSuite(cfg)
+	if err != nil {
+		return err
+	}
+	switch fig {
+	case "9":
+		banner("Figure 9: SmartPointer throughput time series (Mbps per second)")
+		for _, alg := range suite.Order {
+			fmt.Printf("\n-- Fig 9, %s --\n", alg)
+			currentSection = "fig9 " + alg
+			res := suite.Results[alg]
+			if err := tee(func(w io.Writer, csv bool) error { return experiment.RenderSeries(w, res, csv) }, csv); err != nil {
+				return err
+			}
+		}
+	case "10":
+		banner("Figure 10: SmartPointer throughput CDFs")
+		rows := suite.CDFs()
+		return tee(func(w io.Writer, csv bool) error { return experiment.RenderCDFs(w, rows, csv) }, csv)
+	case "11":
+		banner("Figure 11: target / mean / sustained-95% / sustained-99% / stddev")
+		rows := suite.Fig11("Atom", "Bond1")
+		return tee(func(w io.Writer, csv bool) error { return experiment.RenderFig11(w, rows, csv) }, csv)
+	}
+	return nil
+}
+
+var gfSuite *experiment.Suite
+
+func gridFTPSuite(cfg experiment.RunConfig) (*experiment.Suite, error) {
+	if gfSuite != nil {
+		return gfSuite, nil
+	}
+	s, err := experiment.RunGridFTPSuite(cfg)
+	if err == nil {
+		gfSuite = s
+	}
+	return s, err
+}
+
+func gridFTP(fig string, cfg experiment.RunConfig, csv bool) error {
+	suite, err := gridFTPSuite(cfg)
+	if err != nil {
+		return err
+	}
+	switch fig {
+	case "12":
+		banner("Figure 12: GridFTP vs IQPG-GridFTP throughput time series")
+		for _, alg := range suite.Order {
+			fmt.Printf("\n-- Fig 12, %s --\n", alg)
+			currentSection = "fig12 " + alg
+			res := suite.Results[alg]
+			if err := tee(func(w io.Writer, csv bool) error { return experiment.RenderSeries(w, res, csv) }, csv); err != nil {
+				return err
+			}
+		}
+	case "13":
+		banner("Figure 13: GridFTP vs IQPG-GridFTP throughput CDFs")
+		rows := suite.CDFs()
+		return tee(func(w io.Writer, csv bool) error { return experiment.RenderCDFs(w, rows, csv) }, csv)
+	}
+	return nil
+}
+
+func ablations(cfg experiment.RunConfig, csv bool) error {
+	banner("Ablation: percentile level sweep (extends Fig. 4)")
+	qs := experiment.QuantileSweep(cfg.Seed)
+	if err := tee(func(w io.Writer, csv bool) error { return experiment.RenderQuantileSweep(w, qs, csv) }, csv); err != nil {
+		return err
+	}
+	banner("Ablation: PGOS scheduling-window sweep")
+	rows, err := experiment.WindowSweep(cfg)
+	if err != nil {
+		return err
+	}
+	if err := tee(func(w io.Writer, csv bool) error { return experiment.RenderWindowSweep(w, rows, csv) }, csv); err != nil {
+		return err
+	}
+	banner("Ablation: PGOS with a mean predictor (predictor contribution)")
+	mp, err := experiment.MeanPredictorAblation(cfg)
+	if err != nil {
+		return err
+	}
+	if err := tee(func(w io.Writer, csv bool) error { return experiment.RenderFig11(w, mp, csv) }, csv); err != nil {
+		return err
+	}
+	banner("Ablation: admission honesty — percentile vs mean admission on one path")
+	ad, err := experiment.AdmissionAblation(cfg)
+	if err != nil {
+		return err
+	}
+	if err := tee(func(w io.Writer, csv bool) error { return experiment.RenderAdmission(w, ad, csv) }, csv); err != nil {
+		return err
+	}
+	banner("Ablation: path-count sweep (70 Mbps @ 95% across 1–4 paths)")
+	ps, err := experiment.PathsSweep(cfg)
+	if err != nil {
+		return err
+	}
+	if err := tee(func(w io.Writer, csv bool) error { return experiment.RenderPathsSweep(w, ps, csv) }, csv); err != nil {
+		return err
+	}
+	banner("Ablation: oracle sampling vs live dispersion probing")
+	pr, err := experiment.ProbingAblation(cfg)
+	if err != nil {
+		return err
+	}
+	if err := tee(func(w io.Writer, csv bool) error { return experiment.RenderProbing(w, pr, csv) }, csv); err != nil {
+		return err
+	}
+	banner("Violation-bound guarantee (Lemma 2) end-to-end")
+	vb, err := experiment.RunViolationBound(cfg, 30, 100)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ask: %.0f Mbps, E[Z] <= %.0f pkts/window  ->  admitted=%t, measured mean violations %.2f/window (worst %.0f)\n",
+		vb.RequiredMbps, vb.MaxViolations, vb.Admitted, vb.MeanViolations, vb.WorstViolations)
+	return nil
+}
+
+func videoFig(cfg experiment.RunConfig, csv bool) error {
+	banner("Multimedia: MPEG-4 FGS layered video playback quality (tech-report companion)")
+	rows, err := experiment.RunVideo(cfg, experiment.AlgWFQ, experiment.AlgMSFQ, experiment.AlgPGOS)
+	if err != nil {
+		return err
+	}
+	return tee(func(w io.Writer, csv bool) error { return experiment.RenderVideo(w, rows, csv) }, csv)
+}

@@ -1,0 +1,166 @@
+// Command iqpathsd is an IQ-Paths overlay node daemon running on real
+// sockets. It plays one of two roles:
+//
+//	iqpathsd -role sink -rudp :9001 -tcp :9002
+//	    terminate overlay paths: receive data messages, count per-stream
+//	    throughput, and print a rate report every second;
+//
+//	iqpathsd -role router -rudp :9001 -next host:9001
+//	    an overlay router: forward every data message to the next hop
+//	    over RUDP (the in-network daemon of Fig. 1).
+//
+// The experiments run on the deterministic emulator; this daemon is the
+// live counterpart used by cmd/iqftp and the examples to demonstrate the
+// same middleware moving real bytes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iqpaths/internal/transport"
+)
+
+func main() {
+	var (
+		role     = flag.String("role", "sink", "sink | router")
+		rudpAddr = flag.String("rudp", "127.0.0.1:9001", "RUDP listen address")
+		tcpAddr  = flag.String("tcp", "", "TCP listen address (optional)")
+		next     = flag.String("next", "", "next hop (router role, RUDP)")
+		quiet    = flag.Bool("quiet", false, "suppress periodic reports")
+	)
+	flag.Parse()
+	switch *role {
+	case "sink":
+		if err := runSink(*rudpAddr, *tcpAddr, *quiet); err != nil {
+			log.Fatal(err)
+		}
+	case "router":
+		if *next == "" {
+			fmt.Fprintln(os.Stderr, "router role requires -next")
+			os.Exit(2)
+		}
+		if err := runRouter(*rudpAddr, *next); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown role %q\n", *role)
+		os.Exit(2)
+	}
+}
+
+// rateTable accumulates per-stream byte counts.
+type rateTable struct {
+	mu    sync.Mutex
+	bytes map[uint32]uint64
+	total uint64
+}
+
+func newRateTable() *rateTable { return &rateTable{bytes: map[uint32]uint64{}} }
+
+func (r *rateTable) add(stream uint32, n int) {
+	r.mu.Lock()
+	r.bytes[stream] += uint64(n)
+	r.mu.Unlock()
+	atomic.AddUint64(&r.total, uint64(n))
+}
+
+func (r *rateTable) snapshotAndReset() map[uint32]uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.bytes
+	r.bytes = map[uint32]uint64{}
+	return out
+}
+
+func runSink(rudpAddr, tcpAddr string, quiet bool) error {
+	rates := newRateTable()
+	if rudpAddr != "" {
+		l, err := transport.ListenRUDP(rudpAddr)
+		if err != nil {
+			return err
+		}
+		log.Printf("sink: RUDP on %s", l.Addr())
+		go acceptLoop(func() (transport.Conn, error) { return l.Accept() }, rates)
+	}
+	if tcpAddr != "" {
+		l, err := transport.ListenTCP(tcpAddr)
+		if err != nil {
+			return err
+		}
+		log.Printf("sink: TCP on %s", l.Addr())
+		go acceptLoop(func() (transport.Conn, error) { return l.Accept() }, rates)
+	}
+	for range time.Tick(time.Second) {
+		snap := rates.snapshotAndReset()
+		if quiet || len(snap) == 0 {
+			continue
+		}
+		line := "rates:"
+		for id, b := range snap {
+			line += fmt.Sprintf(" stream%d=%.2fMbps", id, float64(b)*8/1e6)
+		}
+		log.Print(line)
+	}
+	return nil
+}
+
+func acceptLoop(accept func() (transport.Conn, error), rates *rateTable) {
+	for {
+		conn, err := accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer conn.Close()
+			for {
+				m, err := conn.Recv()
+				if err != nil {
+					return
+				}
+				if m.Kind == transport.KindData {
+					rates.add(m.Stream, len(m.Payload))
+				}
+			}
+		}()
+	}
+}
+
+func runRouter(rudpAddr, next string) error {
+	out, err := transport.DialRUDP(next, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("dial next hop: %w", err)
+	}
+	l, err := transport.ListenRUDP(rudpAddr)
+	if err != nil {
+		return err
+	}
+	log.Printf("router: RUDP on %s → %s", l.Addr(), next)
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			for {
+				m, err := conn.Recv()
+				if err != nil {
+					return
+				}
+				if m.Kind != transport.KindData {
+					continue
+				}
+				if err := out.Send(m); err != nil {
+					log.Printf("router: forward failed: %v", err)
+					return
+				}
+			}
+		}()
+	}
+}

@@ -1,0 +1,93 @@
+package iqpaths_test
+
+// Testable examples for the public API: these run under go test and render
+// in godoc, so the documented behaviour is verified behaviour.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iqpaths"
+)
+
+// ExampleGuaranteeProbability shows Lemma 1 as a direct query: given a
+// path's measured bandwidth distribution, how likely is it that 834
+// packets of 1500 B are all serviced within a one-second window?
+func ExampleGuaranteeProbability() {
+	mon := iqpaths.NewPathMonitor("path-A", 100, 10)
+	for i := 0; i < 90; i++ {
+		mon.ObserveBandwidth(50) // calm: 50 Mbps
+	}
+	for i := 0; i < 10; i++ {
+		mon.ObserveBandwidth(5) // congested dips: 5 Mbps
+	}
+	// 834 × 12 kbit in 1 s ≈ 10 Mbps of demand.
+	p := iqpaths.GuaranteeProbability(mon.CDF(), 834, 12000, 1, 0)
+	fmt.Printf("P(10 Mbps sustained) = %.2f\n", p)
+	// Output:
+	// P(10 Mbps sustained) = 0.90
+}
+
+// ExampleFeasibleRate shows the admission-control query: the largest rate
+// a path can still promise at 95 % given what is already committed.
+func ExampleFeasibleRate() {
+	mon := iqpaths.NewPathMonitor("path-A", 100, 10)
+	for i := 1; i <= 100; i++ {
+		mon.ObserveBandwidth(float64(i)) // uniform 1..100 Mbps
+	}
+	fmt.Printf("fresh path: %.0f Mbps\n", iqpaths.FeasibleRate(mon.CDF(), 0.95, 0))
+	fmt.Printf("after committing 3 Mbps: %.0f Mbps\n", iqpaths.FeasibleRate(mon.CDF(), 0.95, 3))
+	// Output:
+	// fresh path: 5 Mbps
+	// after committing 3 Mbps: 2 Mbps
+}
+
+// ExampleBufferBound sizes the client playout buffer that masks bandwidth
+// dips with 95 % assurance — zero if sized from the mean, 45 Mbit if sized
+// from the distribution.
+func ExampleBufferBound() {
+	mon := iqpaths.NewPathMonitor("path-A", 100, 10)
+	for i := 0; i < 90; i++ {
+		mon.ObserveBandwidth(60)
+	}
+	for i := 0; i < 10; i++ {
+		mon.ObserveBandwidth(5)
+	}
+	b := iqpaths.BufferBound(mon.CDF(), 50, 1, 0.95)
+	fmt.Printf("buffer for 50 Mbps at 95%%: %.0f Mbit\n", b/1e6)
+	// Output:
+	// buffer for 50 Mbps at 95%: 45 Mbit
+}
+
+// ExampleOverlay enumerates the concurrent paths PGOS can stripe over.
+func ExampleOverlay() {
+	g := iqpaths.NewOverlay()
+	s := g.AddNode("server", iqpaths.ServerNode)
+	r1 := g.AddNode("r1", iqpaths.RouterNode)
+	r2 := g.AddNode("r2", iqpaths.RouterNode)
+	c := g.AddNode("client", iqpaths.ClientNode)
+	g.AddDuplex(s, r1)
+	g.AddDuplex(r1, c)
+	g.AddDuplex(s, r2)
+	g.AddDuplex(r2, c)
+	for _, p := range g.DisjointPaths(s, c) {
+		fmt.Println(g.PathString(p))
+	}
+	// Output:
+	// server→r1→client
+	// server→r2→client
+}
+
+// ExampleNewNetwork builds a custom emulated link and pushes a packet
+// across it.
+func ExampleNewNetwork() {
+	net := iqpaths.NewNetwork(0.01, rand.New(rand.NewSource(1)))
+	link := net.AddLink(iqpaths.LinkConfig{Name: "l", CapacityMbps: 100})
+	path := net.AddPath("p", link)
+	path.Send(net.NewPacket(0, 12000))
+	net.Step()
+	net.Step()
+	fmt.Println("delivered:", len(path.TakeDelivered()))
+	// Output:
+	// delivered: 1
+}

@@ -1,0 +1,3 @@
+module iqpaths
+
+go 1.22

@@ -1,0 +1,42 @@
+package emulab
+
+import (
+	"fmt"
+
+	"iqpaths/internal/overlay"
+	"iqpaths/internal/simnet"
+)
+
+// LinkConfigFunc supplies the emulated-link parameters for one overlay
+// edge. Returning a zero-capacity config is an error (every logical link
+// needs a rate).
+type LinkConfigFunc func(from, to overlay.NodeID) simnet.LinkConfig
+
+// FromOverlay compiles an overlay graph into an emulated network: it
+// enumerates the edge-disjoint paths from src to dst (the concurrent
+// paths PGOS can stripe over without shared bottlenecks) and materializes
+// each as a simnet path whose links come from cfg. Edges shared between
+// enumerated paths would violate the no-shared-bottleneck placement
+// assumption, which edge-disjointness guarantees by construction.
+//
+// The returned paths are ordered as DisjointPaths returns them (shortest
+// first). An error is returned when no path exists.
+func FromOverlay(net *simnet.Network, g *overlay.Graph, src, dst overlay.NodeID, cfg LinkConfigFunc) ([]*simnet.Path, error) {
+	nodePaths := g.DisjointPaths(src, dst)
+	if len(nodePaths) == 0 {
+		return nil, fmt.Errorf("emulab: no path from %v to %v", src, dst)
+	}
+	var out []*simnet.Path
+	for i, np := range nodePaths {
+		var links []*simnet.Link
+		for k := 0; k+1 < len(np); k++ {
+			lc := cfg(np[k], np[k+1])
+			if lc.Name == "" {
+				lc.Name = g.PathString(np[k : k+2])
+			}
+			links = append(links, net.AddLink(lc))
+		}
+		out = append(out, net.AddPath(fmt.Sprintf("overlay-path-%d:%s", i, g.PathString(np)), links...))
+	}
+	return out, nil
+}

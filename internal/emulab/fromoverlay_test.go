@@ -1,0 +1,120 @@
+package emulab
+
+import (
+	"math/rand"
+	"testing"
+
+	"iqpaths/internal/overlay"
+	"iqpaths/internal/simnet"
+	"iqpaths/internal/trace"
+)
+
+func fig8Graph() (*overlay.Graph, overlay.NodeID, overlay.NodeID) {
+	g := overlay.NewGraph()
+	n1 := g.AddNode("N-1", overlay.Server)
+	n2 := g.AddNode("N-2", overlay.Router)
+	n3 := g.AddNode("N-3", overlay.Router)
+	n4 := g.AddNode("N-4", overlay.Router)
+	n5 := g.AddNode("N-5", overlay.Router)
+	n6 := g.AddNode("N-6", overlay.Client)
+	g.AddDuplex(n1, n3)
+	g.AddDuplex(n3, n5)
+	g.AddDuplex(n5, n6)
+	g.AddDuplex(n1, n2)
+	g.AddDuplex(n2, n4)
+	g.AddDuplex(n4, n6)
+	return g, n1, n6
+}
+
+func TestFromOverlayCompilesFig8(t *testing.T) {
+	g, src, dst := fig8Graph()
+	net := simnet.New(0.01, rand.New(rand.NewSource(1)))
+	paths, err := FromOverlay(net, g, src, dst, func(a, b overlay.NodeID) simnet.LinkConfig {
+		return simnet.LinkConfig{CapacityMbps: 100, Cross: trace.NewCBR(20)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d, want 2", len(paths))
+	}
+	for _, p := range paths {
+		if len(p.Links()) != 3 {
+			t.Fatalf("path %s has %d links, want 3", p.Name(), len(p.Links()))
+		}
+	}
+	// Traffic actually flows end to end.
+	p := paths[0]
+	p.Send(net.NewPacket(0, 12000))
+	delivered := 0
+	for i := 0; i < 20; i++ {
+		net.Step()
+		delivered += len(p.TakeDelivered())
+	}
+	if delivered != 1 {
+		t.Fatal("compiled path does not deliver")
+	}
+}
+
+func TestFromOverlayNoPath(t *testing.T) {
+	g := overlay.NewGraph()
+	a := g.AddNode("a", overlay.Server)
+	b := g.AddNode("b", overlay.Client)
+	net := simnet.New(0.01, rand.New(rand.NewSource(1)))
+	if _, err := FromOverlay(net, g, a, b, func(_, _ overlay.NodeID) simnet.LinkConfig {
+		return simnet.LinkConfig{CapacityMbps: 100}
+	}); err == nil {
+		t.Fatal("expected error for disconnected overlay")
+	}
+}
+
+func TestFromOverlayNamesLinks(t *testing.T) {
+	g, src, dst := fig8Graph()
+	net := simnet.New(0.01, rand.New(rand.NewSource(1)))
+	paths, err := FromOverlay(net, g, src, dst, func(_, _ overlay.NodeID) simnet.LinkConfig {
+		return simnet.LinkConfig{CapacityMbps: 50}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paths[0].Links()[0].Name() == "" {
+		t.Fatal("links should be auto-named from the overlay")
+	}
+}
+
+func TestBuildNValidation(t *testing.T) {
+	for _, n := range []int{0, 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BuildN(%d) should panic", n)
+				}
+			}()
+			BuildN(Config{Seed: 1}, n)
+		}()
+	}
+}
+
+func TestBuildNPathsIndependentAndOrdered(t *testing.T) {
+	mp := BuildN(Config{Seed: 5}, 4)
+	if len(mp.Paths) != 4 {
+		t.Fatalf("paths = %d", len(mp.Paths))
+	}
+	// Heavier branches → lower mean available bandwidth, on average.
+	means := make([]float64, 4)
+	for i := 0; i < 20000; i++ {
+		mp.Net.Step()
+		for j, p := range mp.Paths {
+			means[j] += p.AvailMbps()
+		}
+	}
+	for j := range means {
+		means[j] /= 20000
+	}
+	if means[0] <= means[1] {
+		t.Fatalf("path0 should be lightest: %v", means)
+	}
+	if means[3] >= means[1] {
+		t.Fatalf("path3 should be heavier than path1: %v", means)
+	}
+}

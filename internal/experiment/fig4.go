@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"math/rand"
+
+	"iqpaths/internal/predict"
+	"iqpaths/internal/trace"
+)
+
+// Fig4Point is one x-axis point of Figure 4: prediction quality at one
+// bandwidth-measurement window size.
+type Fig4Point struct {
+	// WindowSec is the measurement window (0.1–1.0 s).
+	WindowSec float64
+	// MeanErr is the average relative error of the mean predictors.
+	MeanErr float64
+	// MeanErrBy breaks MeanErr down per predictor (MA, SMA, EWMA, AR1).
+	MeanErrBy map[string]float64
+	// PctlFail is the percentile-prediction failure rate.
+	PctlFail float64
+}
+
+// Fig4Config parameterizes the Figure 4 regeneration.
+type Fig4Config struct {
+	// Seed drives the synthetic NLANR-like trace.
+	Seed int64
+	// Samples is the base series length at 0.1 s resolution
+	// (default 60000 ≈ 100 minutes of trace).
+	Samples int
+	// WindowN is the CDF sample count (paper: 500 or 1000; default 500).
+	WindowN int
+	// Quantile is the predicted percentile (default 0.10).
+	Quantile float64
+	// Horizon is the n future samples tested (default 10).
+	Horizon int
+	// CapacityMbps is the emulated bottleneck capacity (default 100).
+	CapacityMbps float64
+}
+
+func (c *Fig4Config) fillDefaults() {
+	if c.Samples <= 0 {
+		c.Samples = 60000
+	}
+	if c.WindowN <= 0 {
+		c.WindowN = 500
+	}
+	if c.Quantile <= 0 {
+		c.Quantile = 0.10
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 10
+	}
+	if c.CapacityMbps <= 0 {
+		c.CapacityMbps = 100
+	}
+}
+
+// Fig4 regenerates Figure 4: mean-prediction error vs percentile-prediction
+// failure rate as the bandwidth measurement window grows from 0.1 s to
+// 1.0 s. The base series is available bandwidth on a bottleneck carrying a
+// synthetic NLANR-like aggregate (see internal/trace for the calibration
+// and DESIGN.md for the substitution rationale).
+func Fig4(cfg Fig4Config) []Fig4Point {
+	cfg.fillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cross := trace.Take(trace.NewNLANRLike(trace.DefaultNLANR(), rng), cfg.Samples)
+	avail := trace.AvailableBandwidth(cfg.CapacityMbps, cross)
+
+	var out []Fig4Point
+	for k := 1; k <= 10; k++ {
+		agg := predict.Aggregate(avail, k)
+		res := predict.Evaluate(agg, predict.EvalConfig{
+			WindowN:  cfg.WindowN,
+			Quantile: cfg.Quantile,
+			Horizon:  cfg.Horizon,
+		})
+		out = append(out, Fig4Point{
+			WindowSec: 0.1 * float64(k),
+			MeanErr:   res.MeanErrAvg,
+			MeanErrBy: res.MeanErr,
+			PctlFail:  res.PercentileFailureRate,
+		})
+	}
+	return out
+}

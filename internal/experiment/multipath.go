@@ -1,0 +1,226 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"iqpaths/internal/emulab"
+	"iqpaths/internal/monitor"
+	"iqpaths/internal/pgos"
+	"iqpaths/internal/sched"
+	"iqpaths/internal/stats"
+	"iqpaths/internal/stream"
+)
+
+// PathsRow is one row of the path-count sweep.
+type PathsRow struct {
+	NumPaths int
+	// AdmittedFrac is the fraction of scheduling windows in which the
+	// ask was admitted (admission re-evaluates as distributions drift).
+	AdmittedFrac float64
+	Mean         float64
+	Sustained    float64 // level sustained 95 % of the time
+	StdDev       float64
+}
+
+// PathsSweep extends the two-path evaluation to 1–4 concurrent overlay
+// paths: one stream asks for 60 Mbps at 95 % (more than any single path's
+// lower tail supports) plus a backlogged bulk stream. With one path the
+// ask is refused; with two it is admitted split; additional paths add
+// headroom and stability — the §5.2.2 multi-path guarantee combination.
+func PathsSweep(cfg RunConfig) ([]PathsRow, error) {
+	cfg.fillDefaults()
+	if cfg.PaceLimit <= 0 {
+		cfg.PaceLimit = 170
+	}
+	var rows []PathsRow
+	for n := 1; n <= 4; n++ {
+		mp := emulab.BuildN(emulab.Config{Seed: cfg.Seed}, n)
+		net := mp.Net
+		const ask = 70 // Mbps at 95 % — beyond any single path's lower tail
+		crit := stream.New(0, stream.Spec{
+			Name: "crit", Kind: stream.Probabilistic, RequiredMbps: ask, Probability: 0.95,
+		})
+		bulk := stream.New(1, stream.Spec{Name: "bulk"})
+		streams := []*stream.Stream{crit, bulk}
+		critSrc := stream.NewRateSource(net, crit, ask)
+		bulkSrc := stream.NewBacklogSource(net, bulk, 4000)
+
+		mons := make([]*monitor.PathMonitor, n)
+		pathServices := make([]sched.PathService, n)
+		for j, p := range mp.Paths {
+			mons[j] = monitor.New(p.Name(), 500, 100)
+			pathServices[j] = p
+		}
+		scheduler := pgos.New(pgos.Config{
+			TwSec:       cfg.TwSec,
+			TickSeconds: net.TickSeconds(),
+			PaceLimit:   cfg.PaceLimit,
+		}, streams, pathServices, mons)
+
+		tickSec := net.TickSeconds()
+		warmupTicks := int64(cfg.WarmupSec / tickSec)
+		totalTicks := warmupTicks + int64(cfg.DurationSec/tickSec)
+		sampleTicks := int64(cfg.SampleSec / tickSec)
+		var series []float64
+		acc := 0.0
+		admittedWindows, totalWindows := 0, 0
+		for t := int64(0); t < totalTicks; t++ {
+			critSrc.Tick()
+			bulkSrc.Tick()
+			scheduler.Tick(t)
+			net.Step()
+			if t%10 == 0 {
+				for j, p := range mp.Paths {
+					mons[j].ObserveBandwidth(p.AvailMbps())
+				}
+			}
+			for _, p := range mp.Paths {
+				for _, pkt := range p.TakeDelivered() {
+					if pkt.Stream == 0 {
+						acc += pkt.Bits
+					}
+				}
+			}
+			if (t+1)%sampleTicks == 0 {
+				if t >= warmupTicks {
+					series = append(series, acc/1e6/cfg.SampleSec)
+					m := scheduler.Mapping()
+					totalWindows++
+					if len(m.Rejected) > 0 && !m.Rejected[0] {
+						admittedWindows++
+					}
+				}
+				acc = 0
+			}
+		}
+		sum := stats.Summarize(series)
+		row := PathsRow{
+			NumPaths:  n,
+			Mean:      sum.Mean,
+			Sustained: sum.SustainedAt(0.95),
+			StdDev:    sum.StdDev,
+		}
+		if totalWindows > 0 {
+			row.AdmittedFrac = float64(admittedWindows) / float64(totalWindows)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderPathsSweep writes the sweep rows.
+func RenderPathsSweep(w io.Writer, rows []PathsRow, csv bool) error {
+	header := []string{"paths", "admitted_frac", "mean", "sustained_95pct", "stddev"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.NumPaths),
+			fmt.Sprintf("%.3f", r.AdmittedFrac),
+			fmt.Sprintf("%.2f", r.Mean),
+			fmt.Sprintf("%.2f", r.Sustained),
+			fmt.Sprintf("%.4f", r.StdDev),
+		})
+	}
+	if csv {
+		return WriteCSV(w, header, out)
+	}
+	return WriteTable(w, header, out)
+}
+
+// ViolationBoundResult reports an end-to-end run of the paper's second
+// guarantee type (Lemma 2).
+type ViolationBoundResult struct {
+	RequiredMbps    float64
+	MaxViolations   float64 // the promised E[Z] bound per window
+	MeanViolations  float64 // measured mean shortfall packets per window
+	WorstViolations float64
+	Admitted        bool
+}
+
+// RunViolationBound drives a violation-bound stream (E[Z] ≤ bound missed
+// packets per 1 s window) through the two-path testbed alongside a bulk
+// stream, measuring the realized per-window shortfall against the bound.
+func RunViolationBound(cfg RunConfig, requiredMbps, maxViolations float64) (ViolationBoundResult, error) {
+	cfg.fillDefaults()
+	if cfg.PaceLimit <= 0 {
+		cfg.PaceLimit = 170
+	}
+	tb := emulab.Build(emulab.Config{Seed: cfg.Seed})
+	net := tb.Net
+	vb := stream.New(0, stream.Spec{
+		Name: "vb", Kind: stream.ViolationBound,
+		RequiredMbps: requiredMbps, MaxViolations: maxViolations,
+	})
+	bulk := stream.New(1, stream.Spec{Name: "bulk"})
+	streams := []*stream.Stream{vb, bulk}
+	vbSrc := stream.NewRateSource(net, vb, requiredMbps)
+	bulkSrc := stream.NewBacklogSource(net, bulk, 4000)
+
+	mons := []*monitor.PathMonitor{
+		monitor.New("A", 500, 100), monitor.New("B", 500, 100),
+	}
+	rejected := false
+	scheduler := pgos.New(pgos.Config{
+		TwSec:       cfg.TwSec,
+		TickSeconds: net.TickSeconds(),
+		PaceLimit:   cfg.PaceLimit,
+		OnReject:    func(*stream.Stream) { rejected = true },
+	}, streams, []sched.PathService{tb.PathA, tb.PathB}, mons)
+
+	tickSec := net.TickSeconds()
+	warmupTicks := int64(cfg.WarmupSec / tickSec)
+	totalTicks := warmupTicks + int64(cfg.DurationSec/tickSec)
+	windowTicks := int64(cfg.TwSec / tickSec)
+	quota := vb.RequiredPacketsPerWindow(cfg.TwSec)
+	var perWindow []float64
+	delivered := 0
+	for t := int64(0); t < totalTicks; t++ {
+		vbSrc.Tick()
+		bulkSrc.Tick()
+		scheduler.Tick(t)
+		net.Step()
+		if t%10 == 0 {
+			mons[0].ObserveBandwidth(tb.PathA.AvailMbps())
+			mons[1].ObserveBandwidth(tb.PathB.AvailMbps())
+		}
+		for _, pkt := range tb.PathA.TakeDelivered() {
+			if pkt.Stream == 0 {
+				delivered++
+			}
+		}
+		for _, pkt := range tb.PathB.TakeDelivered() {
+			if pkt.Stream == 0 {
+				delivered++
+			}
+		}
+		if (t+1)%windowTicks == 0 {
+			if t >= warmupTicks {
+				short := float64(quota - delivered)
+				if short < 0 {
+					short = 0
+				}
+				perWindow = append(perWindow, short)
+			}
+			delivered = 0
+		}
+	}
+	res := ViolationBoundResult{
+		RequiredMbps:  requiredMbps,
+		MaxViolations: maxViolations,
+		Admitted:      !rejected,
+	}
+	worst := 0.0
+	sum := 0.0
+	for _, v := range perWindow {
+		sum += v
+		if v > worst {
+			worst = v
+		}
+	}
+	if len(perWindow) > 0 {
+		res.MeanViolations = sum / float64(len(perWindow))
+	}
+	res.WorstViolations = worst
+	return res, nil
+}

@@ -1,0 +1,65 @@
+package experiment
+
+import "testing"
+
+func TestPathsSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	rows, err := PathsSweep(RunConfig{Seed: 42, DurationSec: 60, WarmupSec: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].AdmittedFrac > 0.1 {
+		t.Errorf("70 Mbps @95%% should essentially never be admitted on one path: %.3f", rows[0].AdmittedFrac)
+	}
+	if rows[3].AdmittedFrac <= rows[0].AdmittedFrac {
+		t.Errorf("admission should improve with more paths: %.3f vs %.3f",
+			rows[3].AdmittedFrac, rows[0].AdmittedFrac)
+	}
+	// More paths → sustained level does not degrade.
+	if rows[3].Sustained < rows[1].Sustained-1 {
+		t.Errorf("4 paths (%.2f) should sustain at least 2 paths' level (%.2f)",
+			rows[3].Sustained, rows[1].Sustained)
+	}
+	for _, r := range rows {
+		t.Logf("paths=%d admittedFrac=%.3f mean=%.2f sustained=%.2f σ=%.3f",
+			r.NumPaths, r.AdmittedFrac, r.Mean, r.Sustained, r.StdDev)
+	}
+}
+
+func TestViolationBoundHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	// 30 Mbps with a generous 100-packet/window bound: admissible, and
+	// the realized shortfall must respect the bound on average.
+	res, err := RunViolationBound(RunConfig{Seed: 42, DurationSec: 120, WarmupSec: 60}, 30, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("violation-bound run: %+v", res)
+	if !res.Admitted {
+		t.Fatal("30 Mbps with a loose bound should be admitted")
+	}
+	if res.MeanViolations > res.MaxViolations {
+		t.Errorf("measured mean violations %.1f exceed the promised bound %.1f",
+			res.MeanViolations, res.MaxViolations)
+	}
+}
+
+func TestViolationBoundRejectsImpossible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	res, err := RunViolationBound(RunConfig{Seed: 42, DurationSec: 30, WarmupSec: 60}, 150, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted {
+		t.Error("150 Mbps with a tight bound must be rejected")
+	}
+}

@@ -1,0 +1,35 @@
+package experiment
+
+import "testing"
+
+func TestProbingAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full runs")
+	}
+	rows, err := ProbingAblation(RunConfig{Seed: 42, DurationSec: 120, WarmupSec: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(mode, stream string) ProbingRow {
+		for _, r := range rows {
+			if r.Mode == mode && r.Stream == stream {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s", mode, stream)
+		return ProbingRow{}
+	}
+	for _, name := range []string{"Atom", "Bond1"} {
+		o, p := get("oracle", name), get("probing", name)
+		t.Logf("%s: oracle mean=%.3f s95=%.3f | probing mean=%.3f s95=%.3f",
+			name, o.Mean, o.Sustained, p.Mean, p.Sustained)
+		// Probing pays measurement overhead and error, but the guarantee
+		// must not collapse: ≥95 % of the oracle-mode sustained level.
+		if p.Sustained < o.Sustained*0.95 {
+			t.Errorf("%s: probing sustained %.3f vs oracle %.3f — guarantees collapsed", name, p.Sustained, o.Sustained)
+		}
+	}
+}

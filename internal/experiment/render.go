@@ -1,0 +1,202 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteTable renders an aligned text table.
+func WriteTable(w io.Writer, header []string, rows [][]string) error {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if pad := widths[i] - len(c); i < len(cells)-1 && pad > 0 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		return b.String()
+	}
+	if _, err := fmt.Fprintln(w, line(header)); err != nil {
+		return err
+	}
+	total := 0
+	for _, x := range widths {
+		total += x + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(w, line(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders rows as comma-separated values (no quoting — all cells
+// produced by this package are numeric or simple identifiers).
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(w, strings.Join(r, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderFig4 writes the Figure 4 series.
+func RenderFig4(w io.Writer, points []Fig4Point, csv bool) error {
+	header := []string{"window_s", "mean_pred_err", "pctl_fail_rate", "MA", "SMA", "EWMA", "AR1"}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f", p.WindowSec),
+			fmt.Sprintf("%.4f", p.MeanErr),
+			fmt.Sprintf("%.4f", p.PctlFail),
+			fmt.Sprintf("%.4f", p.MeanErrBy["MA"]),
+			fmt.Sprintf("%.4f", p.MeanErrBy["SMA"]),
+			fmt.Sprintf("%.4f", p.MeanErrBy["EWMA"]),
+			fmt.Sprintf("%.4f", p.MeanErrBy["AR1"]),
+		})
+	}
+	if csv {
+		return WriteCSV(w, header, rows)
+	}
+	return WriteTable(w, header, rows)
+}
+
+// RenderSeries writes one run's throughput time series (Figs. 9 and 12):
+// a row per sample with one column per stream, plus per-path columns for
+// streams that used several paths.
+func RenderSeries(w io.Writer, res Result, csv bool) error {
+	header := []string{"t_s"}
+	type col struct {
+		stream int
+		path   string // "" = total
+	}
+	var cols []col
+	for i, ss := range res.Streams {
+		paths := usedPaths(ss)
+		if len(paths) > 1 {
+			for _, p := range paths {
+				header = append(header, fmt.Sprintf("%s-%s", ss.Name, p))
+				cols = append(cols, col{i, p})
+			}
+			header = append(header, ss.Name+"-All")
+			cols = append(cols, col{i, ""})
+		} else {
+			header = append(header, ss.Name)
+			cols = append(cols, col{i, ""})
+		}
+	}
+	n := 0
+	if len(res.Streams) > 0 {
+		n = len(res.Streams[0].Total)
+	}
+	var rows [][]string
+	for k := 0; k < n; k++ {
+		row := []string{fmt.Sprintf("%.0f", float64(k+1)*res.SampleSec)}
+		for _, c := range cols {
+			ss := res.Streams[c.stream]
+			v := 0.0
+			if c.path == "" {
+				v = ss.Total[k]
+			} else if series := ss.PerPath[c.path]; k < len(series) {
+				v = series[k]
+			}
+			row = append(row, fmt.Sprintf("%.3f", v))
+		}
+		rows = append(rows, row)
+	}
+	if csv {
+		return WriteCSV(w, header, rows)
+	}
+	return WriteTable(w, header, rows)
+}
+
+// usedPaths lists the path names over which the stream actually delivered
+// a meaningful share (>2 % of its bits), sorted by name.
+func usedPaths(ss StreamSeries) []string {
+	total := 0.0
+	for _, v := range ss.Total {
+		total += v
+	}
+	var out []string
+	for name, series := range ss.PerPath {
+		sum := 0.0
+		for _, v := range series {
+			sum += v
+		}
+		if total > 0 && sum/total > 0.02 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RenderCDFs writes the Fig. 10/13 CDF rows.
+func RenderCDFs(w io.Writer, rows []CDFRow, csv bool) error {
+	header := []string{"algorithm", "stream"}
+	for _, q := range CDFQuantiles {
+		header = append(header, fmt.Sprintf("p%02.0f", q*100))
+	}
+	var out [][]string
+	for _, r := range rows {
+		cells := []string{r.Algorithm, r.Stream}
+		for _, v := range r.Mbps {
+			cells = append(cells, fmt.Sprintf("%.2f", v))
+		}
+		out = append(out, cells)
+	}
+	if csv {
+		return WriteCSV(w, header, out)
+	}
+	return WriteTable(w, header, out)
+}
+
+// RenderFig11 writes the Fig. 11 summary rows.
+func RenderFig11(w io.Writer, rows []Fig11Row, csv bool) error {
+	header := []string{"algorithm", "stream", "target_mbps", "mean", "sustained_95pct", "sustained_99pct", "stddev", "jitter_ms"}
+	var out [][]string
+	for _, r := range rows {
+		jitter := "-" // frames not tracked for this stream
+		if r.JitterMs > 0 {
+			jitter = fmt.Sprintf("%.3f", r.JitterMs)
+		}
+		out = append(out, []string{
+			r.Algorithm, r.Stream,
+			fmt.Sprintf("%.3f", r.Target),
+			fmt.Sprintf("%.3f", r.Mean),
+			fmt.Sprintf("%.3f", r.P95Time),
+			fmt.Sprintf("%.3f", r.P99Time),
+			fmt.Sprintf("%.4f", r.StdDev),
+			jitter,
+		})
+	}
+	if csv {
+		return WriteCSV(w, header, out)
+	}
+	return WriteTable(w, header, out)
+}

@@ -1,0 +1,318 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (§6) on the emulated Fig. 8 testbed: Fig. 4 (bandwidth
+// prediction), Figs. 9–11 (SmartPointer under WFQ/MSFQ/PGOS/OptSched), and
+// Figs. 12–13 (GridFTP vs IQPG-GridFTP), plus the ablations listed in
+// DESIGN.md. Each driver returns plain data that render.go turns into the
+// rows/series the paper reports.
+package experiment
+
+import (
+	"fmt"
+
+	"iqpaths/internal/emulab"
+	"iqpaths/internal/gridftp"
+	"iqpaths/internal/monitor"
+	"iqpaths/internal/pgos"
+	"iqpaths/internal/sched"
+	"iqpaths/internal/simnet"
+	"iqpaths/internal/smartpointer"
+	"iqpaths/internal/stats"
+	"iqpaths/internal/stream"
+)
+
+// Algorithm names accepted by the runners.
+const (
+	AlgWFQ         = "WFQ"
+	AlgMSFQ        = "MSFQ"
+	AlgPGOS        = "PGOS"
+	AlgOptSched    = "OptSched"
+	AlgBlocked     = "Blocked"     // stock GridFTP blocked layout
+	AlgPartitioned = "Partitioned" // GridFTP partitioned layout
+)
+
+// RunConfig parameterizes one testbed run.
+type RunConfig struct {
+	// Algorithm selects the scheduler (Alg* constants).
+	Algorithm string
+	// Seed drives the testbed's cross traffic and loss draws.
+	Seed int64
+	// DurationSec is the measured portion of the run (default 150 s, the
+	// paper's Fig. 9c/d x-axis).
+	DurationSec float64
+	// WarmupSec runs before measurement starts so monitors fill and
+	// queues reach steady state (default 60 s).
+	WarmupSec float64
+	// SampleSec is the throughput sampling interval (default 1 s).
+	SampleSec float64
+	// TwSec is PGOS's scheduling window (default 1 s).
+	TwSec float64
+	// MeanPrediction runs PGOS with mean-bandwidth predictions instead of
+	// percentile predictions (ablation).
+	MeanPrediction bool
+	// PaceLimit overrides the per-path queued-packet bound (0 = default).
+	PaceLimit int
+	// PathCount limits the testbed paths offered to the scheduler
+	// (0 or 2 = both; 1 = path A only). Used by ablations that must
+	// disable multi-path rescue.
+	PathCount int
+}
+
+func (c *RunConfig) fillDefaults() {
+	if c.DurationSec <= 0 {
+		c.DurationSec = 150
+	}
+	if c.WarmupSec <= 0 {
+		c.WarmupSec = 60
+	}
+	if c.SampleSec <= 0 {
+		c.SampleSec = 1
+	}
+	if c.TwSec <= 0 {
+		c.TwSec = 1
+	}
+}
+
+// StreamSeries is one stream's measured behaviour over a run.
+type StreamSeries struct {
+	// Name is the stream label ("Atom", "DT1", ...).
+	Name string
+	// RequiredMbps is the utility target (0 for best-effort).
+	RequiredMbps float64
+	// Total is the delivered throughput in Mbps per sample interval.
+	Total []float64
+	// PerPath splits Total by path name ("PathA", "PathB").
+	PerPath map[string][]float64
+	// FrameTimes are the completion times (seconds from measurement
+	// start) of fully delivered application frames, for jitter.
+	FrameTimes []float64
+	// Summary condenses Total.
+	Summary stats.Summary
+}
+
+// JitterSec returns the stream's frame jitter (mean absolute deviation of
+// inter-completion gaps) in seconds.
+func (s *StreamSeries) JitterSec() float64 { return stats.Jitter(s.FrameTimes) }
+
+// Result is one run's output.
+type Result struct {
+	Algorithm string
+	SampleSec float64
+	Streams   []StreamSeries
+	// PGOSStats is populated for PGOS runs.
+	PGOSStats *pgos.Stats
+	// Rejected lists streams PGOS admission control refused (the upcall);
+	// they were served best-effort.
+	Rejected []string
+}
+
+// workload abstracts the two applications for the runner.
+type workload interface {
+	Streams() []*stream.Stream
+	Tick()
+}
+
+// ppfFunc maps a stream ID to its packets-per-frame count (0 = frames not
+// tracked for that stream).
+type ppfFunc func(streamID int) int
+
+// RunSmartPointer executes one §6.1 run: the three SmartPointer streams
+// over the Fig. 8 testbed under the chosen algorithm.
+func RunSmartPointer(cfg RunConfig) (Result, error) {
+	cfg.fillDefaults()
+	if cfg.PaceLimit <= 0 {
+		// Interactive application → moderately shallow per-path buffers:
+		// deep enough to keep both pipes full at peak bandwidth (in-transit
+		// occupancy is ~2 ticks × rate), shallow enough that queueing
+		// delay — and with it frame jitter — stays low.
+		cfg.PaceLimit = 140
+	}
+	tb := emulab.Build(emulab.Config{Seed: cfg.Seed})
+	w := smartpointer.New(tb.Net)
+	ppf := func(id int) int {
+		if id == 0 { // Atom frames drive the §6.1 jitter number
+			return w.PacketsPerFrame(0)
+		}
+		return 0
+	}
+	return run(cfg, tb, w, ppf)
+}
+
+// RunGridFTP executes one §6.2 run: DT1/DT2/DT3 record transfer. Algorithm
+// AlgBlocked is stock GridFTP (blocked layout, no guarantees); AlgPGOS is
+// IQPG-GridFTP. AlgMSFQ/AlgWFQ/AlgOptSched are accepted for ablations.
+func RunGridFTP(cfg RunConfig) (Result, error) {
+	cfg.fillDefaults()
+	if cfg.PaceLimit <= 0 {
+		// Bulk transfer → deep buffers (~2 ticks): utilization over
+		// latency, as a striped file mover configures its sockets.
+		cfg.PaceLimit = 170
+	}
+	tb := emulab.Build(emulab.Config{Seed: cfg.Seed})
+	w := gridftp.NewWorkload(tb.Net, cfg.Algorithm == AlgPGOS)
+	return run(cfg, tb, w, func(int) int { return 0 })
+}
+
+func run(cfg RunConfig, tb *emulab.Testbed, w workload, ppf ppfFunc) (Result, error) {
+	net := tb.Net
+	streams := w.Streams()
+	paths := []*simnet.Path{tb.PathA, tb.PathB}
+	if cfg.PathCount == 1 {
+		paths = paths[:1]
+	}
+	pathServices := make([]sched.PathService, len(paths))
+	for j, p := range paths {
+		pathServices[j] = p
+	}
+
+	// Monitors sample every 0.1 s with a 500-sample window (§4).
+	mons := make([]*monitor.PathMonitor, len(paths))
+	samplers := make([]*monitor.Sampler, len(paths))
+	for j, sp := range paths {
+		mons[j] = monitor.New(sp.Name(), 500, 100)
+		samplers[j] = monitor.NewSampler(sp, mons[j], 0, nil)
+	}
+
+	var scheduler sched.Scheduler
+	switch cfg.Algorithm {
+	case AlgWFQ:
+		scheduler = sched.NewWFQ(streams, tb.PathA, cfg.PaceLimit)
+	case AlgMSFQ:
+		scheduler = sched.NewMSFQ(streams, pathServices, cfg.PaceLimit)
+	case AlgPGOS:
+		scheduler = pgos.New(pgos.Config{
+			TwSec:          cfg.TwSec,
+			TickSeconds:    net.TickSeconds(),
+			MeanPrediction: cfg.MeanPrediction,
+			PaceLimit:      cfg.PaceLimit,
+		}, streams, pathServices, mons)
+	case AlgOptSched:
+		avail := func(id int) float64 {
+			if id == tb.PathA.ID() {
+				return tb.PathA.AvailMbps()
+			}
+			return tb.PathB.AvailMbps()
+		}
+		scheduler = sched.NewOptSched(streams, pathServices, avail, net.TickSeconds(), cfg.PaceLimit)
+	case AlgBlocked:
+		scheduler = sched.NewRoundRobin(streams, pathServices, cfg.PaceLimit)
+	case AlgPartitioned:
+		scheduler = sched.NewPartitioned(streams, pathServices, cfg.PaceLimit)
+	default:
+		return Result{}, fmt.Errorf("experiment: unknown algorithm %q", cfg.Algorithm)
+	}
+
+	tickSec := net.TickSeconds()
+	sampleTicks := int64(cfg.SampleSec / tickSec)
+	warmupTicks := int64(cfg.WarmupSec / tickSec)
+	totalTicks := warmupTicks + int64(cfg.DurationSec/tickSec)
+	monEvery := int64(0.1 / tickSec)
+	if monEvery < 1 {
+		monEvery = 1
+	}
+
+	nStreams := len(streams)
+	pathNames := make([]string, len(paths))
+	for j, p := range paths {
+		pathNames[j] = p.Name()
+	}
+	// Accumulators for the current sample interval: bits[stream][path].
+	acc := make([][]float64, nStreams)
+	series := make([][]float64, nStreams)      // total Mbps
+	perPath := make([][]([]float64), nStreams) // [stream][path]Mbps
+	frameProgress := make([]map[uint64]int, nStreams)
+	frameTimes := make([][]float64, nStreams)
+	for i := range acc {
+		acc[i] = make([]float64, len(paths))
+		perPath[i] = make([][]float64, len(paths))
+		frameProgress[i] = make(map[uint64]int)
+	}
+
+	for t := int64(0); t < totalTicks; t++ {
+		w.Tick()
+		scheduler.Tick(t)
+		net.Step()
+		if t%monEvery == 0 {
+			for _, s := range samplers {
+				s.Sample()
+			}
+		}
+		for j, sp := range paths {
+			for _, pkt := range sp.TakeDelivered() {
+				if pkt.Stream < 0 || pkt.Stream >= nStreams {
+					continue
+				}
+				// Sparse one-way-delay sampling feeds the RTT window (×2 as
+				// the round-trip proxy), enabling per-stream RTT objectives.
+				if pkt.ID%64 == 0 {
+					mons[j].ObserveRTT(2 * float64(pkt.Delivered-pkt.Created) * tickSec)
+				}
+				acc[pkt.Stream][j] += pkt.Bits
+				if n := ppf(pkt.Stream); n > 0 && pkt.Frame != 0 {
+					fp := frameProgress[pkt.Stream]
+					fp[pkt.Frame]++
+					if fp[pkt.Frame] == n {
+						delete(fp, pkt.Frame)
+						if t >= warmupTicks {
+							frameTimes[pkt.Stream] = append(frameTimes[pkt.Stream],
+								float64(t-warmupTicks)*tickSec)
+						}
+					}
+				}
+			}
+		}
+		if (t+1)%sampleTicks == 0 {
+			for i := range acc {
+				if t >= warmupTicks {
+					total := 0.0
+					for j := range acc[i] {
+						mbps := acc[i][j] / 1e6 / cfg.SampleSec
+						perPath[i][j] = append(perPath[i][j], mbps)
+						total += mbps
+					}
+					series[i] = append(series[i], total)
+				}
+				for j := range acc[i] {
+					acc[i][j] = 0
+				}
+			}
+		}
+	}
+
+	res := Result{Algorithm: cfg.Algorithm, SampleSec: cfg.SampleSec}
+	for i, s := range streams {
+		ss := StreamSeries{
+			Name:         s.Name,
+			RequiredMbps: s.RequiredMbps,
+			Total:        series[i],
+			PerPath:      map[string][]float64{},
+			FrameTimes:   frameTimes[i],
+			Summary:      stats.Summarize(series[i]),
+		}
+		for j, name := range pathNames {
+			ss.PerPath[name] = perPath[i][j]
+		}
+		res.Streams = append(res.Streams, ss)
+	}
+	if p, ok := scheduler.(*pgos.Scheduler); ok {
+		st := p.Stats()
+		res.PGOSStats = &st
+		for i, rej := range p.Mapping().Rejected {
+			if rej && i < len(streams) {
+				res.Rejected = append(res.Rejected, streams[i].Name)
+			}
+		}
+	}
+	return res, nil
+}
+
+// runLossy is a test hook: the SmartPointer run with per-link loss.
+func runLossy(cfg RunConfig, lossProb float64) (Result, error) {
+	cfg.fillDefaults()
+	if cfg.PaceLimit <= 0 {
+		cfg.PaceLimit = 140
+	}
+	cfg.Algorithm = AlgPGOS
+	tb := emulab.Build(emulab.Config{Seed: cfg.Seed, LossProb: lossProb})
+	w := smartpointer.New(tb.Net)
+	return run(cfg, tb, w, func(int) int { return 0 })
+}

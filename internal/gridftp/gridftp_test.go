@@ -1,0 +1,100 @@
+package gridftp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"iqpaths/internal/simnet"
+	"iqpaths/internal/stream"
+)
+
+func newNet() *simnet.Network {
+	return simnet.New(0.01, rand.New(rand.NewSource(1)))
+}
+
+func TestRequiredRates(t *testing.T) {
+	if math.Abs(DT1Mbps-34.56) > 1e-9 {
+		t.Fatalf("DT1 rate = %v, want 34.56", float64(DT1Mbps))
+	}
+	if math.Abs(DT2Mbps-25.6) > 1e-9 {
+		t.Fatalf("DT2 rate = %v, want 25.6", float64(DT2Mbps))
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	if Blocked.String() != "blocked" || Partitioned.String() != "partitioned" || PGOSLayout.String() != "pgos" {
+		t.Fatal("layout strings")
+	}
+	if Layout(9).String() == "" {
+		t.Fatal("unknown layout should render")
+	}
+}
+
+func TestWorkloadGuaranteeModes(t *testing.T) {
+	g := NewWorkload(newNet(), true)
+	if g.DT1.Kind != stream.Probabilistic || g.DT2.Kind != stream.Probabilistic {
+		t.Fatal("IQPG mode must carry guarantees on DT1/DT2")
+	}
+	if g.DT3.Kind != stream.BestEffort {
+		t.Fatal("DT3 is always best-effort")
+	}
+	p := NewWorkload(newNet(), false)
+	if p.DT1.Kind != stream.BestEffort || p.DT1.RequiredMbps != 0 {
+		t.Fatal("stock GridFTP must not carry guarantees")
+	}
+	// Weights survive for the FQ baselines.
+	if p.DT1.Weight <= 0 || p.DT2.Weight <= 0 || p.DT3.Weight <= 0 {
+		t.Fatal("weights must be positive in both modes")
+	}
+}
+
+func TestWorkloadArrivals(t *testing.T) {
+	net := newNet()
+	w := NewWorkload(net, true)
+	for i := 0; i < 500; i++ { // 5 s
+		w.Tick()
+		net.Step()
+	}
+	if rec := w.RecordsEmitted(); rec < 125 || rec > 126 {
+		t.Fatalf("records in 5 s = %d, want ~125", rec)
+	}
+	// DT1 offered ≈ 34.56 Mbps.
+	if mbps := w.DT1.Bits() / 1e6 / 5; mbps < 33.8 || mbps > 35.3 {
+		t.Fatalf("DT1 offered %.2f Mbps", mbps)
+	}
+	// DT3 backlog stays topped up.
+	if w.DT3.Len() == 0 {
+		t.Fatal("DT3 backlog empty")
+	}
+}
+
+func TestStoreDeterministicPayloads(t *testing.T) {
+	s := &Store{Records: 10}
+	if s.ComponentSize(0) != DT1Bytes || s.ComponentSize(1) != DT2Bytes || s.ComponentSize(2) != DT3Bytes {
+		t.Fatal("component sizes")
+	}
+	buf := make([]byte, 1024)
+	s.Component(3, 1, buf)
+	if off := s.Verify(3, 1, buf); off != -1 {
+		t.Fatalf("self-verify failed at %d", off)
+	}
+	// Different record → different payload.
+	buf2 := make([]byte, 1024)
+	s.Component(4, 1, buf2)
+	same := true
+	for i := range buf {
+		if buf[i] != buf2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct records produced identical payloads")
+	}
+	// Corruption detected.
+	buf[17] ^= 0xFF
+	if off := s.Verify(3, 1, buf); off != 17 {
+		t.Fatalf("corruption reported at %d, want 17", off)
+	}
+}

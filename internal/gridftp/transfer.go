@@ -1,0 +1,214 @@
+package gridftp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"iqpaths/internal/transport"
+)
+
+// Wire protocol for the striped transfer engine: a GET control message
+// names the record range; the sender stripes record-component blocks over
+// its parallel connections under the chosen layout; each data message's
+// Frame field encodes (record, component, block) so the receiver can
+// reassemble and verify out-of-order arrivals across connections; a DONE
+// control message per connection ends the transfer.
+//
+// This is the transport-level counterpart of the workload model used in
+// the emulated experiments — the piece a downstream user runs to actually
+// move files (cmd/iqftp wires it to real sockets).
+
+const (
+	// BlockBytes is the striping block size (GridFTP's block-size option).
+	BlockBytes = 16384
+)
+
+// control payloads.
+var (
+	ctlDone = []byte("DONE")
+)
+
+// frameKey packs (record, component, block) into a packet Frame tag.
+func frameKey(rec, comp, block int) uint64 {
+	return uint64(rec)<<24 | uint64(comp)<<20 | uint64(block)
+}
+
+func splitFrameKey(k uint64) (rec, comp, block int) {
+	return int(k >> 24), int(k >> 20 & 0xF), int(k & 0xFFFFF)
+}
+
+// Sender streams records from a Store over parallel connections.
+type Sender struct {
+	Store  *Store
+	Layout Layout
+	Conns  []transport.Conn
+}
+
+// Send transfers records [first, last) across the connections. With the
+// Blocked layout, blocks round-robin over connections; with Partitioned,
+// each component is pinned to a connection (component index mod
+// connections). The PGOS layout is driven externally by the scheduler
+// (see cmd/iqftp); Send rejects it.
+func (s *Sender) Send(first, last int) error {
+	if len(s.Conns) == 0 {
+		return fmt.Errorf("gridftp: sender needs connections")
+	}
+	if s.Layout == PGOSLayout {
+		return fmt.Errorf("gridftp: the PGOS layout is scheduler-driven; use the stream workload")
+	}
+	rr := 0
+	for rec := first; rec < last; rec++ {
+		for comp := 0; comp < 3; comp++ {
+			size := s.Store.ComponentSize(comp)
+			nBlocks := (size + BlockBytes - 1) / BlockBytes
+			full := make([]byte, size)
+			s.Store.Component(rec, comp, full)
+			for b := 0; b < nBlocks; b++ {
+				lo := b * BlockBytes
+				hi := lo + BlockBytes
+				if hi > size {
+					hi = size
+				}
+				var conn transport.Conn
+				switch s.Layout {
+				case Blocked:
+					conn = s.Conns[rr%len(s.Conns)]
+					rr++
+				case Partitioned:
+					conn = s.Conns[comp%len(s.Conns)]
+				}
+				m := &transport.Message{
+					Kind:    transport.KindData,
+					Stream:  uint32(comp),
+					Frame:   frameKey(rec, comp, b),
+					Payload: full[lo:hi],
+				}
+				if err := conn.Send(m); err != nil {
+					return fmt.Errorf("gridftp: send rec %d comp %d block %d: %w", rec, comp, b, err)
+				}
+			}
+		}
+	}
+	for _, c := range s.Conns {
+		done := &transport.Message{Kind: transport.KindControl, Payload: markDone(first, last)}
+		if err := c.Send(done); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func markDone(first, last int) []byte {
+	out := make([]byte, len(ctlDone)+8)
+	copy(out, ctlDone)
+	binary.LittleEndian.PutUint32(out[len(ctlDone):], uint32(first))
+	binary.LittleEndian.PutUint32(out[len(ctlDone)+4:], uint32(last))
+	return out
+}
+
+func parseDone(p []byte) (first, last int, ok bool) {
+	if len(p) != len(ctlDone)+8 || string(p[:len(ctlDone)]) != string(ctlDone) {
+		return 0, 0, false
+	}
+	return int(binary.LittleEndian.Uint32(p[len(ctlDone):])),
+		int(binary.LittleEndian.Uint32(p[len(ctlDone)+4:])), true
+}
+
+// ReceiveResult summarizes a striped reception.
+type ReceiveResult struct {
+	Records      int
+	Bytes        uint64
+	Corrupt      int // blocks whose payload failed verification
+	Missing      int // blocks never received
+	Elapsed      time.Duration
+	PerComponent [3]uint64 // bytes per component
+}
+
+// Receiver reassembles and verifies a striped transfer arriving over
+// parallel connections.
+type Receiver struct {
+	Store *Store
+}
+
+// Receive drains the connections until each delivers its DONE marker,
+// verifying every block against the deterministic store contents.
+func (r *Receiver) Receive(conns []transport.Conn) (ReceiveResult, error) {
+	start := time.Now()
+	var mu sync.Mutex
+	res := ReceiveResult{}
+	gotBlocks := map[uint64]bool{}
+	var first, last int
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(conns))
+	for _, c := range conns {
+		wg.Add(1)
+		go func(conn transport.Conn) {
+			defer wg.Done()
+			for {
+				m, err := conn.Recv()
+				if err != nil {
+					errCh <- fmt.Errorf("gridftp: recv: %w", err)
+					return
+				}
+				if m.Kind == transport.KindControl {
+					if f, l, ok := parseDone(m.Payload); ok {
+						mu.Lock()
+						first, last = f, l
+						mu.Unlock()
+						return
+					}
+					continue
+				}
+				if m.Kind != transport.KindData {
+					continue
+				}
+				rec, comp, block := splitFrameKey(m.Frame)
+				mu.Lock()
+				gotBlocks[m.Frame] = true
+				res.Bytes += uint64(len(m.Payload))
+				if comp >= 0 && comp < 3 {
+					res.PerComponent[comp] += uint64(len(m.Payload))
+				}
+				mu.Unlock()
+				// Verify against the deterministic store pattern.
+				full := make([]byte, len(m.Payload))
+				base := rec*31 + comp*17 + block*BlockBytes
+				ok := true
+				for k := range full {
+					if m.Payload[k] != byte((base+k)%251) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					mu.Lock()
+					res.Corrupt++
+					mu.Unlock()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return res, err
+	default:
+	}
+	// Account for missing blocks.
+	for rec := first; rec < last; rec++ {
+		for comp := 0; comp < 3; comp++ {
+			size := r.Store.ComponentSize(comp)
+			nBlocks := (size + BlockBytes - 1) / BlockBytes
+			for b := 0; b < nBlocks; b++ {
+				if !gotBlocks[frameKey(rec, comp, b)] {
+					res.Missing++
+				}
+			}
+		}
+	}
+	res.Records = last - first
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,138 @@
+package gridftp
+
+import (
+	"testing"
+	"time"
+
+	"iqpaths/internal/transport"
+)
+
+func rudpPair(t *testing.T) (transport.Conn, transport.Conn, func()) {
+	t.Helper()
+	l, err := transport.ListenRUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := transport.DialRUDP(l.Addr(), 2*time.Second)
+	if err != nil {
+		l.Close()
+		t.Fatal(err)
+	}
+	server, err := l.Accept()
+	if err != nil {
+		l.Close()
+		t.Fatal(err)
+	}
+	return client, server, func() { client.Close(); server.Close(); l.Close() }
+}
+
+func tcpPair(t *testing.T) (transport.Conn, transport.Conn, func()) {
+	t.Helper()
+	l, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type acc struct {
+		c   *transport.TCPConn
+		err error
+	}
+	ch := make(chan acc, 1)
+	go func() {
+		c, err := l.Accept()
+		ch <- acc{c, err}
+	}()
+	client, err := transport.DialTCP(l.Addr())
+	if err != nil {
+		l.Close()
+		t.Fatal(err)
+	}
+	a := <-ch
+	if a.err != nil {
+		l.Close()
+		t.Fatal(a.err)
+	}
+	return client, a.c, func() { client.Close(); a.c.Close(); l.Close() }
+}
+
+func runTransfer(t *testing.T, layout Layout, nConns int, mkPair func(*testing.T) (transport.Conn, transport.Conn, func())) ReceiveResult {
+	t.Helper()
+	store := &Store{Records: 100}
+	var sendConns, recvConns []transport.Conn
+	for i := 0; i < nConns; i++ {
+		c, s, cleanup := mkPair(t)
+		defer cleanup()
+		sendConns = append(sendConns, c)
+		recvConns = append(recvConns, s)
+	}
+	sender := &Sender{Store: store, Layout: layout, Conns: sendConns}
+	receiver := &Receiver{Store: store}
+	errCh := make(chan error, 1)
+	go func() { errCh <- sender.Send(0, 5) }()
+	res, err := receiver.Receive(recvConns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBlockedTransferOverRUDP(t *testing.T) {
+	res := runTransfer(t, Blocked, 2, rudpPair)
+	if res.Records != 5 || res.Missing != 0 || res.Corrupt != 0 {
+		t.Fatalf("transfer incomplete: %+v", res)
+	}
+	want := uint64(5 * (DT1Bytes + DT2Bytes + DT3Bytes))
+	if res.Bytes != want {
+		t.Fatalf("bytes = %d, want %d", res.Bytes, want)
+	}
+	// All three components arrive in full.
+	if res.PerComponent[0] != 5*DT1Bytes || res.PerComponent[1] != 5*DT2Bytes || res.PerComponent[2] != 5*DT3Bytes {
+		t.Fatalf("per-component bytes: %+v", res.PerComponent)
+	}
+}
+
+func TestPartitionedTransferOverTCP(t *testing.T) {
+	res := runTransfer(t, Partitioned, 3, tcpPair)
+	if res.Records != 5 || res.Missing != 0 || res.Corrupt != 0 {
+		t.Fatalf("transfer incomplete: %+v", res)
+	}
+}
+
+func TestBlockedTransferSingleConn(t *testing.T) {
+	res := runTransfer(t, Blocked, 1, tcpPair)
+	if res.Missing != 0 || res.Corrupt != 0 {
+		t.Fatalf("single-connection transfer broken: %+v", res)
+	}
+}
+
+func TestSenderRejectsPGOSLayout(t *testing.T) {
+	s := &Sender{Store: &Store{Records: 1}, Layout: PGOSLayout, Conns: make([]transport.Conn, 1)}
+	if err := s.Send(0, 1); err == nil {
+		t.Fatal("PGOS layout must be rejected by the raw sender")
+	}
+	s2 := &Sender{Store: &Store{Records: 1}, Layout: Blocked}
+	if err := s2.Send(0, 1); err == nil {
+		t.Fatal("no connections must be rejected")
+	}
+}
+
+func TestFrameKeyRoundTrip(t *testing.T) {
+	for _, tc := range [][3]int{{0, 0, 0}, {5, 2, 23}, {1000, 1, 0}, {1 << 20, 2, 1<<20 - 1}} {
+		rec, comp, block := splitFrameKey(frameKey(tc[0], tc[1], tc[2]))
+		if rec != tc[0] || comp != tc[1] || block != tc[2] {
+			t.Fatalf("frame key round trip: %v -> %d %d %d", tc, rec, comp, block)
+		}
+	}
+}
+
+func TestDoneMarkerRoundTrip(t *testing.T) {
+	f, l, ok := parseDone(markDone(7, 42))
+	if !ok || f != 7 || l != 42 {
+		t.Fatalf("done marker: %d %d %t", f, l, ok)
+	}
+	if _, _, ok := parseDone([]byte("JUNK")); ok {
+		t.Fatal("junk accepted as done marker")
+	}
+}

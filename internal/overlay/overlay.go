@@ -1,0 +1,289 @@
+// Package overlay models the paper's overlay graph G = (V, E): servers
+// (data sources), router daemons, and clients (sinks) joined by logical
+// links, with enumeration of the simple and disjoint paths P^j between a
+// server and client that PGOS schedules across (§5.1). Like the paper (and
+// OverQoS), it makes no placement decisions — it represents whatever
+// placement the middleware chose and answers path queries about it.
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Kind classifies an overlay node.
+type Kind int
+
+// Node kinds.
+const (
+	Server Kind = iota
+	Router
+	Client
+)
+
+// String renders the kind.
+func (k Kind) String() string {
+	switch k {
+	case Server:
+		return "server"
+	case Router:
+		return "router"
+	case Client:
+		return "client"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// NodeID identifies a node within its graph.
+type NodeID int
+
+// Node is one overlay process.
+type Node struct {
+	ID   NodeID
+	Name string
+	Kind Kind
+}
+
+// Graph is a directed overlay graph. Use AddDuplex for the common
+// bidirectional logical links.
+type Graph struct {
+	nodes []Node
+	adj   map[NodeID][]NodeID
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{adj: make(map[NodeID][]NodeID)}
+}
+
+// AddNode registers a node and returns its ID.
+func (g *Graph) AddNode(name string, kind Kind) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Name: name, Kind: kind})
+	return id
+}
+
+// Node returns the node record for id.
+func (g *Graph) Node(id NodeID) (Node, error) {
+	if int(id) < 0 || int(id) >= len(g.nodes) {
+		return Node{}, fmt.Errorf("overlay: no node %d", id)
+	}
+	return g.nodes[id], nil
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// AddEdge adds the directed logical link a→b. Duplicate edges are ignored.
+func (g *Graph) AddEdge(a, b NodeID) {
+	for _, x := range g.adj[a] {
+		if x == b {
+			return
+		}
+	}
+	g.adj[a] = append(g.adj[a], b)
+}
+
+// AddDuplex adds logical links in both directions.
+func (g *Graph) AddDuplex(a, b NodeID) {
+	g.AddEdge(a, b)
+	g.AddEdge(b, a)
+}
+
+// Neighbors returns the out-neighbors of id in insertion order.
+func (g *Graph) Neighbors(id NodeID) []NodeID {
+	out := make([]NodeID, len(g.adj[id]))
+	copy(out, g.adj[id])
+	return out
+}
+
+// ErrNoPath reports that no path exists between the queried endpoints.
+var ErrNoPath = errors.New("overlay: no path")
+
+// SimplePaths enumerates up to maxPaths simple (loop-free) paths from src
+// to dst by depth-first search, returned shortest first. maxPaths ≤ 0
+// means no limit. Enumeration cost is exponential in the worst case; the
+// overlays this middleware manages are small (tens of nodes).
+func (g *Graph) SimplePaths(src, dst NodeID, maxPaths int) [][]NodeID {
+	var out [][]NodeID
+	visited := make(map[NodeID]bool)
+	var path []NodeID
+	var dfs func(n NodeID) bool // returns true when the cap is reached
+	dfs = func(n NodeID) bool {
+		visited[n] = true
+		path = append(path, n)
+		defer func() {
+			visited[n] = false
+			path = path[:len(path)-1]
+		}()
+		if n == dst {
+			cp := make([]NodeID, len(path))
+			copy(cp, path)
+			out = append(out, cp)
+			return maxPaths > 0 && len(out) >= maxPaths
+		}
+		for _, nb := range g.adj[n] {
+			if !visited[nb] {
+				if dfs(nb) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	dfs(src)
+	sort.SliceStable(out, func(i, j int) bool { return len(out[i]) < len(out[j]) })
+	return out
+}
+
+// DisjointPaths returns a maximal set of pairwise edge-disjoint paths from
+// src to dst, found by repeated BFS with used-edge removal (unit-capacity
+// augmentation). These are the concurrent paths PGOS stripes streams over:
+// edge-disjointness is the "no shared bottleneck" placement assumption the
+// paper shares with OverQoS.
+func (g *Graph) DisjointPaths(src, dst NodeID) [][]NodeID {
+	used := make(map[[2]NodeID]bool)
+	var out [][]NodeID
+	for {
+		p := g.bfs(src, dst, used)
+		if p == nil {
+			return out
+		}
+		for i := 0; i+1 < len(p); i++ {
+			used[[2]NodeID{p[i], p[i+1]}] = true
+		}
+		out = append(out, p)
+	}
+}
+
+func (g *Graph) bfs(src, dst NodeID, used map[[2]NodeID]bool) []NodeID {
+	prev := map[NodeID]NodeID{src: src}
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == dst {
+			var rev []NodeID
+			for x := dst; ; x = prev[x] {
+				rev = append(rev, x)
+				if x == src {
+					break
+				}
+			}
+			out := make([]NodeID, len(rev))
+			for i, x := range rev {
+				out[len(rev)-1-i] = x
+			}
+			return out
+		}
+		for _, nb := range g.adj[n] {
+			if used[[2]NodeID{n, nb}] {
+				continue
+			}
+			if _, seen := prev[nb]; seen {
+				continue
+			}
+			prev[nb] = n
+			queue = append(queue, nb)
+		}
+	}
+	return nil
+}
+
+// KShortestPaths returns up to k loopless paths from src to dst in
+// nondecreasing length order (Yen's algorithm over unweighted hops).
+// Unlike DisjointPaths these may share edges — the candidate set a path
+// selector ranks by monitored quality when full disjointness is not
+// available.
+func (g *Graph) KShortestPaths(src, dst NodeID, k int) [][]NodeID {
+	if k <= 0 {
+		return nil
+	}
+	shortest := g.bfs(src, dst, nil)
+	if shortest == nil {
+		return nil
+	}
+	paths := [][]NodeID{shortest}
+	var candidates [][]NodeID
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		// For each spur node of the previous path, search for a deviation
+		// that avoids the roots of all known paths.
+		for i := 0; i < len(prev)-1; i++ {
+			spur := prev[i]
+			root := prev[:i+1]
+			banned := map[[2]NodeID]bool{}
+			for _, p := range paths {
+				if len(p) > i && equalPath(p[:i+1], root) {
+					banned[[2]NodeID{p[i], p[i+1]}] = true
+				}
+			}
+			// Ban root nodes (except the spur) by banning all their edges.
+			for _, n := range root[:len(root)-1] {
+				for _, nb := range g.adj[n] {
+					banned[[2]NodeID{n, nb}] = true
+				}
+				for nb := range g.adj {
+					banned[[2]NodeID{nb, n}] = true
+				}
+			}
+			if tail := g.bfs(spur, dst, banned); tail != nil {
+				cand := append(append([]NodeID{}, root[:len(root)-1]...), tail...)
+				if !containsPath(paths, cand) && !containsPath(candidates, cand) {
+					candidates = append(candidates, cand)
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		// Take the shortest candidate.
+		best := 0
+		for i := 1; i < len(candidates); i++ {
+			if len(candidates[i]) < len(candidates[best]) {
+				best = i
+			}
+		}
+		paths = append(paths, candidates[best])
+		candidates = append(candidates[:best], candidates[best+1:]...)
+	}
+	return paths
+}
+
+func equalPath(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(set [][]NodeID, p []NodeID) bool {
+	for _, q := range set {
+		if equalPath(q, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// PathString renders a node path using node names.
+func (g *Graph) PathString(path []NodeID) string {
+	s := ""
+	for i, id := range path {
+		if i > 0 {
+			s += "→"
+		}
+		if int(id) >= 0 && int(id) < len(g.nodes) {
+			s += g.nodes[id].Name
+		} else {
+			s += fmt.Sprintf("?%d", id)
+		}
+	}
+	return s
+}

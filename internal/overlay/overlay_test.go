@@ -1,0 +1,287 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// fig8 builds the paper's testbed graph: server, two router chains, client.
+func fig8() (*Graph, NodeID, NodeID) {
+	g := NewGraph()
+	n1 := g.AddNode("N-1", Server)
+	n2 := g.AddNode("N-2", Router)
+	n3 := g.AddNode("N-3", Router)
+	n4 := g.AddNode("N-4", Router)
+	n5 := g.AddNode("N-5", Router)
+	n6 := g.AddNode("N-6", Client)
+	g.AddDuplex(n1, n3)
+	g.AddDuplex(n3, n5)
+	g.AddDuplex(n5, n6)
+	g.AddDuplex(n1, n2)
+	g.AddDuplex(n2, n4)
+	g.AddDuplex(n4, n6)
+	return g, n1, n6
+}
+
+func TestNodeLookup(t *testing.T) {
+	g := NewGraph()
+	id := g.AddNode("s", Server)
+	n, err := g.Node(id)
+	if err != nil || n.Name != "s" || n.Kind != Server {
+		t.Fatalf("node lookup: %+v %v", n, err)
+	}
+	if _, err := g.Node(99); err == nil {
+		t.Fatal("expected error for unknown node")
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Server.String() != "server" || Router.String() != "router" || Client.String() != "client" {
+		t.Fatal("kind strings wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}
+
+func TestDuplicateEdgeIgnored(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode("a", Router)
+	b := g.AddNode("b", Router)
+	g.AddEdge(a, b)
+	g.AddEdge(a, b)
+	if len(g.Neighbors(a)) != 1 {
+		t.Fatal("duplicate edge not deduplicated")
+	}
+}
+
+func TestSimplePathsFig8(t *testing.T) {
+	g, src, dst := fig8()
+	paths := g.SimplePaths(src, dst, 0)
+	if len(paths) != 2 {
+		t.Fatalf("found %d simple paths, want 2: %v", len(paths), paths)
+	}
+	for _, p := range paths {
+		if len(p) != 4 {
+			t.Fatalf("path length %d, want 4 nodes: %s", len(p), g.PathString(p))
+		}
+		if p[0] != src || p[len(p)-1] != dst {
+			t.Fatal("path endpoints wrong")
+		}
+	}
+}
+
+func TestSimplePathsMaxCap(t *testing.T) {
+	g, src, dst := fig8()
+	paths := g.SimplePaths(src, dst, 1)
+	if len(paths) != 1 {
+		t.Fatalf("cap ignored: %d paths", len(paths))
+	}
+}
+
+func TestSimplePathsNone(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode("a", Server)
+	b := g.AddNode("b", Client)
+	if got := g.SimplePaths(a, b, 0); len(got) != 0 {
+		t.Fatal("expected no paths in disconnected graph")
+	}
+}
+
+func TestDisjointPathsFig8(t *testing.T) {
+	g, src, dst := fig8()
+	paths := g.DisjointPaths(src, dst)
+	if len(paths) != 2 {
+		t.Fatalf("found %d disjoint paths, want 2", len(paths))
+	}
+	// Edge-disjointness.
+	used := map[[2]NodeID]bool{}
+	for _, p := range paths {
+		for i := 0; i+1 < len(p); i++ {
+			e := [2]NodeID{p[i], p[i+1]}
+			if used[e] {
+				t.Fatalf("edge %v reused", e)
+			}
+			used[e] = true
+		}
+	}
+}
+
+func TestDisjointPathsDiamondWithShortcut(t *testing.T) {
+	// src → a → dst, src → b → dst, src → dst: 3 disjoint paths.
+	g := NewGraph()
+	src := g.AddNode("s", Server)
+	a := g.AddNode("a", Router)
+	b := g.AddNode("b", Router)
+	dst := g.AddNode("d", Client)
+	g.AddEdge(src, a)
+	g.AddEdge(a, dst)
+	g.AddEdge(src, b)
+	g.AddEdge(b, dst)
+	g.AddEdge(src, dst)
+	if got := g.DisjointPaths(src, dst); len(got) != 3 {
+		t.Fatalf("disjoint paths = %d, want 3", len(got))
+	}
+}
+
+// Property: every path returned by SimplePaths is loop-free, follows
+// edges, and starts/ends correctly, on random graphs.
+func TestSimplePathsValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		n := 6 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			g.AddNode("x", Router)
+		}
+		for i := 0; i < 2*n; i++ {
+			g.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+		}
+		src, dst := NodeID(0), NodeID(n-1)
+		adj := func(a, b NodeID) bool {
+			for _, x := range g.Neighbors(a) {
+				if x == b {
+					return true
+				}
+			}
+			return false
+		}
+		for _, p := range g.SimplePaths(src, dst, 50) {
+			if p[0] != src || p[len(p)-1] != dst {
+				return false
+			}
+			seen := map[NodeID]bool{}
+			for i, x := range p {
+				if seen[x] {
+					return false
+				}
+				seen[x] = true
+				if i+1 < len(p) && !adj(x, p[i+1]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathString(t *testing.T) {
+	g, src, dst := fig8()
+	paths := g.SimplePaths(src, dst, 0)
+	s := g.PathString(paths[0])
+	if s == "" || s[0] != 'N' {
+		t.Fatalf("PathString = %q", s)
+	}
+	if got := g.PathString([]NodeID{99}); got != "?99" {
+		t.Fatalf("unknown node rendering = %q", got)
+	}
+}
+
+func TestKShortestPathsFig8(t *testing.T) {
+	g, src, dst := fig8()
+	paths := g.KShortestPaths(src, dst, 5)
+	if len(paths) != 2 { // only two loopless routes exist
+		t.Fatalf("k-shortest = %d, want 2: %v", len(paths), paths)
+	}
+	for i := 1; i < len(paths); i++ {
+		if len(paths[i]) < len(paths[i-1]) {
+			t.Fatal("paths not in nondecreasing length order")
+		}
+	}
+}
+
+func TestKShortestPathsSharedEdges(t *testing.T) {
+	// src→a→dst plus src→a→b→dst share edge src→a: DisjointPaths finds
+	// one, KShortestPaths finds both.
+	g := NewGraph()
+	src := g.AddNode("s", Server)
+	a := g.AddNode("a", Router)
+	b := g.AddNode("b", Router)
+	dst := g.AddNode("d", Client)
+	g.AddEdge(src, a)
+	g.AddEdge(a, dst)
+	g.AddEdge(a, b)
+	g.AddEdge(b, dst)
+	if got := g.DisjointPaths(src, dst); len(got) != 1 {
+		t.Fatalf("disjoint = %d, want 1", len(got))
+	}
+	paths := g.KShortestPaths(src, dst, 4)
+	if len(paths) != 2 {
+		t.Fatalf("k-shortest = %d, want 2: %v", len(paths), paths)
+	}
+	if len(paths[0]) != 3 || len(paths[1]) != 4 {
+		t.Fatalf("lengths: %v", paths)
+	}
+}
+
+func TestKShortestPathsEdgeCases(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode("a", Server)
+	b := g.AddNode("b", Client)
+	if got := g.KShortestPaths(a, b, 3); got != nil {
+		t.Fatal("disconnected should return nil")
+	}
+	g.AddEdge(a, b)
+	if got := g.KShortestPaths(a, b, 0); got != nil {
+		t.Fatal("k=0 returns nil")
+	}
+	if got := g.KShortestPaths(a, b, 3); len(got) != 1 {
+		t.Fatalf("single edge: %v", got)
+	}
+}
+
+// Property: every k-shortest path is loopless, valid, and distinct.
+func TestKShortestPathsValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		n := 5 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			g.AddNode("x", Router)
+		}
+		for i := 0; i < 3*n; i++ {
+			g.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+		}
+		src, dst := NodeID(0), NodeID(n-1)
+		adj := func(a, b NodeID) bool {
+			for _, x := range g.Neighbors(a) {
+				if x == b {
+					return true
+				}
+			}
+			return false
+		}
+		paths := g.KShortestPaths(src, dst, 6)
+		for pi, p := range paths {
+			if p[0] != src || p[len(p)-1] != dst {
+				return false
+			}
+			seen := map[NodeID]bool{}
+			for i, x := range p {
+				if seen[x] {
+					return false
+				}
+				seen[x] = true
+				if i+1 < len(p) && !adj(x, p[i+1]) {
+					return false
+				}
+			}
+			for qi := 0; qi < pi; qi++ {
+				if equalPath(paths[qi], p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

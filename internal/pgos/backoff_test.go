@@ -1,0 +1,91 @@
+package pgos
+
+import (
+	"testing"
+
+	"iqpaths/internal/monitor"
+	"iqpaths/internal/sched"
+	"iqpaths/internal/simnet"
+	"iqpaths/internal/stream"
+)
+
+// flakyPath reports room but refuses sends until unjammed.
+type flakyPath struct {
+	fakePath
+	jammed   bool
+	attempts int
+}
+
+func (f *flakyPath) Send(p *simnet.Packet) bool {
+	f.attempts++
+	if f.jammed {
+		return false
+	}
+	return f.fakePath.Send(p)
+}
+
+func TestBackoffOnRefusedSend(t *testing.T) {
+	st := stream.New(0, stream.Spec{Name: "s", Kind: stream.BestEffort})
+	p := &flakyPath{fakePath: fakePath{id: 0, name: "A"}, jammed: true}
+	s := New(Config{TickSeconds: 0.01}, []*stream.Stream{st},
+		[]sched.PathService{p}, []*monitor.PathMonitor{warmMonitor("A", 50)})
+	mk := pktFactory()
+	for i := 0; i < 100; i++ {
+		st.Push(mk(0, 12000))
+	}
+	// Tick 0: one refused attempt, then the path is backed off.
+	s.Tick(0)
+	if p.attempts != 1 {
+		t.Fatalf("attempts at tick 0 = %d, want 1 (backoff after first refusal)", p.attempts)
+	}
+	if st.Len() != 100 {
+		t.Fatalf("refused packet lost: backlog %d, want 100", st.Len())
+	}
+	// Backoff doubles: attempts grow ~logarithmically in ticks.
+	for tick := int64(1); tick <= 30; tick++ {
+		s.Tick(tick)
+	}
+	if p.attempts > 8 {
+		t.Fatalf("backoff not exponential: %d attempts in 31 ticks", p.attempts)
+	}
+	if s.Stats().SendFailures != uint64(p.attempts) {
+		t.Fatalf("SendFailures %d vs attempts %d", s.Stats().SendFailures, p.attempts)
+	}
+	// Path recovers: traffic flows again and backoff resets.
+	p.jammed = false
+	for tick := int64(31); tick <= 140; tick++ {
+		s.Tick(tick)
+	}
+	if st.Len() != 0 {
+		t.Fatalf("backlog not drained after recovery: %d", st.Len())
+	}
+	if len(p.sent) != 100 {
+		t.Fatalf("sent %d, want 100", len(p.sent))
+	}
+}
+
+func TestBackoffRestoresScheduledQuota(t *testing.T) {
+	st := stream.New(0, stream.Spec{Name: "s", Kind: stream.Probabilistic, RequiredMbps: 10, Probability: 0.95})
+	p := &flakyPath{fakePath: fakePath{id: 0, name: "A"}, jammed: true}
+	s := New(Config{TickSeconds: 0.01}, []*stream.Stream{st},
+		[]sched.PathService{p}, []*monitor.PathMonitor{warmMonitor("A", 50)})
+	mk := pktFactory()
+	for i := 0; i < 2000; i++ {
+		st.Push(mk(0, 12000))
+	}
+	// Jammed through the first half-window, then recovered: the full
+	// quota must still be delivered by window end (rule 1 catches up).
+	for tick := int64(0); tick < 50; tick++ {
+		s.Tick(tick)
+		p.drain() // the fake network forwards everything each tick
+	}
+	p.jammed = false
+	for tick := int64(50); tick < 100; tick++ {
+		s.Tick(tick)
+		p.drain()
+	}
+	quota := st.RequiredPacketsPerWindow(1)
+	if got := int(s.Stats().ScheduledSent); got != quota {
+		t.Fatalf("scheduled sent = %d, want full quota %d despite mid-window jam", got, quota)
+	}
+}

@@ -1,0 +1,79 @@
+// Package pgos implements the paper's core contribution: the Predictive
+// Guarantee Overlay Scheduling/Routing algorithm (§5). PGOS consumes the
+// per-path bandwidth distributions maintained by internal/monitor and
+//
+//   - grants single-path probabilistic guarantees (Lemma 1): with
+//     probability 1 − F^j(x·s/tw), x packets are serviced in a window;
+//   - grants 'violation bound' guarantees (Lemma 2): the expected number
+//     of packets missing their deadline per window is bounded via the
+//     CDF's lower tail;
+//   - maps streams to paths (utility-based resource mapping), splitting a
+//     stream across paths only when no single path satisfies it;
+//   - schedules packets along the resulting path lookup vector V^P and
+//     per-path stream vectors V^S with virtual deadlines, following the
+//     Table 1 precedence: scheduled-on-this-path, then scheduled-elsewhere
+//     (EDF, window-constraint tie-break), then unscheduled traffic.
+package pgos
+
+import "iqpaths/internal/stats"
+
+// FeasibleRate returns the largest additional rate (Mbps) a path can
+// promise with probability at least p, given its bandwidth distribution
+// and the rate already committed to other streams:
+//
+//	max{r ≥ 0 : P{bw ≥ committed + r} ≥ p} = Quantile(1−p) − committed
+//
+// clamped at zero. This is Lemma 1 solved for the rate.
+func FeasibleRate(cdf *stats.CDF, p, committedMbps float64) float64 {
+	if cdf.IsEmpty() {
+		return 0
+	}
+	r := cdf.Quantile(1-p) - committedMbps
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// GuaranteeProbability returns Lemma 1's probability that x packets of
+// sBits each are serviced within a window of twSec seconds on a path with
+// the given bandwidth distribution, after subtracting the rate already
+// committed to higher-priority streams: 1 − F(committed + x·s/tw).
+func GuaranteeProbability(cdf *stats.CDF, x int, sBits, twSec, committedMbps float64) float64 {
+	if cdf.IsEmpty() || x <= 0 {
+		return 0
+	}
+	need := committedMbps + float64(x)*sBits/twSec/1e6
+	return 1 - cdf.F(need*(1-1e-12))
+}
+
+// ExpectedViolations returns Lemma 2's bound on E[Z] for a stream needing
+// x packets of sBits per window of twSec on a path whose distribution is
+// cdf, with committedMbps already promised to other streams. Writing
+// b0 = x·s/tw and b' = max(0, b − committed) for the bandwidth left to
+// this stream:
+//
+//	E[Z] ≤ Σ_{b' ≤ b0} (x − tw·b'/s) dF = F₀·(x − (tw/s)·M₀)
+//
+// where F₀ and M₀ are the shortfall probability and conditional mean of
+// the leftover bandwidth. Clamped at 0.
+func ExpectedViolations(cdf *stats.CDF, x int, sBits, twSec, committedMbps float64) float64 {
+	if cdf.IsEmpty() || x <= 0 {
+		return 0
+	}
+	b0 := float64(x) * sBits / twSec / 1e6 // Mbps needed by this stream
+	cut := committedMbps + b0
+	f := cdf.F(cut * (1 - 1e-12))
+	if f == 0 {
+		return 0
+	}
+	m := cdf.TailMean(cut*(1-1e-12)) - committedMbps // leftover conditional mean, Mbps
+	if m < 0 {
+		m = 0
+	}
+	ez := f * (float64(x) - (twSec/sBits)*m*1e6)
+	if ez < 0 {
+		return 0
+	}
+	return ez
+}

@@ -1,0 +1,153 @@
+package pgos
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"iqpaths/internal/stats"
+)
+
+func uniformCDF(lo, hi float64, n int) *stats.CDF {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return stats.BuildCDF(xs)
+}
+
+func TestFeasibleRateEmpty(t *testing.T) {
+	if FeasibleRate(stats.BuildCDF(nil), 0.95, 0) != 0 {
+		t.Fatal("empty CDF should offer no rate")
+	}
+}
+
+func TestFeasibleRateKnown(t *testing.T) {
+	// Uniform 0..100: the 5th percentile is ~5.
+	c := uniformCDF(0, 100, 101)
+	r := FeasibleRate(c, 0.95, 0)
+	if r < 4 || r > 6 {
+		t.Fatalf("FeasibleRate = %v, want ~5", r)
+	}
+	// Committed bandwidth reduces headroom one-for-one.
+	r2 := FeasibleRate(c, 0.95, 3)
+	if diff := r - r2; diff < 2.9 || diff > 3.1 {
+		t.Fatalf("committed not subtracted: %v vs %v", r, r2)
+	}
+	// Exhausted path.
+	if FeasibleRate(c, 0.95, 1000) != 0 {
+		t.Fatal("over-committed path should offer 0")
+	}
+}
+
+func TestGuaranteeProbabilityLemma1(t *testing.T) {
+	// Distribution: 90 samples at 50 Mbps, 10 at 5 Mbps.
+	xs := make([]float64, 0, 100)
+	for i := 0; i < 90; i++ {
+		xs = append(xs, 50)
+	}
+	for i := 0; i < 10; i++ {
+		xs = append(xs, 5)
+	}
+	c := stats.BuildCDF(xs)
+	// Need 10 Mbps: 834 packets × 12 kbit / 1 s. P{bw ≥ 10} = 0.9.
+	p := GuaranteeProbability(c, 834, 12000, 1, 0)
+	if p < 0.89 || p > 0.91 {
+		t.Fatalf("Lemma 1 probability = %v, want 0.9", p)
+	}
+	// Need 4 Mbps: always satisfied.
+	if p := GuaranteeProbability(c, 334, 12000, 1, 0); p != 1 {
+		t.Fatalf("ample need probability = %v, want 1", p)
+	}
+	// x <= 0 or empty CDF.
+	if GuaranteeProbability(c, 0, 12000, 1, 0) != 0 {
+		t.Fatal("x=0 should yield 0")
+	}
+	if GuaranteeProbability(stats.BuildCDF(nil), 10, 12000, 1, 0) != 0 {
+		t.Fatal("empty CDF should yield 0")
+	}
+}
+
+func TestGuaranteeProbabilityCommitted(t *testing.T) {
+	c := uniformCDF(40, 60, 101)
+	// Needing 10 Mbps with 45 committed: total 55 → P{bw≥55} = 0.25.
+	p := GuaranteeProbability(c, 834, 12000, 1, 45)
+	if p < 0.2 || p > 0.3 {
+		t.Fatalf("committed-adjusted probability = %v, want ~0.25", p)
+	}
+}
+
+func TestExpectedViolationsDeterministic(t *testing.T) {
+	// Constant 1 Mbps; need 10 Mbps (834 packets of 12 kbit in 1 s).
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = 1
+	}
+	c := stats.BuildCDF(xs)
+	ez := ExpectedViolations(c, 834, 12000, 1, 0)
+	// Serviceable: 1 Mbit/s / 12 kbit ≈ 83 packets → ~750 misses.
+	if ez < 740 || ez > 760 {
+		t.Fatalf("E[Z] = %v, want ~750", ez)
+	}
+}
+
+func TestExpectedViolationsZeroWhenSafe(t *testing.T) {
+	c := uniformCDF(90, 100, 11)
+	if ez := ExpectedViolations(c, 100, 12000, 1, 0); ez != 0 {
+		t.Fatalf("E[Z] = %v, want 0 when bandwidth always sufficient", ez)
+	}
+}
+
+func TestExpectedViolationsCommittedShifts(t *testing.T) {
+	c := uniformCDF(20, 40, 101)
+	low := ExpectedViolations(c, 834, 12000, 1, 0)   // need 10 of 20-40
+	high := ExpectedViolations(c, 834, 12000, 1, 25) // need 10 after 25 committed
+	if high <= low {
+		t.Fatalf("committed bandwidth should increase E[Z]: %v vs %v", low, high)
+	}
+}
+
+// Property: Lemma 1 probability is monotone nonincreasing in demand and in
+// committed bandwidth; E[Z] is monotone nondecreasing in both.
+func TestGuaranteeMonotonicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 200)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		c := stats.BuildCDF(xs)
+		prevP, prevEZ := 2.0, -1.0
+		for x := 100; x <= 3000; x += 400 {
+			p := GuaranteeProbability(c, x, 12000, 1, 0)
+			ez := ExpectedViolations(c, x, 12000, 1, 0)
+			if p > prevP+1e-9 || ez < prevEZ-1e-9 {
+				return false
+			}
+			prevP, prevEZ = p, ez
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: E[Z] never exceeds x (can't miss more packets than exist) and
+// is never negative.
+func TestExpectedViolationsBoundsProperty(t *testing.T) {
+	f := func(seed int64, xRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 100)
+		for i := range xs {
+			xs[i] = rng.Float64() * 50
+		}
+		c := stats.BuildCDF(xs)
+		x := int(xRaw%5000) + 1
+		ez := ExpectedViolations(c, x, 12000, 1, rng.Float64()*20)
+		return ez >= 0 && ez <= float64(x)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

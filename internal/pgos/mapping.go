@@ -1,0 +1,383 @@
+package pgos
+
+import (
+	"sort"
+
+	"iqpaths/internal/stats"
+	"iqpaths/internal/stream"
+)
+
+// Mapping is the output of utility-based resource mapping: how many
+// packets of each stream are scheduled per window on each path, which
+// streams got a single path (preferred — no reordering), and which were
+// refused by admission control.
+type Mapping struct {
+	// Packets[i][j] is the number of stream i's packets scheduled per
+	// window on path j (Tp^j_i in the paper).
+	Packets [][]int
+	// SinglePath[i] is stream i's path when mapped whole, else -1 (split
+	// across paths or unscheduled).
+	SinglePath []int
+	// Rejected[i] reports that admission control could not satisfy
+	// stream i even split across all paths.
+	Rejected []bool
+	// Committed[j] is the total rate (Mbps) promised on path j.
+	Committed []float64
+	// TwSec is the scheduling window the mapping was computed for.
+	TwSec float64
+	// MeanPrediction records that the mapping was computed from mean
+	// bandwidth predictions instead of the distribution (ablation mode).
+	MeanPrediction bool
+	// Metrics are the per-path loss/RTT measures the mapping honored.
+	Metrics []PathMetrics
+}
+
+// mapOrder returns stream indices in mapping priority order: probabilistic
+// guarantees first (highest probability, then highest rate), then
+// violation-bound (tightest bound first). Best-effort streams are not
+// mapped — they ride the unscheduled precedence rule.
+func mapOrder(streams []*stream.Stream) []int {
+	var prob, viol []int
+	for i, s := range streams {
+		switch s.Kind {
+		case stream.Probabilistic:
+			prob = append(prob, i)
+		case stream.ViolationBound:
+			viol = append(viol, i)
+		}
+	}
+	sort.SliceStable(prob, func(a, b int) bool {
+		sa, sb := streams[prob[a]], streams[prob[b]]
+		if sa.Probability != sb.Probability {
+			return sa.Probability > sb.Probability
+		}
+		return sa.RequiredMbps > sb.RequiredMbps
+	})
+	sort.SliceStable(viol, func(a, b int) bool {
+		return streams[viol[a]].MaxViolations < streams[viol[b]].MaxViolations
+	})
+	return append(prob, viol...)
+}
+
+// PathMetrics carries a path's non-bandwidth quality measures into the
+// mapper, for streams with loss-rate or RTT service objectives.
+type PathMetrics struct {
+	// MeanLoss is the path's measured mean loss rate in [0, 1].
+	MeanLoss float64
+	// MeanRTT is the path's measured mean round-trip time in seconds.
+	MeanRTT float64
+}
+
+// MapOptions tunes ComputeMappingOpts.
+type MapOptions struct {
+	// MeanPrediction makes the mapper treat each path's *mean* bandwidth
+	// as its prediction (the adaptive-middleware state of the art the
+	// paper argues against), instead of the distribution percentiles.
+	// Used by the predictor-contribution ablation.
+	MeanPrediction bool
+	// Metrics, when non-nil (parallel to the CDFs), lets streams with
+	// MaxLossRate/MaxRTT objectives exclude unacceptable paths.
+	Metrics []PathMetrics
+}
+
+// ComputeMapping runs the resource-mapping step of Fig. 7 (line 3): for
+// each guaranteed stream in priority order it finds a single path
+// satisfying its guarantee; failing that it divides the stream across
+// paths; failing that it rejects the stream (the caller surfaces the
+// upcall). cdfs[j] is path j's current bandwidth distribution.
+func ComputeMapping(streams []*stream.Stream, cdfs []*stats.CDF, twSec float64) Mapping {
+	return ComputeMappingOpts(streams, cdfs, twSec, MapOptions{})
+}
+
+// ComputeMappingOpts is ComputeMapping with explicit options.
+func ComputeMappingOpts(streams []*stream.Stream, cdfs []*stats.CDF, twSec float64, opt MapOptions) Mapping {
+	n, l := len(streams), len(cdfs)
+	m := Mapping{
+		Packets:        make([][]int, n),
+		SinglePath:     make([]int, n),
+		Rejected:       make([]bool, n),
+		Committed:      make([]float64, l),
+		TwSec:          twSec,
+		MeanPrediction: opt.MeanPrediction,
+		Metrics:        opt.Metrics,
+	}
+	for i := range m.Packets {
+		m.Packets[i] = make([]int, l)
+		m.SinglePath[i] = -1
+	}
+	for _, i := range mapOrder(streams) {
+		s := streams[i]
+		x := s.RequiredPacketsPerWindow(twSec)
+		if x <= 0 {
+			continue
+		}
+		switch s.Kind {
+		case stream.Probabilistic:
+			mapProbabilistic(&m, s, i, x, cdfs, twSec)
+		case stream.ViolationBound:
+			mapViolationBound(&m, s, i, x, cdfs, twSec)
+		}
+	}
+	return m
+}
+
+func mapProbabilistic(m *Mapping, s *stream.Stream, i, x int, cdfs []*stats.CDF, twSec float64) {
+	b0 := s.RequiredMbps
+	// Single path: among paths meeting the guarantee, take the one with
+	// the highest guarantee probability; probabilities within 2 % are
+	// treated as equal and broken toward the more *stable* path (lower
+	// coefficient of variation) — the paper's "use paths with more stable
+	// bandwidths for critical traffic".
+	best, bestProb, bestCV := -1, 0.0, 0.0
+	for j, cdf := range cdfs {
+		if !m.pathAcceptable(s, j) {
+			continue
+		}
+		p := m.guaranteeProb(cdf, x, s.PacketBits, twSec, m.Committed[j])
+		if p < s.Probability {
+			continue
+		}
+		cv := 1.0
+		if mean := cdf.Mean(); mean > 0 {
+			cv = cdf.StdDev() / mean
+		}
+		better := p > bestProb+0.02 ||
+			(p > bestProb-0.02 && best >= 0 && cv < bestCV) ||
+			best < 0
+		if better {
+			best, bestProb, bestCV = j, p, cv
+		}
+	}
+	if best >= 0 {
+		m.Packets[i][best] = x
+		m.SinglePath[i] = best
+		m.Committed[best] += b0
+		return
+	}
+	// Split: take each path's feasible headroom, largest first.
+	type headroom struct {
+		j    int
+		rate float64
+	}
+	hs := make([]headroom, 0, len(cdfs))
+	total := 0.0
+	for j, cdf := range cdfs {
+		if !m.pathAcceptable(s, j) {
+			continue
+		}
+		h := m.feasibleRate(cdf, s.Probability, m.Committed[j])
+		if h > 0 {
+			hs = append(hs, headroom{j, h})
+			total += h
+		}
+	}
+	if total < b0 {
+		m.Rejected[i] = true
+		return
+	}
+	sort.Slice(hs, func(a, b int) bool { return hs[a].rate > hs[b].rate })
+	remainingRate := b0
+	remainingPkts := x
+	for k, h := range hs {
+		take := h.rate
+		if take > remainingRate {
+			take = remainingRate
+		}
+		pkts := int(float64(x)*take/b0 + 0.5)
+		if k == len(hs)-1 || pkts > remainingPkts {
+			pkts = remainingPkts
+		}
+		if pkts == 0 && remainingPkts > 0 && take > 0 {
+			pkts = 1
+		}
+		m.Packets[i][h.j] = pkts
+		m.Committed[h.j] += take
+		remainingRate -= take
+		remainingPkts -= pkts
+		if remainingRate <= 1e-12 && remainingPkts == 0 {
+			break
+		}
+	}
+	// Any rounding residue lands on the widest path.
+	if remainingPkts > 0 {
+		m.Packets[i][hs[0].j] += remainingPkts
+	}
+}
+
+func mapViolationBound(m *Mapping, s *stream.Stream, i, x int, cdfs []*stats.CDF, twSec float64) {
+	// Single path: the one with the smallest E[Z], if within bound.
+	best, bestEZ := -1, 0.0
+	for j, cdf := range cdfs {
+		if !m.pathAcceptable(s, j) {
+			continue
+		}
+		ez := ExpectedViolations(cdf, x, s.PacketBits, twSec, m.Committed[j])
+		if best < 0 || ez < bestEZ {
+			best, bestEZ = j, ez
+		}
+	}
+	if best >= 0 && bestEZ <= s.MaxViolations {
+		m.Packets[i][best] = x
+		m.SinglePath[i] = best
+		m.Committed[best] += s.RequiredMbps
+		return
+	}
+	// Split greedily in chunks, always adding to the path whose marginal
+	// E[Z] increase is smallest (the paper's Σ E[Z^j_i]·x^j_i/x^j ≤ E[Z_i]
+	// division, approached constructively).
+	chunk := x / 16
+	if chunk < 1 {
+		chunk = 1
+	}
+	alloc := make([]int, len(cdfs))
+	if !m.anyAcceptable(s, len(cdfs)) {
+		m.Rejected[i] = true
+		return
+	}
+	for remaining := x; remaining > 0; {
+		c := chunk
+		if c > remaining {
+			c = remaining
+		}
+		bestJ, bestDelta := -1, 0.0
+		for j, cdf := range cdfs {
+			if !m.pathAcceptable(s, j) {
+				continue
+			}
+			cur := ExpectedViolations(cdf, alloc[j], s.PacketBits, twSec, m.Committed[j])
+			next := ExpectedViolations(cdf, alloc[j]+c, s.PacketBits, twSec, m.Committed[j])
+			delta := next - cur
+			if bestJ < 0 || delta < bestDelta {
+				bestJ, bestDelta = j, delta
+			}
+		}
+		alloc[bestJ] += c
+		remaining -= c
+	}
+	totalEZ := 0.0
+	for j, cdf := range cdfs {
+		totalEZ += ExpectedViolations(cdf, alloc[j], s.PacketBits, twSec, m.Committed[j])
+	}
+	if totalEZ > s.MaxViolations {
+		m.Rejected[i] = true
+		return
+	}
+	for j, a := range alloc {
+		m.Packets[i][j] = a
+		m.Committed[j] += s.RequiredMbps * float64(a) / float64(x)
+	}
+}
+
+// Satisfied checks the active mapping against fresh distributions: every
+// accepted guaranteed stream must still clear its guarantee on its
+// allocation. This is the "previous scheduling vectors don't satisfy
+// current CDF" remap trigger of Fig. 7 line 2.
+func (m *Mapping) Satisfied(streams []*stream.Stream, cdfs []*stats.CDF, slack float64) bool {
+	return m.SatisfiedWith(streams, cdfs, m.Metrics, slack)
+}
+
+// SatisfiedWith is Satisfied with fresh path metrics: a mapped path whose
+// loss rate or RTT has drifted past a stream's ceiling also invalidates
+// the mapping.
+func (m *Mapping) SatisfiedWith(streams []*stream.Stream, cdfs []*stats.CDF, metrics []PathMetrics, slack float64) bool {
+	if len(m.Packets) != len(streams) {
+		return false
+	}
+	probe := Mapping{Metrics: metrics}
+	// Rebuild committed-below bookkeeping in mapping priority order so each
+	// stream is checked against the load of streams mapped before it.
+	committed := make([]float64, len(cdfs))
+	for _, i := range mapOrder(streams) {
+		s := streams[i]
+		if m.Rejected[i] || s.Kind == stream.BestEffort {
+			continue
+		}
+		for j, pkts := range m.Packets[i] {
+			if pkts == 0 {
+				continue
+			}
+			if !probe.pathAcceptable(s, j) {
+				return false
+			}
+			share := s.RequiredMbps * float64(pkts) / float64(maxInt(s.RequiredPacketsPerWindow(m.TwSec), 1))
+			switch s.Kind {
+			case stream.Probabilistic:
+				p := m.guaranteeProb(cdfs[j], pkts, s.PacketBits, m.TwSec, committed[j])
+				if p+slack < s.Probability {
+					return false
+				}
+			case stream.ViolationBound:
+				ez := ExpectedViolations(cdfs[j], pkts, s.PacketBits, m.TwSec, committed[j])
+				if ez > s.MaxViolations*(1+slack) {
+					return false
+				}
+			}
+			committed[j] += share
+		}
+	}
+	return true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// pathAcceptable reports whether path j satisfies stream s's loss-rate
+// and RTT service objectives (always true when no metrics are supplied
+// or the stream sets no ceilings).
+func (m *Mapping) pathAcceptable(s *stream.Stream, j int) bool {
+	if j >= len(m.Metrics) {
+		return true
+	}
+	mt := m.Metrics[j]
+	if s.MaxLossRate > 0 && mt.MeanLoss > s.MaxLossRate {
+		return false
+	}
+	if s.MaxRTT > 0 && mt.MeanRTT > s.MaxRTT {
+		return false
+	}
+	return true
+}
+
+// anyAcceptable reports whether any of l paths passes the objectives.
+func (m *Mapping) anyAcceptable(s *stream.Stream, l int) bool {
+	for j := 0; j < l; j++ {
+		if m.pathAcceptable(s, j) {
+			return true
+		}
+	}
+	return false
+}
+
+// guaranteeProb evaluates Lemma 1, or its degenerate mean-prediction form
+// (probability 1 when the mean covers the need, 0 otherwise) when the
+// mapping runs in the ablation's MeanPrediction mode.
+func (m *Mapping) guaranteeProb(cdf *stats.CDF, x int, sBits, twSec, committed float64) float64 {
+	if !m.MeanPrediction {
+		return GuaranteeProbability(cdf, x, sBits, twSec, committed)
+	}
+	if cdf.IsEmpty() || x <= 0 {
+		return 0
+	}
+	need := committed + float64(x)*sBits/twSec/1e6
+	if cdf.Mean() >= need {
+		return 1
+	}
+	return 0
+}
+
+// feasibleRate mirrors FeasibleRate, reading the mean instead of the
+// (1−p) quantile in MeanPrediction mode.
+func (m *Mapping) feasibleRate(cdf *stats.CDF, p, committed float64) float64 {
+	if !m.MeanPrediction {
+		return FeasibleRate(cdf, p, committed)
+	}
+	r := cdf.Mean() - committed
+	if r < 0 {
+		return 0
+	}
+	return r
+}

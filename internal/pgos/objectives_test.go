@@ -1,0 +1,124 @@
+package pgos
+
+import (
+	"testing"
+
+	"iqpaths/internal/stats"
+	"iqpaths/internal/stream"
+)
+
+func TestLossObjectiveExcludesLossyPath(t *testing.T) {
+	// Path 0 is wide but lossy; path 1 narrower but clean. A stream with a
+	// loss ceiling must land on path 1 even though path 0 has more
+	// bandwidth headroom.
+	streams := []*stream.Stream{
+		stream.New(0, stream.Spec{
+			Name: "ctl", Kind: stream.Probabilistic,
+			RequiredMbps: 10, Probability: 0.95, MaxLossRate: 0.01,
+		}),
+	}
+	m := ComputeMappingOpts(streams, twoCDFs(60, 30), 1, MapOptions{
+		Metrics: []PathMetrics{{MeanLoss: 0.05}, {MeanLoss: 0.001}},
+	})
+	if m.SinglePath[0] != 1 {
+		t.Fatalf("lossy path not excluded: %v", m.SinglePath)
+	}
+}
+
+// twoCDFs builds two constant CDFs (helper shared by objective tests).
+func twoCDFs(a, b float64) []*stats.CDF {
+	return []*stats.CDF{constCDF(a, 100), constCDF(b, 100)}
+}
+
+func TestRTTObjectiveExcludesSlowPath(t *testing.T) {
+	streams := []*stream.Stream{
+		stream.New(0, stream.Spec{
+			Name: "ctl", Kind: stream.Probabilistic,
+			RequiredMbps: 10, Probability: 0.95, MaxRTT: 0.05,
+		}),
+	}
+	m := ComputeMappingOpts(streams, twoCDFs(60, 30), 1, MapOptions{
+		Metrics: []PathMetrics{{MeanRTT: 0.20}, {MeanRTT: 0.02}},
+	})
+	if m.SinglePath[0] != 1 {
+		t.Fatalf("slow path not excluded: %v", m.SinglePath)
+	}
+}
+
+func TestObjectivesRejectWhenNoPathQualifies(t *testing.T) {
+	streams := []*stream.Stream{
+		stream.New(0, stream.Spec{
+			Name: "ctl", Kind: stream.Probabilistic,
+			RequiredMbps: 10, Probability: 0.95, MaxLossRate: 0.001,
+		}),
+		stream.New(1, stream.Spec{
+			Name: "vb", Kind: stream.ViolationBound,
+			RequiredMbps: 5, MaxViolations: 100, MaxRTT: 0.001,
+		}),
+	}
+	m := ComputeMappingOpts(streams, twoCDFs(60, 30), 1, MapOptions{
+		Metrics: []PathMetrics{{MeanLoss: 0.05, MeanRTT: 0.1}, {MeanLoss: 0.02, MeanRTT: 0.1}},
+	})
+	if !m.Rejected[0] || !m.Rejected[1] {
+		t.Fatalf("unattainable objectives must reject: %v", m.Rejected)
+	}
+}
+
+func TestObjectivesIgnoredWithoutMetrics(t *testing.T) {
+	// Without metrics supplied, ceilings cannot be evaluated and all
+	// paths are acceptable (backwards compatible).
+	streams := []*stream.Stream{
+		stream.New(0, stream.Spec{
+			Name: "ctl", Kind: stream.Probabilistic,
+			RequiredMbps: 10, Probability: 0.95, MaxLossRate: 0.0001,
+		}),
+	}
+	m := ComputeMapping(streams, twoCDFs(60, 30), 1)
+	if m.Rejected[0] {
+		t.Fatal("no metrics → no exclusion")
+	}
+}
+
+func TestObjectivesSplitAvoidsBadPath(t *testing.T) {
+	// Demand exceeds the clean path alone → split, but only over paths
+	// meeting the ceiling; here only one path qualifies and it is too
+	// small → reject.
+	streams := []*stream.Stream{
+		stream.New(0, stream.Spec{
+			Name: "big", Kind: stream.Probabilistic,
+			RequiredMbps: 50, Probability: 0.95, MaxLossRate: 0.01,
+		}),
+	}
+	m := ComputeMappingOpts(streams, twoCDFs(60, 30), 1, MapOptions{
+		Metrics: []PathMetrics{{MeanLoss: 0.05}, {MeanLoss: 0.001}},
+	})
+	if !m.Rejected[0] {
+		t.Fatalf("50 Mbps on a 30 Mbps clean path must reject: %+v", m)
+	}
+	if m.Packets[0][0] != 0 {
+		t.Fatal("lossy path must carry nothing")
+	}
+}
+
+func TestSatisfiedWithDriftedMetrics(t *testing.T) {
+	streams := []*stream.Stream{
+		stream.New(0, stream.Spec{
+			Name: "ctl", Kind: stream.Probabilistic,
+			RequiredMbps: 10, Probability: 0.95, MaxLossRate: 0.01,
+		}),
+	}
+	cdfs := twoCDFs(60, 30)
+	clean := []PathMetrics{{MeanLoss: 0.001}, {MeanLoss: 0.001}}
+	m := ComputeMappingOpts(streams, cdfs, 1, MapOptions{Metrics: clean})
+	if m.Rejected[0] {
+		t.Fatal("should admit on clean paths")
+	}
+	if !m.SatisfiedWith(streams, cdfs, clean, 0.02) {
+		t.Fatal("fresh mapping should satisfy unchanged metrics")
+	}
+	// The mapped path turns lossy: the mapping must invalidate.
+	dirty := []PathMetrics{{MeanLoss: 0.05}, {MeanLoss: 0.05}}
+	if m.SatisfiedWith(streams, cdfs, dirty, 0.02) {
+		t.Fatal("lossy drift should invalidate the mapping")
+	}
+}

@@ -1,0 +1,548 @@
+package pgos
+
+import (
+	"math"
+
+	"iqpaths/internal/monitor"
+	"iqpaths/internal/sched"
+	"iqpaths/internal/simnet"
+	"iqpaths/internal/stats"
+	"iqpaths/internal/stream"
+)
+
+// Config parameterizes a PGOS scheduler.
+type Config struct {
+	// TwSec is the scheduling-window length in seconds (default 1.0).
+	TwSec float64
+	// TickSeconds is the underlying clock tick (required).
+	TickSeconds float64
+	// KSThreshold is the Kolmogorov–Smirnov distance between a path's
+	// current bandwidth CDF and the CDF at the last mapping beyond which
+	// the mapping is rebuilt (default 0.15).
+	KSThreshold float64
+	// FeasibilitySlack loosens the per-window mapping-validity check to
+	// avoid remap thrash on small drifts (default 0.02).
+	FeasibilitySlack float64
+	// PaceLimit bounds per-path queued packets (default
+	// sched.DefaultPaceLimit).
+	PaceLimit int
+	// OnReject is invoked when admission control cannot satisfy a stream
+	// (the paper's upcall to the application). May be nil.
+	OnReject func(s *stream.Stream)
+	// MeanPrediction switches resource mapping to mean-bandwidth
+	// predictions (the ablation isolating the statistical predictor's
+	// contribution from the scheduler's).
+	MeanPrediction bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.TwSec <= 0 {
+		c.TwSec = 1.0
+	}
+	if c.TickSeconds <= 0 {
+		panic("pgos: Config.TickSeconds is required")
+	}
+	if c.KSThreshold <= 0 {
+		c.KSThreshold = 0.15
+	}
+	if c.FeasibilitySlack <= 0 {
+		c.FeasibilitySlack = 0.02
+	}
+	if c.PaceLimit <= 0 {
+		c.PaceLimit = sched.DefaultPaceLimit
+	}
+}
+
+// Stats counts scheduler events.
+type Stats struct {
+	// Remaps is the number of resource-mapping rebuilds.
+	Remaps uint64
+	// ScheduledSent / OtherPathSent / UnscheduledSent count packets sent
+	// under Table 1 precedence rules 1, 2, and 3 respectively.
+	ScheduledSent   uint64
+	OtherPathSent   uint64
+	UnscheduledSent uint64
+	// SlotMisses counts scheduled slots forfeited because the stream had
+	// no packet queued when its slot came up.
+	SlotMisses uint64
+	// SendFailures counts packets lost to a Send refused despite pacing
+	// (should stay 0 when PaceLimit ≤ the path's queue bound).
+	SendFailures uint64
+	// PerStream[i] breaks the sent counters down by stream index.
+	PerStream []StreamStats
+}
+
+// StreamStats is the per-stream slice of the scheduler's counters.
+type StreamStats struct {
+	Scheduled   uint64
+	OtherPath   uint64
+	Unscheduled uint64
+}
+
+// Scheduler is the PGOS routing/scheduling engine.
+type Scheduler struct {
+	cfg     Config
+	streams []*stream.Stream
+	paths   []sched.PathService
+	mons    []*monitor.PathMonitor
+
+	mapping     Mapping
+	haveMap     bool
+	vp          []int
+	vpCur       int
+	vs          [][]int
+	vsCur       []int
+	remaining   [][]int // [stream][path] scheduled packets left this window
+	windowStart int64
+	windowEnd   int64
+	windowTick  int64 // ticks per scheduling window
+	lookahead   int64 // ticks a slot may be released before its deadline
+	grace       int64 // ticks past deadline before an empty slot forfeits
+	fallbackCur int   // round-robin cursor over paths outside V^P
+	stats       Stats
+	dirty       bool // stream set changed; force remap
+
+	// Blocked-path backoff (§5.2.2: "because of the high cost of
+	// blocking, timeouts and exponential backoff are used to avoid
+	// sending multiple packets to a blocked path").
+	blockedUntil []int64
+	backoffTicks []int64
+	now          int64
+}
+
+// New builds a PGOS scheduler over parallel slices of paths and their
+// monitors (mons[j] watches paths[j]).
+func New(cfg Config, streams []*stream.Stream, paths []sched.PathService, mons []*monitor.PathMonitor) *Scheduler {
+	cfg.fillDefaults()
+	if len(streams) == 0 || len(paths) == 0 {
+		panic("pgos: need streams and paths")
+	}
+	if len(mons) != len(paths) {
+		panic("pgos: need one monitor per path")
+	}
+	s := &Scheduler{
+		cfg:        cfg,
+		streams:    streams,
+		paths:      paths,
+		mons:       mons,
+		windowTick: int64(math.Round(cfg.TwSec / cfg.TickSeconds)),
+		dirty:      true,
+	}
+	if s.windowTick < 1 {
+		s.windowTick = 1
+	}
+	// Slots are released against their virtual deadlines: a little early
+	// (lookahead keeps pipes from idling at tick granularity) and forfeited
+	// only well after expiry (grace absorbs frame-burst arrival phasing).
+	s.lookahead = s.windowTick / 50
+	if s.lookahead < 1 {
+		s.lookahead = 1
+	}
+	s.grace = s.windowTick / 10
+	if s.grace < 1 {
+		s.grace = 1
+	}
+	s.blockedUntil = make([]int64, len(paths))
+	s.backoffTicks = make([]int64, len(paths))
+	return s
+}
+
+// maxBackoffTicks caps the blocked-path backoff at roughly one scheduling
+// window so a recovered path is retried within the current guarantees.
+func (s *Scheduler) maxBackoffTicks() int64 { return s.windowTick }
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string { return "PGOS" }
+
+// Stats returns a copy of the scheduler's counters (the per-stream slice
+// is copied too).
+func (s *Scheduler) Stats() Stats {
+	out := s.stats
+	out.PerStream = append([]StreamStats(nil), s.stats.PerStream...)
+	return out
+}
+
+// Mapping returns the active resource mapping (zero value before the
+// first window with warm monitors).
+func (s *Scheduler) Mapping() Mapping { return s.mapping }
+
+// AddStream registers a new stream; the next window boundary remaps
+// (paper: "when a new stream joins"). The stream's ID must equal its
+// index.
+func (s *Scheduler) AddStream(st *stream.Stream) {
+	s.streams = append(s.streams, st)
+	s.dirty = true
+}
+
+// Invalidate forces a resource remap at the next window boundary. Call it
+// after changing a stream's utility specification in place — e.g. the
+// SmartPointer client promoting its out-of-view stream when the observer
+// swings the viewing angle, or an application lowering a requirement
+// after a rejection upcall.
+func (s *Scheduler) Invalidate() { s.dirty = true }
+
+// Tick implements sched.Scheduler: window bookkeeping then the Fig. 7
+// dispatch loop.
+func (s *Scheduler) Tick(now int64) {
+	if now >= s.windowEnd {
+		s.beginWindow(now)
+	}
+	s.dispatch(now)
+}
+
+// beginWindow runs Fig. 7 lines 1–11: updateCDF happens continuously in
+// the monitors; here the scheduler decides whether the active scheduling
+// vectors still satisfy the current CDFs and rebuilds them if not.
+func (s *Scheduler) beginWindow(now int64) {
+	s.windowStart = now
+	s.windowEnd = now + s.windowTick
+	warm := true
+	for _, m := range s.mons {
+		if !m.Warm() {
+			warm = false
+			break
+		}
+	}
+	if warm {
+		cdfs := s.snapshotCDFs()
+		need := s.dirty || !s.haveMap
+		if !need {
+			for _, m := range s.mons {
+				if m.DramaticChange(s.cfg.KSThreshold) {
+					need = true
+					break
+				}
+			}
+		}
+		if !need {
+			metrics := make([]PathMetrics, len(s.mons))
+			for j, m := range s.mons {
+				metrics[j] = PathMetrics{MeanLoss: m.MeanLoss(), MeanRTT: m.MeanRTT()}
+			}
+			if !s.mapping.SatisfiedWith(s.streams, cdfs, metrics, s.cfg.FeasibilitySlack) {
+				need = true
+			}
+		}
+		if need {
+			s.remap(cdfs)
+		}
+	}
+	// Reset per-window quotas and cursors from the active mapping.
+	if s.haveMap {
+		if s.remaining == nil || len(s.remaining) != len(s.streams) {
+			s.remaining = make([][]int, len(s.streams))
+			for i := range s.remaining {
+				s.remaining[i] = make([]int, len(s.paths))
+			}
+		}
+		for i := range s.remaining {
+			for j := range s.remaining[i] {
+				if i < len(s.mapping.Packets) {
+					s.remaining[i][j] = s.mapping.Packets[i][j]
+				} else {
+					s.remaining[i][j] = 0
+				}
+			}
+		}
+		s.vpCur = 0
+		for j := range s.vsCur {
+			s.vsCur[j] = 0
+		}
+	}
+}
+
+func (s *Scheduler) snapshotCDFs() []*stats.CDF {
+	cdfs := make([]*stats.CDF, len(s.mons))
+	for j, m := range s.mons {
+		cdfs[j] = m.CDF()
+	}
+	return cdfs
+}
+
+func (s *Scheduler) remap(cdfs []*stats.CDF) {
+	wasRejected := make([]bool, len(s.streams))
+	if s.haveMap {
+		copy(wasRejected, s.mapping.Rejected)
+	}
+	metrics := make([]PathMetrics, len(s.mons))
+	for j, m := range s.mons {
+		metrics[j] = PathMetrics{MeanLoss: m.MeanLoss(), MeanRTT: m.MeanRTT()}
+	}
+	s.mapping = ComputeMappingOpts(s.streams, cdfs, s.cfg.TwSec, MapOptions{
+		MeanPrediction: s.cfg.MeanPrediction,
+		Metrics:        metrics,
+	})
+	s.haveMap = true
+	s.dirty = false
+	s.stats.Remaps++
+	constraint := make([]float64, len(s.streams))
+	for i, st := range s.streams {
+		constraint[i] = st.WindowConstraintRatio()
+	}
+	s.vp = BuildPathVector(s.mapping)
+	s.vs = BuildStreamVectors(s.mapping, constraint)
+	s.vsCur = make([]int, len(s.paths))
+	for _, m := range s.mons {
+		m.MarkBaseline()
+	}
+	if s.cfg.OnReject != nil {
+		for i, rej := range s.mapping.Rejected {
+			if rej && !wasRejected[i] {
+				s.cfg.OnReject(s.streams[i])
+			}
+		}
+	}
+}
+
+// dispatch is Fig. 7 lines 12–17: visit paths in V^P order, serving each
+// visit with the Table 1 precedence. Scheduled slots are released no
+// earlier than their virtual deadlines, so the window's proportions hold
+// in time, not just in count; rule 2 consequently fires only when a slot
+// is due and its own path cannot take it.
+func (s *Scheduler) dispatch(now int64) {
+	s.now = now
+	for {
+		j := s.nextFreePath()
+		if j < 0 {
+			return
+		}
+		pkt, srcStream, quotaPath := s.nextScheduled(j, now)
+		rule := 1
+		if pkt == nil {
+			pkt, srcStream, quotaPath = s.nextOtherPath(j, now)
+			rule = 2
+		}
+		if pkt == nil {
+			pkt, srcStream, quotaPath = s.nextUnscheduled(j)
+			rule = 3
+		}
+		if pkt == nil {
+			return
+		}
+		if !s.paths[j].Send(pkt) {
+			// The path refused despite apparent room: requeue the packet,
+			// restore its quota, and back off exponentially before
+			// offering this path more traffic (§5.2.2).
+			s.stats.SendFailures++
+			s.streams[srcStream].PushFront(pkt)
+			if quotaPath >= 0 {
+				s.remaining[srcStream][quotaPath]++
+			}
+			if rule == 1 {
+				// Rewind the V^S cursor so the restored slot is revisited.
+				s.vsCur[j]--
+			}
+			if s.backoffTicks[j] == 0 {
+				s.backoffTicks[j] = 1
+			} else if s.backoffTicks[j] < s.maxBackoffTicks() {
+				s.backoffTicks[j] *= 2
+			}
+			s.blockedUntil[j] = now + s.backoffTicks[j]
+			continue
+		}
+		s.backoffTicks[j] = 0
+		for len(s.stats.PerStream) < len(s.streams) {
+			s.stats.PerStream = append(s.stats.PerStream, StreamStats{})
+		}
+		switch rule {
+		case 1:
+			s.stats.ScheduledSent++
+			s.stats.PerStream[srcStream].Scheduled++
+		case 2:
+			s.stats.OtherPathSent++
+			s.stats.PerStream[srcStream].OtherPath++
+		default:
+			s.stats.UnscheduledSent++
+			s.stats.PerStream[srcStream].Unscheduled++
+		}
+	}
+}
+
+// nextFreePath scans V^P from the cursor for a path with pace room.
+// Whenever a path is blocked the scheduler switches to the next
+// immediately (§5.2.2). When no scheduled visits exist (cold start or
+// all-best-effort), paths are scanned round-robin.
+func (s *Scheduler) nextFreePath() int {
+	for k := 0; k < len(s.vp); k++ {
+		idx := (s.vpCur + k) % len(s.vp)
+		j := s.vp[idx]
+		if s.blockedUntil[j] > s.now {
+			continue
+		}
+		if s.paths[j].QueuedPackets() < s.cfg.PaceLimit {
+			s.vpCur = (idx + 1) % len(s.vp)
+			return j
+		}
+	}
+	// No V^P path has room (or none is scheduled): fall back to any free
+	// path — "there are still free paths to utilize" (§5.2.2), which is
+	// how rules 2 and 3 reach paths the mapping left idle.
+	for k := 0; k < len(s.paths); k++ {
+		j := (s.fallbackCur + k) % len(s.paths)
+		if s.blockedUntil[j] > s.now {
+			continue
+		}
+		if s.paths[j].QueuedPackets() < s.cfg.PaceLimit {
+			s.fallbackCur = (j + 1) % len(s.paths)
+			return j
+		}
+	}
+	return -1
+}
+
+// slotDeadline returns the tick (relative to window start) at which stream
+// i's next scheduled slot on path j falls due: k·tw/x for its k-th packet.
+func (s *Scheduler) slotDeadline(i, j int) int64 {
+	total := s.mapping.Packets[i][j]
+	k := total - s.remaining[i][j] + 1
+	return int64(float64(k) / float64(total) * float64(s.windowTick))
+}
+
+// nextScheduled serves precedence rule 1: the next due V^S slot on path j.
+// Slots ahead of their deadline wait; a due slot whose stream has nothing
+// queued forfeits after the grace period (its data missed the window).
+// It returns the packet, its stream index, and the path whose quota was
+// consumed (for restoration if the send is refused).
+func (s *Scheduler) nextScheduled(j int, now int64) (*simnet.Packet, int, int) {
+	if j >= len(s.vs) || len(s.vs[j]) == 0 {
+		return nil, -1, -1
+	}
+	elapsed := now - s.windowStart
+	vs := s.vs[j]
+	for s.vsCur[j] < len(vs) {
+		i := vs[s.vsCur[j]]
+		if s.remaining[i][j] <= 0 {
+			s.vsCur[j]++
+			continue
+		}
+		dl := s.slotDeadline(i, j)
+		if dl > elapsed+s.lookahead {
+			// V^S is deadline-ordered: nothing later is due either.
+			return nil, -1, -1
+		}
+		if p := s.streams[i].Pop(); p != nil {
+			s.vsCur[j]++
+			s.remaining[i][j]--
+			return p, i, j
+		}
+		if elapsed > dl+s.grace {
+			s.vsCur[j]++
+			s.remaining[i][j]--
+			s.stats.SlotMisses++
+			continue
+		}
+		return nil, -1, -1
+	}
+	return nil, -1, -1
+}
+
+// nextOtherPath serves precedence rule 2: among *due* packets scheduled on
+// other paths (their own path has fallen behind), earliest virtual
+// deadline first; equal deadlines go to the higher window constraint.
+func (s *Scheduler) nextOtherPath(j int, now int64) (*simnet.Packet, int, int) {
+	if s.remaining == nil {
+		return nil, -1, -1
+	}
+	elapsed := now - s.windowStart
+	bestI, bestJ := -1, -1
+	bestDL := int64(math.MaxInt64)
+	bestC := -1.0
+	for i, st := range s.streams {
+		if st.Len() == 0 || i >= len(s.remaining) || i >= len(s.mapping.Packets) {
+			continue
+		}
+		for j2 := range s.paths {
+			if j2 == j || s.remaining[i][j2] <= 0 {
+				continue
+			}
+			dl := s.slotDeadline(i, j2)
+			if dl > elapsed+s.lookahead {
+				continue
+			}
+			c := st.WindowConstraintRatio()
+			if dl < bestDL || (dl == bestDL && c > bestC) {
+				bestI, bestJ, bestDL, bestC = i, j2, dl, c
+			}
+		}
+	}
+	if bestI < 0 {
+		return nil, -1, -1
+	}
+	s.remaining[bestI][bestJ]--
+	return s.streams[bestI].Pop(), bestI, bestJ
+}
+
+// nextUnscheduled serves precedence rule 3 for the path being visited:
+// packets with no scheduled slot (best-effort streams, or guaranteed
+// streams past their window quota), earliest packet deadline first,
+// window constraint breaking ties.
+func (s *Scheduler) nextUnscheduled(j int) (*simnet.Packet, int, int) {
+	best := -1
+	bestDL := int64(math.MaxInt64)
+	bestC := -1.0
+	for i, st := range s.streams {
+		pkt := st.Peek()
+		if pkt == nil {
+			continue
+		}
+		if s.remaining != nil {
+			// Packets with scheduled slots waiting belong to rules 1–2.
+			// Only a clear surplus beyond the window quota (a VBR burst or
+			// a backlogged guaranteed stream) — or expired packets — rides
+			// rule 3; small transient excesses from frame-burst arrival
+			// phasing stay slot-paced, and non-expired surplus of a mapped
+			// stream stays on its own paths (no uninvited reordering).
+			rem := s.totalRemaining(i)
+			surplus := st.Len() - rem
+			if surplus <= 0 {
+				continue
+			}
+			if rem > 0 {
+				expired := pkt.Deadline != 0 && pkt.Deadline <= s.now
+				if !expired {
+					if surplus <= s.totalQuota(i)/10 {
+						continue
+					}
+					if i < len(s.mapping.Packets) && s.mapping.Packets[i][j] == 0 {
+						continue
+					}
+				}
+			}
+		}
+		dl := pkt.Deadline
+		if dl == 0 {
+			dl = math.MaxInt64 - 1
+		}
+		c := st.WindowConstraintRatio()
+		if dl < bestDL || (dl == bestDL && c > bestC) {
+			best, bestDL, bestC = i, dl, c
+		}
+	}
+	if best < 0 {
+		return nil, -1, -1
+	}
+	return s.streams[best].Pop(), best, -1
+}
+
+func (s *Scheduler) totalRemaining(i int) int {
+	if i >= len(s.remaining) {
+		return 0
+	}
+	n := 0
+	for _, v := range s.remaining[i] {
+		n += v
+	}
+	return n
+}
+
+// totalQuota returns stream i's full per-window scheduled packet count.
+func (s *Scheduler) totalQuota(i int) int {
+	if i >= len(s.mapping.Packets) {
+		return 0
+	}
+	n := 0
+	for _, v := range s.mapping.Packets[i] {
+		n += v
+	}
+	return n
+}

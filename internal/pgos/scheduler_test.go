@@ -1,0 +1,419 @@
+package pgos
+
+import (
+	"testing"
+
+	"iqpaths/internal/monitor"
+	"iqpaths/internal/sched"
+	"iqpaths/internal/simnet"
+	"iqpaths/internal/stream"
+)
+
+// fakePath records sends and exposes a controllable queue depth.
+type fakePath struct {
+	id     int
+	name   string
+	sent   []*simnet.Packet
+	queued int
+	refuse bool
+}
+
+func (f *fakePath) ID() int      { return f.id }
+func (f *fakePath) Name() string { return f.name }
+func (f *fakePath) Send(p *simnet.Packet) bool {
+	if f.refuse {
+		return false
+	}
+	f.sent = append(f.sent, p)
+	f.queued++
+	return true
+}
+func (f *fakePath) QueuedPackets() int { return f.queued }
+
+func (f *fakePath) drain() { f.queued = 0 }
+
+var _ sched.PathService = (*fakePath)(nil)
+
+func warmMonitor(name string, level float64) *monitor.PathMonitor {
+	m := monitor.New(name, 200, 10)
+	for i := 0; i < 200; i++ {
+		m.ObserveBandwidth(level)
+	}
+	return m
+}
+
+func pktFactory() func(stream int, bits float64) *simnet.Packet {
+	id := uint64(0)
+	return func(st int, bits float64) *simnet.Packet {
+		id++
+		return &simnet.Packet{ID: id, Stream: st, Bits: bits}
+	}
+}
+
+func TestSchedulerConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic without TickSeconds")
+		}
+	}()
+	New(Config{}, []*stream.Stream{stream.New(0, stream.Spec{Name: "x"})},
+		[]sched.PathService{&fakePath{}}, []*monitor.PathMonitor{warmMonitor("a", 10)})
+}
+
+func TestSchedulerMapsOnFirstWarmWindow(t *testing.T) {
+	st := stream.New(0, stream.Spec{Name: "s", Kind: stream.Probabilistic, RequiredMbps: 10, Probability: 0.95})
+	pA := &fakePath{id: 0, name: "A"}
+	pB := &fakePath{id: 1, name: "B"}
+	s := New(Config{TickSeconds: 0.01},
+		[]*stream.Stream{st},
+		[]sched.PathService{pA, pB},
+		[]*monitor.PathMonitor{warmMonitor("A", 50), warmMonitor("B", 20)})
+	mk := pktFactory()
+	for i := 0; i < 100; i++ {
+		st.Push(mk(0, 12000))
+	}
+	s.Tick(0)
+	if s.Stats().Remaps != 1 {
+		t.Fatalf("remaps = %d, want 1", s.Stats().Remaps)
+	}
+	if s.Mapping().SinglePath[0] != 0 {
+		t.Fatalf("stream should map to the 50-Mbps path: %v", s.Mapping().SinglePath)
+	}
+	if len(pA.sent) == 0 {
+		t.Fatal("no packets dispatched")
+	}
+}
+
+func TestSchedulerColdMonitorsStillForwards(t *testing.T) {
+	// Before monitors warm, PGOS must still move traffic (as unscheduled).
+	st := stream.New(0, stream.Spec{Name: "s", Kind: stream.BestEffort})
+	cold := monitor.New("A", 200, 100)
+	pA := &fakePath{id: 0, name: "A"}
+	s := New(Config{TickSeconds: 0.01}, []*stream.Stream{st},
+		[]sched.PathService{pA}, []*monitor.PathMonitor{cold})
+	mk := pktFactory()
+	for i := 0; i < 10; i++ {
+		st.Push(mk(0, 12000))
+	}
+	s.Tick(0)
+	if len(pA.sent) != 10 {
+		t.Fatalf("cold-start dispatch sent %d, want 10", len(pA.sent))
+	}
+	if s.Stats().UnscheduledSent != 10 {
+		t.Fatalf("packets should count as unscheduled: %+v", s.Stats())
+	}
+}
+
+func TestSchedulerPacing(t *testing.T) {
+	st := stream.New(0, stream.Spec{Name: "s", Kind: stream.BestEffort})
+	pA := &fakePath{id: 0, name: "A"}
+	s := New(Config{TickSeconds: 0.01, PaceLimit: 5}, []*stream.Stream{st},
+		[]sched.PathService{pA}, []*monitor.PathMonitor{warmMonitor("A", 50)})
+	mk := pktFactory()
+	for i := 0; i < 100; i++ {
+		st.Push(mk(0, 12000))
+	}
+	s.Tick(0)
+	if len(pA.sent) != 5 {
+		t.Fatalf("pace limit ignored: sent %d, want 5", len(pA.sent))
+	}
+	pA.drain()
+	s.Tick(1)
+	if len(pA.sent) != 10 {
+		t.Fatalf("second tick should send 5 more: %d", len(pA.sent))
+	}
+}
+
+func TestSchedulerPrecedenceRule2HelpsOtherPath(t *testing.T) {
+	// Stream mapped to path B only; path B is blocked, path A idle.
+	// Rule 2: path A carries B-scheduled packets.
+	st := stream.New(0, stream.Spec{Name: "s", Kind: stream.Probabilistic, RequiredMbps: 10, Probability: 0.95})
+	pA := &fakePath{id: 0, name: "A"}
+	pB := &fakePath{id: 1, name: "B", refuse: true, queued: 1 << 20}
+	// Path B looks wide to the mapper; path A looks too narrow for 10 Mbps.
+	s := New(Config{TickSeconds: 0.01}, []*stream.Stream{st},
+		[]sched.PathService{pA, pB},
+		[]*monitor.PathMonitor{warmMonitor("A", 5), warmMonitor("B", 50)})
+	mk := pktFactory()
+	for i := 0; i < 50; i++ {
+		st.Push(mk(0, 12000))
+	}
+	s.Tick(0)
+	if s.Mapping().SinglePath[0] != 1 {
+		t.Fatalf("mapper should choose path B: %v", s.Mapping().SinglePath)
+	}
+	if len(pA.sent) == 0 {
+		t.Fatal("rule 2 should route B-scheduled packets over free path A")
+	}
+	if s.Stats().OtherPathSent == 0 {
+		t.Fatalf("rule-2 counter not incremented: %+v", s.Stats())
+	}
+}
+
+func TestSchedulerUnscheduledAfterQuota(t *testing.T) {
+	// Quota 1 Mbps = 84 packets/window; backlog far exceeds it. Over a
+	// full window the quota is released against its virtual deadlines and
+	// the surplus flows as unscheduled once the quota is exhausted.
+	st := stream.New(0, stream.Spec{Name: "s", Kind: stream.Probabilistic, RequiredMbps: 1, Probability: 0.95})
+	pA := &fakePath{id: 0, name: "A"}
+	s := New(Config{TickSeconds: 0.01, PaceLimit: 1 << 30}, []*stream.Stream{st},
+		[]sched.PathService{pA}, []*monitor.PathMonitor{warmMonitor("A", 50)})
+	mk := pktFactory()
+	for i := 0; i < 500; i++ {
+		st.Push(mk(0, 12000))
+	}
+	for tick := int64(0); tick < 100; tick++ {
+		s.Tick(tick)
+	}
+	stats := s.Stats()
+	if int(stats.ScheduledSent) != st.RequiredPacketsPerWindow(1) {
+		t.Fatalf("scheduled = %d, want the window quota %d", stats.ScheduledSent, st.RequiredPacketsPerWindow(1))
+	}
+	if stats.UnscheduledSent == 0 {
+		t.Fatalf("surplus should flow unscheduled: %+v", stats)
+	}
+	if len(pA.sent) != 500 {
+		t.Fatalf("all backlog should flow: %d", len(pA.sent))
+	}
+}
+
+func TestSchedulerDeadlinePacedRelease(t *testing.T) {
+	// Early in the window only the slots whose virtual deadlines are due
+	// may be released as *scheduled* traffic — the quota must not be
+	// dumped at tick 0. (A backlog beyond the quota is different: it is
+	// unscheduled surplus and may flow under rule 3 at any time.)
+	st := stream.New(0, stream.Spec{Name: "s", Kind: stream.Probabilistic, RequiredMbps: 10, Probability: 0.95})
+	pA := &fakePath{id: 0, name: "A"}
+	s := New(Config{TickSeconds: 0.01, PaceLimit: 1 << 30}, []*stream.Stream{st},
+		[]sched.PathService{pA}, []*monitor.PathMonitor{warmMonitor("A", 50)})
+	mk := pktFactory()
+	quota := st.RequiredPacketsPerWindow(1)
+	for i := 0; i < quota; i++ { // exactly the window quota: no surplus
+		st.Push(mk(0, 12000))
+	}
+	s.Tick(0)
+	if got := len(pA.sent); got >= quota/2 {
+		t.Fatalf("tick 0 released %d of %d — release is not deadline-paced", got, quota)
+	}
+	// Halfway through the window roughly half the quota should be out.
+	for tick := int64(1); tick <= 50; tick++ {
+		s.Tick(tick)
+	}
+	got := int(s.Stats().ScheduledSent)
+	if got < quota*4/10 || got > quota*6/10 {
+		t.Fatalf("mid-window scheduled = %d, want ~%d/2", got, quota)
+	}
+	if s.Stats().UnscheduledSent != 0 {
+		t.Fatalf("no surplus existed, yet %d unscheduled sends", s.Stats().UnscheduledSent)
+	}
+}
+
+func TestSchedulerSurplusFlowsUnscheduled(t *testing.T) {
+	// A guaranteed stream's backlog beyond its window quota (a VBR burst)
+	// is work-conserving: the clear surplus rides rule 3 immediately
+	// instead of waiting for slots (a residue up to 10 % of the quota is
+	// held back to absorb arrival phasing, and drains once the window's
+	// slots are exhausted).
+	st := stream.New(0, stream.Spec{Name: "s", Kind: stream.Probabilistic, RequiredMbps: 10, Probability: 0.95})
+	pA := &fakePath{id: 0, name: "A"}
+	s := New(Config{TickSeconds: 0.01, PaceLimit: 1 << 30}, []*stream.Stream{st},
+		[]sched.PathService{pA}, []*monitor.PathMonitor{warmMonitor("A", 50)})
+	mk := pktFactory()
+	quota := st.RequiredPacketsPerWindow(1)
+	for i := 0; i < quota+500; i++ {
+		st.Push(mk(0, 12000))
+	}
+	s.Tick(0)
+	if got := int(s.Stats().UnscheduledSent); got < 500-quota/10-1 || got > 500 {
+		t.Fatalf("tick-0 surplus unscheduled sends = %d, want ~%d", got, 500-quota/10)
+	}
+	for tick := int64(1); tick < 100; tick++ { // the rest of the window
+		s.Tick(tick)
+	}
+	if got := len(pA.sent); got != quota+500 {
+		t.Fatalf("window total = %d, want %d (everything flows)", got, quota+500)
+	}
+	if got := int(s.Stats().UnscheduledSent); got != 500 {
+		t.Fatalf("unscheduled total = %d, want 500", got)
+	}
+}
+
+func TestSchedulerWindowQuotaResets(t *testing.T) {
+	st := stream.New(0, stream.Spec{Name: "s", Kind: stream.Probabilistic, RequiredMbps: 1, Probability: 0.95})
+	pA := &fakePath{id: 0, name: "A"}
+	s := New(Config{TickSeconds: 0.01, TwSec: 0.1, PaceLimit: 1 << 30}, []*stream.Stream{st},
+		[]sched.PathService{pA}, []*monitor.PathMonitor{warmMonitor("A", 50)})
+	mk := pktFactory()
+	for i := 0; i < 1000; i++ {
+		st.Push(mk(0, 12000))
+	}
+	for tick := int64(0); tick < 10; tick++ { // window 1
+		s.Tick(tick)
+	}
+	sent1 := s.Stats().ScheduledSent
+	if int(sent1) != st.RequiredPacketsPerWindow(0.1) {
+		t.Fatalf("window-1 scheduled = %d, want %d", sent1, st.RequiredPacketsPerWindow(0.1))
+	}
+	for i := 0; i < 1000; i++ { // window 1's rule 3 drained the backlog
+		st.Push(mk(0, 12000))
+	}
+	for tick := int64(10); tick < 20; tick++ { // window 2
+		s.Tick(tick)
+	}
+	if got := s.Stats().ScheduledSent; got != 2*sent1 {
+		t.Fatalf("scheduled after window 2 = %d, want %d (quota reset)", got, 2*sent1)
+	}
+}
+
+func TestSchedulerSlotMissOnEmptyQueue(t *testing.T) {
+	st := stream.New(0, stream.Spec{Name: "s", Kind: stream.Probabilistic, RequiredMbps: 1, Probability: 0.95})
+	pA := &fakePath{id: 0, name: "A"}
+	s := New(Config{TickSeconds: 0.01, PaceLimit: 1 << 30}, []*stream.Stream{st},
+		[]sched.PathService{pA}, []*monitor.PathMonitor{warmMonitor("A", 50)})
+	for tick := int64(0); tick < 120; tick++ { // a full window, no packets
+		s.Tick(tick)
+	}
+	if s.Stats().SlotMisses == 0 {
+		t.Fatalf("empty queue should forfeit due slots: %+v", s.Stats())
+	}
+	if len(pA.sent) != 0 {
+		t.Fatal("nothing should be sent")
+	}
+}
+
+func TestSchedulerRejectUpcall(t *testing.T) {
+	var rejected []string
+	st := stream.New(0, stream.Spec{Name: "greedy", Kind: stream.Probabilistic, RequiredMbps: 500, Probability: 0.95})
+	pA := &fakePath{id: 0, name: "A"}
+	s := New(Config{TickSeconds: 0.01, OnReject: func(x *stream.Stream) { rejected = append(rejected, x.Name) }},
+		[]*stream.Stream{st}, []sched.PathService{pA}, []*monitor.PathMonitor{warmMonitor("A", 50)})
+	s.Tick(0)
+	if len(rejected) != 1 || rejected[0] != "greedy" {
+		t.Fatalf("upcall not delivered: %v", rejected)
+	}
+	// The upcall fires once per transition, not every window.
+	s.Tick(100)
+	s.Tick(200)
+	if len(rejected) != 1 {
+		t.Fatalf("upcall should not repeat: %v", rejected)
+	}
+}
+
+func TestSchedulerAddStreamForcesRemap(t *testing.T) {
+	st := stream.New(0, stream.Spec{Name: "a", Kind: stream.Probabilistic, RequiredMbps: 5, Probability: 0.95})
+	pA := &fakePath{id: 0, name: "A"}
+	s := New(Config{TickSeconds: 0.01, TwSec: 0.1}, []*stream.Stream{st},
+		[]sched.PathService{pA}, []*monitor.PathMonitor{warmMonitor("A", 50)})
+	s.Tick(0)
+	if s.Stats().Remaps != 1 {
+		t.Fatalf("remaps = %d", s.Stats().Remaps)
+	}
+	s.AddStream(stream.New(1, stream.Spec{Name: "b", Kind: stream.Probabilistic, RequiredMbps: 5, Probability: 0.95}))
+	s.Tick(10)
+	if s.Stats().Remaps != 2 {
+		t.Fatalf("AddStream should force a remap: %d", s.Stats().Remaps)
+	}
+	if len(s.Mapping().Packets) != 2 {
+		t.Fatal("new stream missing from mapping")
+	}
+}
+
+func TestSchedulerStableMappingDoesNotRemap(t *testing.T) {
+	st := stream.New(0, stream.Spec{Name: "a", Kind: stream.Probabilistic, RequiredMbps: 5, Probability: 0.95})
+	pA := &fakePath{id: 0, name: "A"}
+	mon := warmMonitor("A", 50)
+	s := New(Config{TickSeconds: 0.01, TwSec: 0.1}, []*stream.Stream{st},
+		[]sched.PathService{pA}, []*monitor.PathMonitor{mon})
+	for w := 0; w < 10; w++ {
+		s.Tick(int64(w * 10))
+		pA.drain()
+	}
+	if s.Stats().Remaps != 1 {
+		t.Fatalf("stationary CDF should keep one mapping: remaps = %d", s.Stats().Remaps)
+	}
+}
+
+func TestSchedulerRemapsOnCDFShift(t *testing.T) {
+	st := stream.New(0, stream.Spec{Name: "a", Kind: stream.Probabilistic, RequiredMbps: 5, Probability: 0.95})
+	pA := &fakePath{id: 0, name: "A"}
+	pB := &fakePath{id: 1, name: "B"}
+	monA := warmMonitor("A", 50)
+	monB := warmMonitor("B", 30)
+	s := New(Config{TickSeconds: 0.01, TwSec: 0.1}, []*stream.Stream{st},
+		[]sched.PathService{pA, pB}, []*monitor.PathMonitor{monA, monB})
+	s.Tick(0)
+	if got := s.Mapping().SinglePath[0]; got != 0 {
+		t.Fatalf("initial mapping should use A: %d", got)
+	}
+	// Path A collapses; the KS trigger must force a remap onto B.
+	for i := 0; i < 200; i++ {
+		monA.ObserveBandwidth(2)
+	}
+	s.Tick(10)
+	if s.Stats().Remaps < 2 {
+		t.Fatalf("collapse should trigger remap: %d", s.Stats().Remaps)
+	}
+	if got := s.Mapping().SinglePath[0]; got != 1 {
+		t.Fatalf("stream should move to path B: %d", got)
+	}
+}
+
+func TestInvalidateRespecsStream(t *testing.T) {
+	// The SmartPointer viewport scenario: a best-effort stream is promoted
+	// to a guaranteed one mid-run; Invalidate triggers the remap.
+	crit := stream.New(0, stream.Spec{Name: "view", Kind: stream.Probabilistic, RequiredMbps: 5, Probability: 0.95})
+	outOfView := stream.New(1, stream.Spec{Name: "oov", Kind: stream.BestEffort})
+	pA := &fakePath{id: 0, name: "A"}
+	s := New(Config{TickSeconds: 0.01, TwSec: 0.1}, []*stream.Stream{crit, outOfView},
+		[]sched.PathService{pA}, []*monitor.PathMonitor{warmMonitor("A", 50)})
+	s.Tick(0)
+	if got := s.Mapping().Packets[1][0]; got != 0 {
+		t.Fatalf("best-effort stream pre-promotion has quota %d", got)
+	}
+	// Observer swings the view: the out-of-view stream becomes critical.
+	outOfView.Kind = stream.Probabilistic
+	outOfView.RequiredMbps = 10
+	outOfView.Probability = 0.95
+	s.Invalidate()
+	s.Tick(10) // next window
+	if s.Stats().Remaps != 2 {
+		t.Fatalf("remaps = %d, want 2", s.Stats().Remaps)
+	}
+	if got := s.Mapping().Packets[1][0]; got != outOfView.RequiredPacketsPerWindow(0.1) {
+		t.Fatalf("promoted stream quota = %d, want %d", got, outOfView.RequiredPacketsPerWindow(0.1))
+	}
+}
+
+func TestPerStreamStats(t *testing.T) {
+	a := stream.New(0, stream.Spec{Name: "a", Kind: stream.Probabilistic, RequiredMbps: 1, Probability: 0.95})
+	b := stream.New(1, stream.Spec{Name: "b", Kind: stream.BestEffort})
+	pA := &fakePath{id: 0, name: "A"}
+	s := New(Config{TickSeconds: 0.01, PaceLimit: 1 << 30}, []*stream.Stream{a, b},
+		[]sched.PathService{pA}, []*monitor.PathMonitor{warmMonitor("A", 50)})
+	mk := pktFactory()
+	for i := 0; i < 200; i++ {
+		a.Push(mk(0, 12000))
+		b.Push(mk(1, 12000))
+	}
+	for tick := int64(0); tick < 100; tick++ {
+		s.Tick(tick)
+	}
+	st := s.Stats()
+	if len(st.PerStream) != 2 {
+		t.Fatalf("per-stream slice = %d", len(st.PerStream))
+	}
+	if st.PerStream[0].Scheduled == 0 {
+		t.Fatal("guaranteed stream should have scheduled sends")
+	}
+	if st.PerStream[1].Unscheduled == 0 {
+		t.Fatal("best-effort stream should have unscheduled sends")
+	}
+	if st.PerStream[1].Scheduled != 0 {
+		t.Fatal("best-effort stream cannot have scheduled sends")
+	}
+	total := st.PerStream[0].Scheduled + st.PerStream[0].OtherPath + st.PerStream[0].Unscheduled +
+		st.PerStream[1].Scheduled + st.PerStream[1].OtherPath + st.PerStream[1].Unscheduled
+	if total != st.ScheduledSent+st.OtherPathSent+st.UnscheduledSent {
+		t.Fatal("per-stream counters do not sum to totals")
+	}
+}

@@ -1,0 +1,57 @@
+package pgos
+
+import (
+	"testing"
+
+	"iqpaths/internal/monitor"
+	"iqpaths/internal/sched"
+	"iqpaths/internal/stream"
+)
+
+// The DWCS-style window constraint: a stream declaring "x of every y
+// packets per window" gets exactly x scheduled slots per window,
+// regardless of its nominal rate.
+func TestWindowConstraintDrivesQuota(t *testing.T) {
+	st := stream.New(0, stream.Spec{
+		Name: "wc", Kind: stream.Probabilistic, Probability: 0.95,
+		RequiredMbps: 1,               // would imply 84 packets/window...
+		WindowX:      30, WindowY: 40, // ...but the explicit constraint wins
+	})
+	pA := &fakePath{id: 0, name: "A"}
+	s := New(Config{TickSeconds: 0.01, PaceLimit: 1 << 30}, []*stream.Stream{st},
+		[]sched.PathService{pA}, []*monitor.PathMonitor{warmMonitor("A", 50)})
+	mk := pktFactory()
+	for i := 0; i < 1000; i++ {
+		st.Push(mk(0, 12000))
+	}
+	for tick := int64(0); tick < 100; tick++ {
+		s.Tick(tick)
+	}
+	if got := s.Stats().ScheduledSent; got != 30 {
+		t.Fatalf("scheduled = %d, want the window constraint's 30", got)
+	}
+	// The constraint ratio (0.75) ranks below a full guarantee (1.0) at
+	// Table 1 ties.
+	full := stream.New(1, stream.Spec{Name: "g", Kind: stream.Probabilistic, RequiredMbps: 1})
+	if st.WindowConstraintRatio() >= full.WindowConstraintRatio() {
+		t.Fatal("x/y constraint should rank below an unconstrained guarantee")
+	}
+}
+
+func TestWindowConstraintInVectors(t *testing.T) {
+	// Two streams with equal quotas but different window constraints on
+	// one path: the tighter constraint wins every deadline tie in V^S.
+	s1 := stream.New(0, stream.Spec{Name: "loose", Kind: stream.Probabilistic, RequiredMbps: 1, WindowX: 10, WindowY: 20})
+	s2 := stream.New(1, stream.Spec{Name: "tight", Kind: stream.Probabilistic, RequiredMbps: 1, WindowX: 10, WindowY: 11})
+	m := Mapping{
+		Packets:   [][]int{{10}, {10}},
+		Committed: []float64{2},
+		TwSec:     1,
+	}
+	vs := BuildStreamVectors(m, []float64{s1.WindowConstraintRatio(), s2.WindowConstraintRatio()})
+	for k := 0; k+1 < len(vs[0]); k += 2 {
+		if vs[0][k] != 1 {
+			t.Fatalf("tight constraint should lead each tie: %v", vs[0])
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package predict
+
+// Holt implements Holt's linear (double-exponential) smoothing: a level
+// plus trend forecast. It belongs to the "more elaborate" mean-predictor
+// family the paper cites alongside ARMA/ARIMA; like them, it tracks slow
+// drifts well but still carries the full noise error at sub-second scales
+// — a useful extra point of comparison in custom evaluations (it is not
+// part of the Fig. 4 predictor set, which follows the paper's MA/SMA/EWMA
+// plus AR(1)).
+type Holt struct {
+	alpha, beta  float64
+	level, trend float64
+	n            int
+}
+
+// NewHolt returns a Holt's-linear predictor with level smoothing alpha and
+// trend smoothing beta, both in (0, 1].
+func NewHolt(alpha, beta float64) *Holt {
+	if alpha <= 0 || alpha > 1 || beta <= 0 || beta > 1 {
+		panic("predict: Holt smoothing factors must be in (0,1]")
+	}
+	return &Holt{alpha: alpha, beta: beta}
+}
+
+// Name implements MeanPredictor.
+func (h *Holt) Name() string { return "HOLT" }
+
+// Observe implements MeanPredictor.
+func (h *Holt) Observe(x float64) {
+	switch h.n {
+	case 0:
+		h.level = x
+	case 1:
+		h.trend = x - h.level
+		h.level = x
+	default:
+		prevLevel := h.level
+		h.level = h.alpha*x + (1-h.alpha)*(h.level+h.trend)
+		h.trend = h.beta*(h.level-prevLevel) + (1-h.beta)*h.trend
+	}
+	h.n++
+}
+
+// Predict implements MeanPredictor: the one-step-ahead forecast
+// level + trend.
+func (h *Holt) Predict() (float64, bool) {
+	if h.n < 2 {
+		return 0, false
+	}
+	return h.level + h.trend, true
+}
+
+// Reset implements MeanPredictor.
+func (h *Holt) Reset() {
+	h.level, h.trend, h.n = 0, 0, 0
+}
+
+var _ MeanPredictor = (*Holt)(nil)

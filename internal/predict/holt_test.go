@@ -1,0 +1,66 @@
+package predict
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHoltPanicsOnBadFactors(t *testing.T) {
+	for _, tc := range [][2]float64{{0, 0.5}, {0.5, 0}, {1.5, 0.5}, {0.5, 1.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHolt(%v) should panic", tc)
+				}
+			}()
+			NewHolt(tc[0], tc[1])
+		}()
+	}
+}
+
+func TestHoltWarmup(t *testing.T) {
+	h := NewHolt(0.5, 0.3)
+	if _, ok := h.Predict(); ok {
+		t.Fatal("no prediction before two samples")
+	}
+	h.Observe(10)
+	if _, ok := h.Predict(); ok {
+		t.Fatal("no prediction after one sample")
+	}
+	h.Observe(12)
+	if v, ok := h.Predict(); !ok || v <= 12 {
+		t.Fatalf("rising series should forecast above last value: %v/%v", v, ok)
+	}
+}
+
+func TestHoltTracksLinearTrend(t *testing.T) {
+	h := NewHolt(0.5, 0.3)
+	for i := 0; i < 200; i++ {
+		h.Observe(10 + 2*float64(i)) // x(t) = 10 + 2t
+	}
+	v, ok := h.Predict()
+	want := 10 + 2*float64(200)
+	if !ok || math.Abs(v-want) > 0.5 {
+		t.Fatalf("trend forecast = %v, want ~%v", v, want)
+	}
+}
+
+func TestHoltConstantSeries(t *testing.T) {
+	h := NewHolt(0.3, 0.2)
+	for i := 0; i < 100; i++ {
+		h.Observe(42)
+	}
+	if v, _ := h.Predict(); math.Abs(v-42) > 1e-6 {
+		t.Fatalf("constant forecast = %v", v)
+	}
+}
+
+func TestHoltReset(t *testing.T) {
+	h := NewHolt(0.5, 0.5)
+	h.Observe(1)
+	h.Observe(2)
+	h.Reset()
+	if _, ok := h.Predict(); ok {
+		t.Fatal("reset should clear history")
+	}
+}

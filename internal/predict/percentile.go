@@ -1,0 +1,76 @@
+package predict
+
+import "iqpaths/internal/stats"
+
+// Percentile is the statistical predictor at the heart of IQ-Paths (§4).
+// It maintains the distribution of the last N bandwidth samples and predicts
+// the q-quantile of that distribution as a level the path will exceed with
+// probability ≈ 1−q. The paper uses N = 500–1000 samples and q = 0.10
+// ("can the path sustain X for 90 % of the time?").
+type Percentile struct {
+	win   *stats.Window
+	q     float64
+	minND int
+}
+
+// NewPercentile creates a percentile predictor over a window of n samples
+// predicting quantile q (e.g. 0.10). minWarm is the minimum number of
+// samples before predictions are produced; if ≤ 0 a default of n/5 is used.
+func NewPercentile(n int, q float64, minWarm int) *Percentile {
+	if q <= 0 || q >= 1 {
+		panic("predict: Percentile quantile must be in (0,1)")
+	}
+	if minWarm <= 0 {
+		minWarm = n / 5
+		if minWarm < 10 {
+			minWarm = 10
+		}
+	}
+	return &Percentile{win: stats.NewWindow(n), q: q, minND: minWarm}
+}
+
+// Name identifies the predictor.
+func (p *Percentile) Name() string { return "PCTL" }
+
+// Quantile returns the configured quantile level q.
+func (p *Percentile) Quantile() float64 { return p.q }
+
+// Observe feeds one measured sample.
+func (p *Percentile) Observe(x float64) { p.win.Add(x) }
+
+// Predict returns the current q-quantile of the window, i.e. a bandwidth
+// level the path is predicted to exceed with probability 1−q. ok is false
+// until the warm-up threshold is reached.
+func (p *Percentile) Predict() (float64, bool) {
+	if p.win.Len() < p.minND {
+		return 0, false
+	}
+	return p.win.Quantile(p.q), true
+}
+
+// ExceedProbability returns the estimated P{bandwidth ≥ bw} from the
+// current window: 1 − F(bw⁻). This is the quantity Lemma 1 consumes.
+func (p *Percentile) ExceedProbability(bw float64) float64 {
+	if p.win.Len() == 0 {
+		return 0
+	}
+	// P{X ≥ bw} = 1 − P{X < bw}. With an empirical CDF over a continuous
+	// signal the distinction from P{X ≤ bw} is immaterial; we use F(bw)
+	// shifted one ULP down so samples exactly at bw count as meeting it.
+	return 1 - p.win.F(prevFloat(bw))
+}
+
+// Snapshot returns an immutable CDF of the predictor's current window.
+func (p *Percentile) Snapshot() *stats.CDF { return p.win.Snapshot() }
+
+// Len returns the number of samples currently in the window.
+func (p *Percentile) Len() int { return p.win.Len() }
+
+// Reset discards all history.
+func (p *Percentile) Reset() { p.win.Reset() }
+
+func prevFloat(x float64) float64 {
+	// math.Nextafter towards −Inf without importing math for one call site
+	// would be opaque; keep it explicit.
+	return x - x*1e-12 - 1e-300
+}

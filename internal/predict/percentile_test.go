@@ -1,0 +1,114 @@
+package predict
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPercentilePanicsOnBadQuantile(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPercentile with q=%v should panic", q)
+				}
+			}()
+			NewPercentile(100, q, 0)
+		}()
+	}
+}
+
+func TestPercentileWarmup(t *testing.T) {
+	p := NewPercentile(500, 0.1, 50)
+	for i := 0; i < 49; i++ {
+		p.Observe(float64(i))
+		if _, ok := p.Predict(); ok {
+			t.Fatal("predicted before warm-up")
+		}
+	}
+	p.Observe(49)
+	if _, ok := p.Predict(); !ok {
+		t.Fatal("should predict at warm-up threshold")
+	}
+}
+
+func TestPercentilePredictsQuantile(t *testing.T) {
+	p := NewPercentile(100, 0.1, 10)
+	for i := 1; i <= 100; i++ {
+		p.Observe(float64(i))
+	}
+	if v, ok := p.Predict(); !ok || v != 10 {
+		t.Fatalf("p10 of 1..100 = %v/%v, want 10", v, ok)
+	}
+}
+
+func TestPercentileExceedProbability(t *testing.T) {
+	p := NewPercentile(100, 0.1, 10)
+	for i := 1; i <= 100; i++ {
+		p.Observe(float64(i))
+	}
+	// 91 of 100 samples are ≥ 10.
+	if got := p.ExceedProbability(10); got < 0.90 || got > 0.92 {
+		t.Fatalf("ExceedProbability(10) = %v, want ~0.91", got)
+	}
+	if got := p.ExceedProbability(0); got != 1 {
+		t.Fatalf("ExceedProbability(0) = %v, want 1", got)
+	}
+	if got := p.ExceedProbability(1000); got != 0 {
+		t.Fatalf("ExceedProbability(1000) = %v, want 0", got)
+	}
+}
+
+func TestPercentileStableUnderIIDNoise(t *testing.T) {
+	// The core §4 claim: on an IID series the percentile prediction is far
+	// more reliable than a guarantee-level read off mean predictions.
+	rng := rand.New(rand.NewSource(77))
+	p := NewPercentile(500, 0.1, 100)
+	failures, total := 0, 0
+	var series []float64
+	for i := 0; i < 5000; i++ {
+		// Bimodal: mostly ~80, dipping to ~50 15% of the time.
+		v := 80 + rng.NormFloat64()*3
+		if rng.Float64() < 0.15 {
+			v = 50 + rng.NormFloat64()*3
+		}
+		series = append(series, v)
+	}
+	for i, v := range series {
+		if level, ok := p.Predict(); ok && i+5 < len(series) {
+			below := 0
+			for k := i + 1; k <= i+5; k++ {
+				if series[k] < level {
+					below++
+				}
+			}
+			total++
+			if below > 2 { // should essentially never happen at p10
+				failures++
+			}
+		}
+		p.Observe(v)
+	}
+	if total == 0 {
+		t.Fatal("no predictions")
+	}
+	if rate := float64(failures) / float64(total); rate > 0.05 {
+		t.Fatalf("percentile failure rate %v too high for IID signal", rate)
+	}
+}
+
+func TestPercentileSnapshotAndReset(t *testing.T) {
+	p := NewPercentile(10, 0.5, 1)
+	p.Observe(1)
+	p.Observe(2)
+	if p.Len() != 2 || p.Snapshot().N() != 2 {
+		t.Fatal("Len/Snapshot mismatch")
+	}
+	p.Reset()
+	if p.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	if p.ExceedProbability(1) != 0 {
+		t.Fatal("empty predictor should report 0 exceed probability")
+	}
+}

@@ -1,0 +1,137 @@
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+
+	"iqpaths/internal/experiment"
+)
+
+// Data bundles everything the HTML report renders. Nil/empty sections are
+// skipped.
+type Data struct {
+	Title       string
+	Fig4        []experiment.Fig4Point
+	SmartSuite  *experiment.Suite
+	GridSuite   *experiment.Suite
+	Video       []experiment.VideoRow
+	GeneratedBy string
+}
+
+// Generate writes the self-contained HTML report.
+func Generate(w io.Writer, d Data) error {
+	if d.Title == "" {
+		d.Title = "IQ-Paths — experiment report"
+	}
+	type section struct {
+		Heading string
+		Note    string
+		Charts  []template.HTML
+		Table   template.HTML
+	}
+	var sections []section
+
+	if len(d.Fig4) > 0 {
+		c := &LineChart{
+			Title: "Fig. 4 — bandwidth prediction", XLabel: "measurement window (s)", YLabel: "error / failure rate",
+		}
+		var xs, mean, pctl []float64
+		for _, p := range d.Fig4 {
+			xs = append(xs, p.WindowSec)
+			mean = append(mean, p.MeanErr)
+			pctl = append(pctl, p.PctlFail)
+		}
+		c.Series = []Series{{Name: "mean predictors", X: xs, Y: mean}, {Name: "percentile", X: xs, Y: pctl}}
+		sections = append(sections, section{
+			Heading: "Figure 4 — statistical vs mean bandwidth prediction",
+			Note:    "Average relative error of the mean predictors vs the percentile prediction failure rate, across measurement windows.",
+			Charts:  []template.HTML{template.HTML(c.Render())},
+		})
+	}
+
+	addSuite := func(s *experiment.Suite, heading, figSeries, figCDF string) {
+		if s == nil {
+			return
+		}
+		var charts []template.HTML
+		for _, alg := range s.Order {
+			res := s.Results[alg]
+			c := &LineChart{Title: fmt.Sprintf("%s — %s", figSeries, alg), XLabel: "time (s)", YLabel: "throughput (Mbps)"}
+			for _, ss := range res.Streams {
+				xs := make([]float64, len(ss.Total))
+				for i := range xs {
+					xs[i] = float64(i+1) * res.SampleSec
+				}
+				c.Series = append(c.Series, Series{Name: ss.Name, X: xs, Y: ss.Total})
+			}
+			charts = append(charts, template.HTML(c.Render()))
+		}
+		// CDFs: one chart per stream, one curve per algorithm.
+		if len(s.Order) > 0 {
+			streams := s.Results[s.Order[0]].Streams
+			for si := range streams {
+				c := &LineChart{
+					Title:  fmt.Sprintf("%s — %s", figCDF, streams[si].Name),
+					XLabel: "throughput (Mbps)", YLabel: "CDF", YMin: 0, YMax: 1,
+				}
+				for _, alg := range s.Order {
+					ss := s.Results[alg].Streams[si]
+					sorted := ss.Summary.Samples
+					xs := make([]float64, len(sorted))
+					ys := make([]float64, len(sorted))
+					for i, v := range sorted {
+						xs[i] = v
+						ys[i] = float64(i+1) / float64(len(sorted))
+					}
+					c.Series = append(c.Series, Series{Name: alg, X: xs, Y: ys})
+				}
+				charts = append(charts, template.HTML(c.Render()))
+			}
+		}
+		sections = append(sections, section{Heading: heading, Charts: charts})
+	}
+	addSuite(d.SmartSuite, "Figures 9–10 — SmartPointer", "Fig. 9", "Fig. 10 CDF")
+	addSuite(d.GridSuite, "Figures 12–13 — GridFTP vs IQPG-GridFTP", "Fig. 12", "Fig. 13 CDF")
+
+	if len(d.Video) > 0 {
+		rows := "<table><tr><th>algorithm</th><th>frames</th><th>base miss rate</th><th>mean quality</th></tr>"
+		for _, r := range d.Video {
+			rows += fmt.Sprintf("<tr><td>%s</td><td>%d</td><td>%.4f</td><td>%.3f</td></tr>",
+				template.HTMLEscapeString(r.Algorithm), r.FramesScored, r.BaseMissRate, r.MeanQuality)
+		}
+		rows += "</table>"
+		sections = append(sections, section{
+			Heading: "Layered MPEG-4 FGS video playback",
+			Table:   template.HTML(rows),
+		})
+	}
+
+	tmpl := template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{{.Title}}</title>
+<style>
+body { font-family: sans-serif; max-width: 960px; margin: 2em auto; color: #222; }
+h1 { border-bottom: 2px solid #1f77b4; padding-bottom: .3em; }
+h2 { margin-top: 2em; }
+table { border-collapse: collapse; margin: 1em 0; }
+td, th { border: 1px solid #ccc; padding: 4px 10px; text-align: right; }
+th { background: #f4f6f8; }
+.note { color: #555; }
+svg { margin: .5em 0; }
+footer { margin-top: 3em; color: #888; font-size: .85em; }
+</style></head><body>
+<h1>{{.Title}}</h1>
+{{range .Sections}}<h2>{{.Heading}}</h2>
+{{if .Note}}<p class="note">{{.Note}}</p>{{end}}
+{{range .Charts}}{{.}}{{end}}
+{{if .Table}}{{.Table}}{{end}}
+{{end}}
+<footer>{{.GeneratedBy}}</footer>
+</body></html>
+`))
+	return tmpl.Execute(w, struct {
+		Title       string
+		Sections    []section
+		GeneratedBy string
+	}{d.Title, sections, d.GeneratedBy})
+}

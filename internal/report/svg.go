@@ -1,0 +1,169 @@
+// Package report renders the experiment results as a self-contained HTML
+// report with inline SVG charts — figure-shaped output (time series, CDF
+// curves, summary tables) from the same data the text renderers print,
+// using only the standard library.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one polyline on a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// LineChart renders one SVG chart with axes, ticks, a legend, and one
+// polyline per series.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// YMin/YMax fix the y-range when both are set (YMax > YMin);
+	// otherwise the range is computed from the data with 5 % headroom.
+	YMin, YMax float64
+}
+
+// chart geometry (pixels).
+const (
+	chartW   = 640
+	chartH   = 320
+	marginL  = 56
+	marginR  = 140 // room for the legend
+	marginT  = 32
+	marginB  = 44
+	plotW    = chartW - marginL - marginR
+	plotH    = chartH - marginT - marginB
+	maxTicks = 6
+)
+
+// palette cycles across series.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf"}
+
+// Render emits the chart as an <svg> element.
+func (c *LineChart) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="11">`,
+		chartW, chartH, chartW, chartH)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+
+	xmin, xmax, ymin, ymax := c.ranges()
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`, marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`, marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="13" font-weight="bold">%s</text>`, marginL, esc(c.Title))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`, marginL+plotW/2, chartH-8, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%d" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`,
+		marginT+plotH/2, marginT+plotH/2, esc(c.YLabel))
+
+	// Ticks and gridlines.
+	for _, tv := range ticks(ymin, ymax) {
+		y := c.yPix(tv, ymin, ymax)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`, marginL, y, marginL+plotW, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%s</text>`, marginL-6, y, fmtTick(tv))
+	}
+	for _, tv := range ticks(xmin, xmax) {
+		x := c.xPix(tv, xmin, xmax)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#eee"/>`, x, marginT, x, marginT+plotH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`, x, marginT+plotH+16, fmtTick(tv))
+	}
+
+	// Series.
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		var pts strings.Builder
+		for k := range s.X {
+			if k > 0 {
+				pts.WriteByte(' ')
+			}
+			fmt.Fprintf(&pts, "%.1f,%.1f", c.xPix(s.X[k], xmin, xmax), c.yPix(s.Y[k], ymin, ymax))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`, pts.String(), color)
+		// Legend entry.
+		ly := marginT + 14 + i*18
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`,
+			marginL+plotW+10, ly, marginL+plotW+30, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" dominant-baseline="middle">%s</text>`, marginL+plotW+36, ly, esc(s.Name))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func (c *LineChart) ranges() (xmin, xmax, ymin, ymax float64) {
+	xmin, xmax = math.Inf(1), math.Inf(-1)
+	ymin, ymax = math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, x := range s.X {
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+		}
+		for _, y := range s.Y {
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if math.IsInf(xmin, 1) { // no data
+		return 0, 1, 0, 1
+	}
+	if c.YMax > c.YMin {
+		ymin, ymax = c.YMin, c.YMax
+	} else {
+		pad := (ymax - ymin) * 0.05
+		if pad == 0 {
+			pad = 1
+		}
+		ymin -= pad
+		ymax += pad
+		if ymin > 0 && ymin < (ymax-ymin) {
+			ymin = 0 // anchor near-zero ranges at zero
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	return
+}
+
+func (c *LineChart) xPix(v, lo, hi float64) float64 {
+	return marginL + (v-lo)/(hi-lo)*float64(plotW)
+}
+
+func (c *LineChart) yPix(v, lo, hi float64) float64 {
+	return marginT + (1-(v-lo)/(hi-lo))*float64(plotH)
+}
+
+// ticks picks ≤ maxTicks round values covering [lo, hi].
+func ticks(lo, hi float64) []float64 {
+	if hi <= lo {
+		return []float64{lo}
+	}
+	raw := (hi - lo) / maxTicks
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	for _, m := range []float64{1, 2, 5, 10} {
+		step = m * mag
+		if step >= raw {
+			break
+		}
+	}
+	var out []float64
+	for v := math.Ceil(lo/step) * step; v <= hi+step/1e6; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+func fmtTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2g", v)
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

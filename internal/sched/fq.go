@@ -1,0 +1,122 @@
+package sched
+
+import "iqpaths/internal/stream"
+
+// FQ implements weighted fair queuing over one or more path services.
+// With a single path it is the paper's "Non-Overlay Fair Queuing" (WFQ)
+// baseline; with several it is Multi-Server Fair Queuing (MSFQ): whenever
+// any server (path) can accept work, the stream with the smallest
+// weighted service so far sends on it, which maintains the aggregate
+// proportions across servers — but, as the paper shows, says nothing
+// about the absolute bandwidth any one stream receives.
+type FQ struct {
+	name    string
+	streams []*stream.Stream
+	paths   []PathService
+	// served accumulates weight-normalized bits served per stream (the
+	// stream's virtual time).
+	served []float64
+	// PaceLimit bounds per-path queued packets.
+	paceLimit int
+}
+
+// NewWFQ builds the single-path weighted-fair-queuing baseline.
+func NewWFQ(streams []*stream.Stream, path PathService, paceLimit int) *FQ {
+	return newFQ("WFQ", streams, []PathService{path}, paceLimit)
+}
+
+// NewMSFQ builds multi-server fair queuing over the given paths.
+func NewMSFQ(streams []*stream.Stream, paths []PathService, paceLimit int) *FQ {
+	return newFQ("MSFQ", streams, paths, paceLimit)
+}
+
+func newFQ(name string, streams []*stream.Stream, paths []PathService, paceLimit int) *FQ {
+	if len(streams) == 0 || len(paths) == 0 {
+		panic("sched: FQ needs streams and paths")
+	}
+	if paceLimit <= 0 {
+		paceLimit = DefaultPaceLimit
+	}
+	return &FQ{
+		name:      name,
+		streams:   streams,
+		paths:     paths,
+		served:    make([]float64, len(streams)),
+		paceLimit: paceLimit,
+	}
+}
+
+// Name implements Scheduler.
+func (f *FQ) Name() string { return f.name }
+
+// Tick implements Scheduler: while some path has room and some stream has
+// backlog, dispatch the stream with the least weighted service.
+func (f *FQ) Tick(now int64) {
+	for {
+		path := f.nextFreePath()
+		if path == nil {
+			return
+		}
+		si := f.pickStream()
+		if si < 0 {
+			return
+		}
+		s := f.streams[si]
+		pkt := s.Pop()
+		f.served[si] += pkt.Bits / s.Weight
+		if !path.Send(pkt) {
+			// Blocked despite pacing (shared first hop); stop this tick.
+			return
+		}
+	}
+}
+
+// pickStream returns the backlogged stream with minimum virtual time,
+// or -1 when all are empty.
+func (f *FQ) pickStream() int {
+	best := -1
+	for i, s := range f.streams {
+		if s.Len() == 0 {
+			continue
+		}
+		if best < 0 || f.served[i] < f.served[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// CatchUpIdle raises every empty stream's virtual time to the busy
+// minimum so a stream idle for a while cannot bank service and then burst
+// past its share — the standard fair-queuing idle rule. Call it once per
+// scheduling window (tests and long-lived deployments with on/off
+// streams); experiments with backlogged streams never need it.
+func (f *FQ) CatchUpIdle() {
+	busyMin := -1.0
+	for i, s := range f.streams {
+		if s.Len() > 0 && (busyMin < 0 || f.served[i] < busyMin) {
+			busyMin = f.served[i]
+		}
+	}
+	if busyMin < 0 {
+		return
+	}
+	for i, s := range f.streams {
+		if s.Len() == 0 && f.served[i] < busyMin {
+			f.served[i] = busyMin
+		}
+	}
+}
+
+func (f *FQ) nextFreePath() PathService {
+	best := PathService(nil)
+	for _, p := range f.paths {
+		if !hasRoom(p, f.paceLimit) {
+			continue
+		}
+		if best == nil || p.QueuedPackets() < best.QueuedPackets() {
+			best = p
+		}
+	}
+	return best
+}

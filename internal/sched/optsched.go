@@ -1,0 +1,127 @@
+package sched
+
+import "iqpaths/internal/stream"
+
+// OptSched is the near-optimal offline scheduler the paper gauges PGOS
+// against: it is told each path's *actual* current available bandwidth
+// (which no online algorithm can know) and gives every guaranteed stream
+// exactly its required rate on the least-variable capacity available,
+// spending the remainder on best-effort streams. It cannot be deployed —
+// it exists to bound what any scheduler could have achieved.
+type OptSched struct {
+	streams []*stream.Stream
+	paths   []PathService
+	// Avail reports path p's true available bandwidth in Mbps this tick.
+	avail func(pathID int) float64
+	// tickSeconds converts rates to per-tick bit budgets.
+	tickSeconds float64
+	paceLimit   int
+	// debt accumulates each guaranteed stream's unsent required bits.
+	debt []float64
+}
+
+// NewOptSched builds the oracle scheduler. avail must return the true
+// available bandwidth of the path with the given ID for the current tick.
+func NewOptSched(streams []*stream.Stream, paths []PathService, avail func(pathID int) float64, tickSeconds float64, paceLimit int) *OptSched {
+	if len(streams) == 0 || len(paths) == 0 {
+		panic("sched: OptSched needs streams and paths")
+	}
+	if avail == nil {
+		panic("sched: OptSched needs an avail oracle")
+	}
+	if tickSeconds <= 0 {
+		panic("sched: OptSched needs positive tickSeconds")
+	}
+	if paceLimit <= 0 {
+		paceLimit = DefaultPaceLimit
+	}
+	return &OptSched{
+		streams:     streams,
+		paths:       paths,
+		avail:       avail,
+		tickSeconds: tickSeconds,
+		paceLimit:   paceLimit,
+		debt:        make([]float64, len(streams)),
+	}
+}
+
+// Name implements Scheduler.
+func (o *OptSched) Name() string { return "OptSched" }
+
+// Tick implements Scheduler.
+func (o *OptSched) Tick(now int64) {
+	// Per-path bit budgets for this tick, from the oracle.
+	budgets := make([]float64, len(o.paths))
+	for i, p := range o.paths {
+		budgets[i] = o.avail(p.ID()) * 1e6 * o.tickSeconds
+	}
+	// Phase 1: guaranteed streams get exactly their required rate. Place
+	// each on the path with the largest remaining true budget.
+	for i, s := range o.streams {
+		if s.RequiredMbps <= 0 {
+			continue
+		}
+		o.debt[i] += s.RequiredMbps * 1e6 * o.tickSeconds
+		for o.debt[i] >= s.PacketBits && s.Len() > 0 {
+			j := o.richestPath(budgets)
+			if j < 0 {
+				break
+			}
+			pkt := s.Pop()
+			if !o.paths[j].Send(pkt) {
+				budgets[j] = 0
+				continue
+			}
+			budgets[j] -= pkt.Bits
+			o.debt[i] -= pkt.Bits
+		}
+		// Debt never accumulates past one window of demand: if the stream
+		// had no packets to send the entitlement is forfeit, not banked.
+		if max := 2 * s.RequiredMbps * 1e6 * o.tickSeconds; o.debt[i] > max+s.PacketBits {
+			o.debt[i] = max
+		}
+	}
+	// Phase 2: spend remaining true capacity on any backlog, best-effort
+	// streams first (guaranteed streams already got their entitlement).
+	order := make([]int, 0, len(o.streams))
+	for i, s := range o.streams {
+		if s.RequiredMbps <= 0 {
+			order = append(order, i)
+		}
+	}
+	for i, s := range o.streams {
+		if s.RequiredMbps > 0 {
+			order = append(order, i)
+		}
+	}
+	for _, i := range order {
+		s := o.streams[i]
+		for s.Len() > 0 {
+			j := o.richestPath(budgets)
+			if j < 0 || budgets[j] < s.PacketBits {
+				break
+			}
+			pkt := s.Pop()
+			if !o.paths[j].Send(pkt) {
+				budgets[j] = 0
+				continue
+			}
+			budgets[j] -= pkt.Bits
+		}
+	}
+}
+
+// richestPath returns the index (into o.paths) of the unblocked path with
+// the largest remaining budget, or -1.
+func (o *OptSched) richestPath(budgets []float64) int {
+	best := -1
+	for j, p := range o.paths {
+		if budgets[j] <= 0 || !hasRoom(p, o.paceLimit) {
+			continue
+		}
+		if best < 0 || budgets[j] > budgets[best] {
+			best = j
+		}
+	}
+	return best
+}

@@ -1,0 +1,113 @@
+package sched
+
+import "iqpaths/internal/stream"
+
+// RoundRobin models stock GridFTP's "blocked" data layout: data blocks are
+// dealt to the parallel connections in round-robin order, with no regard
+// to what bandwidth each connection currently has. Streams are likewise
+// served round-robin, so when a path degrades every stream competes for
+// the shrunken capacity — the behaviour Fig. 12(a) exhibits.
+type RoundRobin struct {
+	streams   []*stream.Stream
+	paths     []PathService
+	paceLimit int
+	nextStrm  int
+	// pathCur[i] is stream i's own connection cursor: each stream's blocks
+	// are dealt round-robin across all connections, as GridFTP's blocked
+	// layout deals a file's blocks.
+	pathCur []int
+}
+
+// NewRoundRobin builds the blocked-layout baseline.
+func NewRoundRobin(streams []*stream.Stream, paths []PathService, paceLimit int) *RoundRobin {
+	if len(streams) == 0 || len(paths) == 0 {
+		panic("sched: RoundRobin needs streams and paths")
+	}
+	if paceLimit <= 0 {
+		paceLimit = DefaultPaceLimit
+	}
+	return &RoundRobin{
+		streams:   streams,
+		paths:     paths,
+		paceLimit: paceLimit,
+		pathCur:   make([]int, len(streams)),
+	}
+}
+
+// Name implements Scheduler.
+func (r *RoundRobin) Name() string { return "RoundRobin" }
+
+// Tick implements Scheduler.
+func (r *RoundRobin) Tick(now int64) {
+	for {
+		si := r.advanceStream()
+		if si < 0 {
+			return
+		}
+		path := r.advancePath(si)
+		if path == nil {
+			return
+		}
+		if !path.Send(r.streams[si].Pop()) {
+			return
+		}
+	}
+}
+
+// advancePath returns the next connection with room for stream si's block.
+func (r *RoundRobin) advancePath(si int) PathService {
+	for k := 0; k < len(r.paths); k++ {
+		j := (r.pathCur[si] + k) % len(r.paths)
+		if hasRoom(r.paths[j], r.paceLimit) {
+			r.pathCur[si] = (j + 1) % len(r.paths)
+			return r.paths[j]
+		}
+	}
+	return nil
+}
+
+func (r *RoundRobin) advanceStream() int {
+	for k := 0; k < len(r.streams); k++ {
+		i := (r.nextStrm + k) % len(r.streams)
+		if r.streams[i].Len() > 0 {
+			r.nextStrm = (i + 1) % len(r.streams)
+			return i
+		}
+	}
+	return -1
+}
+
+// Partitioned models GridFTP's "partitioned" layout: stream i is pinned to
+// path i mod L for the whole transfer (contiguous file regions per
+// connection). Within a path, streams are served FIFO by arrival.
+type Partitioned struct {
+	streams   []*stream.Stream
+	paths     []PathService
+	paceLimit int
+}
+
+// NewPartitioned builds the partitioned-layout baseline.
+func NewPartitioned(streams []*stream.Stream, paths []PathService, paceLimit int) *Partitioned {
+	if len(streams) == 0 || len(paths) == 0 {
+		panic("sched: Partitioned needs streams and paths")
+	}
+	if paceLimit <= 0 {
+		paceLimit = DefaultPaceLimit
+	}
+	return &Partitioned{streams: streams, paths: paths, paceLimit: paceLimit}
+}
+
+// Name implements Scheduler.
+func (p *Partitioned) Name() string { return "Partitioned" }
+
+// Tick implements Scheduler.
+func (p *Partitioned) Tick(now int64) {
+	for i, s := range p.streams {
+		path := p.paths[i%len(p.paths)]
+		for s.Len() > 0 && hasRoom(path, p.paceLimit) {
+			if !path.Send(s.Pop()) {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Package sched defines the scheduler abstractions shared by PGOS and the
+// baselines the paper compares against, plus the baselines themselves:
+// single-path Weighted Fair Queuing (WFQ), Multi-Server Fair Queuing
+// (MSFQ, Blanquer & Özden's fair queuing over aggregated links), the
+// offline near-optimal OptSched, and the round-robin "blocked layout"
+// used by stock GridFTP.
+//
+// A scheduler's job each tick is to move packets from stream backlogs onto
+// path services, keeping path queues shallow (pacing) so that decisions
+// track current bandwidth rather than draining a deep stale queue.
+package sched
+
+import "iqpaths/internal/simnet"
+
+// PathService is the scheduler's view of an overlay path. *simnet.Path
+// implements it; transport-backed paths provide the same surface.
+type PathService interface {
+	// ID is the path's stable index (0-based, dense).
+	ID() int
+	// Name labels the path in results.
+	Name() string
+	// Send enqueues a packet; false means the path is blocked.
+	Send(*simnet.Packet) bool
+	// QueuedPackets reports the packets queued along the path, used for
+	// pacing.
+	QueuedPackets() int
+}
+
+// Scheduler moves packets from streams to paths once per tick.
+type Scheduler interface {
+	// Name identifies the algorithm in results ("WFQ", "MSFQ", "PGOS"...).
+	Name() string
+	// Tick performs one tick's scheduling at virtual tick now.
+	Tick(now int64)
+}
+
+// DefaultPaceLimit bounds per-path queued packets: ~2 ticks of a 100 Mbps
+// link at 10 ms ticks and 1500 B packets.
+const DefaultPaceLimit = 170
+
+// hasRoom reports whether p can accept more packets under the pace limit.
+func hasRoom(p PathService, paceLimit int) bool {
+	return p.QueuedPackets() < paceLimit
+}

@@ -1,0 +1,134 @@
+package simnet
+
+import (
+	"math/rand"
+
+	"iqpaths/internal/trace"
+)
+
+// LinkConfig describes one emulated link.
+type LinkConfig struct {
+	// Name labels the link in stats and logs (e.g. "N-3:N-5").
+	Name string
+	// CapacityMbps is the raw link capacity.
+	CapacityMbps float64
+	// DelayTicks is the hop latency in whole ticks, counted from the tick
+	// in which a packet finishes transmitting to its arrival at the next
+	// hop. The effective minimum is 1 tick (a packet finishing in tick T
+	// is visible downstream at T+1 even with DelayTicks 0).
+	DelayTicks int
+	// QueueLimit bounds the FIFO queue in packets; excess arrivals drop.
+	// Zero means the default of 1000.
+	QueueLimit int
+	// LossProb is an independent per-packet corruption probability applied
+	// at transmission (0 disables).
+	LossProb float64
+	// Cross supplies the cross-traffic demand in Mbps, one sample per
+	// tick; nil means an idle link.
+	Cross trace.Generator
+	// Process, when non-nil, is invoked on every packet arriving at the
+	// far end of this link — the overlay's "in-flight" processing hook
+	// (filtering, downsampling, compression at router daemons). Returning
+	// false consumes the packet (counted in Stats.Processed); the hook
+	// may also mutate the packet (e.g. shrink Bits to model compression)
+	// before it continues to the next hop.
+	Process func(*Packet) bool
+}
+
+// LinkStats counts what a link did since creation.
+type LinkStats struct {
+	Transmitted uint64 // packets fully transmitted
+	QueueDrops  uint64 // packets dropped on enqueue (queue full)
+	LossDrops   uint64 // packets dropped by random loss
+	Processed   uint64 // packets consumed by the in-flight Process hook
+	BitsSent    float64
+}
+
+// Link is one emulated hop. Overlay packets share it in FIFO order and
+// drain against the capacity left over by cross traffic each tick.
+type Link struct {
+	cfg   LinkConfig
+	net   *Network
+	queue []*Packet
+	// headSent tracks how many bits of the head-of-line packet have been
+	// transmitted so far (packets may straddle ticks).
+	headSent float64
+	// delayRing holds packets in flight, indexed by arrival tick modulo
+	// the ring length.
+	delayRing [][]*Packet
+	// availMbps is the bandwidth left after cross traffic on the last
+	// Step — the quantity a pathload-style monitor estimates.
+	availMbps float64
+	stats     LinkStats
+	rng       *rand.Rand
+}
+
+// Name returns the configured link name.
+func (l *Link) Name() string { return l.cfg.Name }
+
+// AvailMbps returns capacity − cross traffic from the most recent tick.
+func (l *Link) AvailMbps() float64 { return l.availMbps }
+
+// QueueLen returns the number of packets waiting on the link.
+func (l *Link) QueueLen() int { return len(l.queue) }
+
+// Full reports whether the queue is at its limit (the link is "blocked"
+// in PGOS's terms).
+func (l *Link) Full() bool { return len(l.queue) >= l.cfg.QueueLimit }
+
+// Stats returns a copy of the link's counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// enqueue appends a packet, honoring the queue bound.
+func (l *Link) enqueue(p *Packet) bool {
+	if l.Full() {
+		l.stats.QueueDrops++
+		return false
+	}
+	l.queue = append(l.queue, p)
+	return true
+}
+
+// step transmits one tick's worth of traffic.
+func (l *Link) step() {
+	cross := 0.0
+	if l.cfg.Cross != nil {
+		cross = l.cfg.Cross.Next()
+	}
+	avail := l.cfg.CapacityMbps - cross
+	if avail < 0 {
+		avail = 0
+	}
+	l.availMbps = avail
+	budget := avail * l.net.tickSeconds * 1e6 // bits this tick
+
+	for budget > 0 && len(l.queue) > 0 {
+		head := l.queue[0]
+		need := head.Bits - l.headSent
+		if need > budget {
+			l.headSent += budget
+			budget = 0
+			break
+		}
+		budget -= need
+		l.headSent = 0
+		l.queue = l.queue[1:]
+		if l.cfg.LossProb > 0 && l.rng.Float64() < l.cfg.LossProb {
+			l.stats.LossDrops++
+			continue
+		}
+		l.stats.Transmitted++
+		l.stats.BitsSent += head.Bits
+		slot := (l.net.tick + int64(l.cfg.DelayTicks)) % int64(len(l.delayRing))
+		l.delayRing[slot] = append(l.delayRing[slot], head)
+	}
+}
+
+// arrivals returns and clears the packets whose propagation delay expires
+// at the current tick.
+func (l *Link) arrivals() []*Packet {
+	slot := l.net.tick % int64(len(l.delayRing))
+	out := l.delayRing[slot]
+	l.delayRing[slot] = nil
+	return out
+}

@@ -1,0 +1,115 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Network owns the links, paths, and the virtual clock.
+type Network struct {
+	tickSeconds float64
+	tick        int64
+	links       []*Link
+	paths       []*Path
+	rng         *rand.Rand
+	nextPktID   uint64
+}
+
+// New creates a network advancing in ticks of tickSeconds (e.g. 0.01).
+// All randomness (loss draws) comes from rng; pass a seeded source for
+// reproducible runs. rng must not be nil.
+func New(tickSeconds float64, rng *rand.Rand) *Network {
+	if tickSeconds <= 0 {
+		panic("simnet: tickSeconds must be positive")
+	}
+	if rng == nil {
+		panic("simnet: rng must not be nil")
+	}
+	return &Network{tickSeconds: tickSeconds, rng: rng}
+}
+
+// TickSeconds returns the tick duration.
+func (n *Network) TickSeconds() float64 { return n.tickSeconds }
+
+// Tick returns the current virtual tick.
+func (n *Network) Tick() int64 { return n.tick }
+
+// Now returns the current virtual time in seconds.
+func (n *Network) Now() float64 { return float64(n.tick) * n.tickSeconds }
+
+// AddLink creates a link from cfg and registers it.
+func (n *Network) AddLink(cfg LinkConfig) *Link {
+	if cfg.CapacityMbps <= 0 {
+		panic(fmt.Sprintf("simnet: link %q needs positive capacity", cfg.Name))
+	}
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = 1000
+	}
+	ringLen := cfg.DelayTicks + 1
+	l := &Link{
+		cfg:       cfg,
+		net:       n,
+		delayRing: make([][]*Packet, ringLen),
+		rng:       n.rng,
+	}
+	n.links = append(n.links, l)
+	return l
+}
+
+// AddPath registers a path traversing the given links in order.
+func (n *Network) AddPath(name string, links ...*Link) *Path {
+	if len(links) == 0 {
+		panic("simnet: path needs at least one link")
+	}
+	p := &Path{id: len(n.paths), name: name, links: links, net: n}
+	n.paths = append(n.paths, p)
+	return p
+}
+
+// Paths returns the registered paths in creation order.
+func (n *Network) Paths() []*Path { return n.paths }
+
+// NewPacket allocates a packet of the given size tagged with a stream.
+func (n *Network) NewPacket(stream int, bits float64) *Packet {
+	n.nextPktID++
+	return &Packet{ID: n.nextPktID, Stream: stream, Bits: bits, Created: n.tick}
+}
+
+// Step advances the virtual clock one tick: every link transmits against
+// the capacity its cross traffic left over, then in-flight packets whose
+// propagation delay expired advance to their next hop or are delivered.
+func (n *Network) Step() {
+	for _, l := range n.links {
+		l.step()
+	}
+	n.tick++
+	for _, l := range n.links {
+		for _, p := range l.arrivals() {
+			if l.cfg.Process != nil && !l.cfg.Process(p) {
+				l.stats.Processed++
+				continue
+			}
+			p.hop++
+			path := p.path
+			if p.hop >= len(path.links) {
+				p.Delivered = n.tick
+				path.delivered = append(path.delivered, p)
+				continue
+			}
+			if !path.links[p.hop].enqueue(p) {
+				path.stats.Dropped++
+			}
+		}
+	}
+}
+
+// Run advances the clock by ticks steps, invoking onTick (if non-nil)
+// before each step — the hook schedulers use to inject traffic.
+func (n *Network) Run(ticks int, onTick func(tick int64)) {
+	for i := 0; i < ticks; i++ {
+		if onTick != nil {
+			onTick(n.tick)
+		}
+		n.Step()
+	}
+}

@@ -1,0 +1,273 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"iqpaths/internal/trace"
+)
+
+func newNet(t *testing.T) *Network {
+	t.Helper()
+	return New(0.01, rand.New(rand.NewSource(1)))
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, rand.New(rand.NewSource(1))) },
+		func() { New(0.01, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	n := newNet(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero capacity")
+		}
+	}()
+	n.AddLink(LinkConfig{Name: "bad"})
+}
+
+func TestAddPathNeedsLinks(t *testing.T) {
+	n := newNet(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty path")
+		}
+	}()
+	n.AddPath("empty")
+}
+
+func TestSingleLinkDelivery(t *testing.T) {
+	n := newNet(t)
+	l := n.AddLink(LinkConfig{Name: "l", CapacityMbps: 100, DelayTicks: 2})
+	p := n.AddPath("p", l)
+	pkt := n.NewPacket(0, 12000)
+	if !p.Send(pkt) {
+		t.Fatal("send refused on empty network")
+	}
+	// 100 Mbps × 0.01 s = 1 Mbit budget; the packet finishes transmitting
+	// in tick 0 and lands 2 ticks later.
+	var got []*Packet
+	for i := 0; i < 5 && len(got) == 0; i++ {
+		n.Step()
+		got = append(got, p.TakeDelivered()...)
+	}
+	if len(got) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(got))
+	}
+	if got[0].Delivered != 2 {
+		t.Fatalf("delivered at tick %d, want 2 (transmit tick + 2-tick hop latency)", got[0].Delivered)
+	}
+	st := p.Stats()
+	if st.Sent != 1 || st.DeliveredCount != 1 || st.DeliveredBits != 12000 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestThroughputMatchesCapacity(t *testing.T) {
+	n := newNet(t)
+	l := n.AddLink(LinkConfig{Name: "l", CapacityMbps: 50, DelayTicks: 0, QueueLimit: 100000})
+	p := n.AddPath("p", l)
+	// Saturate: inject far more than capacity for 1 simulated second.
+	bits := 0.0
+	n.Run(100, func(int64) {
+		for i := 0; i < 60; i++ { // 60 × 12 kbit per 10 ms = 72 Mbps offered
+			p.Send(n.NewPacket(0, 12000))
+		}
+	})
+	for _, pkt := range p.TakeDelivered() {
+		bits += pkt.Bits
+	}
+	mbps := bits / 1e6 / 1.0
+	if mbps < 48 || mbps > 50.5 {
+		t.Fatalf("sustained throughput %.2f Mbps, want ~50", mbps)
+	}
+}
+
+func TestCrossTrafficReducesThroughput(t *testing.T) {
+	n := newNet(t)
+	l := n.AddLink(LinkConfig{Name: "l", CapacityMbps: 100, Cross: trace.NewCBR(70), QueueLimit: 100000})
+	p := n.AddPath("p", l)
+	bits := 0.0
+	n.Run(200, func(int64) {
+		for i := 0; i < 100; i++ {
+			p.Send(n.NewPacket(0, 12000))
+		}
+	})
+	for _, pkt := range p.TakeDelivered() {
+		bits += pkt.Bits
+	}
+	mbps := bits / 1e6 / 2.0
+	if mbps < 28 || mbps > 31 {
+		t.Fatalf("throughput %.2f Mbps with 70 Mbps cross, want ~30", mbps)
+	}
+	if got := p.AvailMbps(); got != 30 {
+		t.Fatalf("AvailMbps = %v, want 30", got)
+	}
+}
+
+func TestQueueLimitBlocksAndDrops(t *testing.T) {
+	n := newNet(t)
+	l := n.AddLink(LinkConfig{Name: "l", CapacityMbps: 1, QueueLimit: 5})
+	p := n.AddPath("p", l)
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if p.Send(n.NewPacket(0, 12000)) {
+			accepted++
+		}
+	}
+	if accepted != 5 {
+		t.Fatalf("accepted %d, want 5", accepted)
+	}
+	if !p.Blocked() {
+		t.Fatal("path should report blocked")
+	}
+	if p.Stats().Rejected != 5 {
+		t.Fatalf("rejected = %d, want 5", p.Stats().Rejected)
+	}
+	if l.Stats().QueueDrops != 5 {
+		t.Fatalf("queue drops = %d, want 5", l.Stats().QueueDrops)
+	}
+}
+
+func TestRandomLoss(t *testing.T) {
+	n := newNet(t)
+	l := n.AddLink(LinkConfig{Name: "l", CapacityMbps: 1000, LossProb: 0.5, QueueLimit: 1 << 20})
+	p := n.AddPath("p", l)
+	const total = 2000
+	for i := 0; i < total; i++ {
+		p.Send(n.NewPacket(0, 1000))
+	}
+	for i := 0; i < 100; i++ {
+		n.Step()
+	}
+	got := len(p.TakeDelivered())
+	if got < total*35/100 || got > total*65/100 {
+		t.Fatalf("delivered %d of %d at 50%% loss", got, total)
+	}
+	if l.Stats().LossDrops == 0 {
+		t.Fatal("no loss recorded")
+	}
+}
+
+func TestMultiHopTraversal(t *testing.T) {
+	n := newNet(t)
+	l1 := n.AddLink(LinkConfig{Name: "a", CapacityMbps: 100, DelayTicks: 1})
+	l2 := n.AddLink(LinkConfig{Name: "b", CapacityMbps: 100, DelayTicks: 1})
+	l3 := n.AddLink(LinkConfig{Name: "c", CapacityMbps: 100, DelayTicks: 1})
+	p := n.AddPath("p", l1, l2, l3)
+	p.Send(n.NewPacket(0, 12000))
+	var got []*Packet
+	for i := 0; i < 20 && len(got) == 0; i++ {
+		n.Step()
+		got = append(got, p.TakeDelivered()...)
+	}
+	if len(got) != 1 {
+		t.Fatal("packet lost in multi-hop traversal")
+	}
+	// Each hop contributes its 1-tick latency → 3 ticks total.
+	if got[0].Delivered != 3 {
+		t.Fatalf("delivered at %d, want 3", got[0].Delivered)
+	}
+}
+
+func TestPathBottleneckAvail(t *testing.T) {
+	n := newNet(t)
+	l1 := n.AddLink(LinkConfig{Name: "a", CapacityMbps: 100, Cross: trace.NewCBR(20)})
+	l2 := n.AddLink(LinkConfig{Name: "b", CapacityMbps: 100, Cross: trace.NewCBR(60)})
+	p := n.AddPath("p", l1, l2)
+	n.Step()
+	if got := p.AvailMbps(); got != 40 {
+		t.Fatalf("bottleneck avail = %v, want 40", got)
+	}
+}
+
+func TestPacketStraddlesTicks(t *testing.T) {
+	n := newNet(t)
+	// 1 Mbps × 0.01 s = 10 kbit per tick; a 25 kbit packet needs 3 ticks.
+	l := n.AddLink(LinkConfig{Name: "l", CapacityMbps: 1, DelayTicks: 0})
+	p := n.AddPath("p", l)
+	p.Send(n.NewPacket(0, 25000))
+	var got []*Packet
+	ticks := 0
+	for ; ticks < 10 && len(got) == 0; ticks++ {
+		n.Step()
+		got = append(got, p.TakeDelivered()...)
+	}
+	if len(got) != 1 || got[0].Delivered != 3 {
+		t.Fatalf("straddling packet delivered=%v at tick %d, want tick 3", len(got), got[0].Delivered)
+	}
+}
+
+func TestFIFOOrderPreserved(t *testing.T) {
+	n := newNet(t)
+	l := n.AddLink(LinkConfig{Name: "l", CapacityMbps: 10, QueueLimit: 1000})
+	p := n.AddPath("p", l)
+	for i := 0; i < 50; i++ {
+		p.Send(n.NewPacket(i, 12000))
+	}
+	var got []*Packet
+	for i := 0; i < 200; i++ {
+		n.Step()
+		got = append(got, p.TakeDelivered()...)
+	}
+	if len(got) != 50 {
+		t.Fatalf("delivered %d, want 50", len(got))
+	}
+	for i, pkt := range got {
+		if pkt.Stream != i {
+			t.Fatalf("order violated at %d: stream %d", i, pkt.Stream)
+		}
+	}
+}
+
+func TestDeterminismUnderSeed(t *testing.T) {
+	run := func() (uint64, float64) {
+		n := New(0.01, rand.New(rand.NewSource(99)))
+		l := n.AddLink(LinkConfig{
+			Name: "l", CapacityMbps: 100, LossProb: 0.05,
+			Cross: trace.NewNLANRLike(trace.DefaultNLANR(), rand.New(rand.NewSource(7))),
+		})
+		p := n.AddPath("p", l)
+		n.Run(500, func(int64) {
+			for i := 0; i < 50; i++ {
+				p.Send(n.NewPacket(0, 12000))
+			}
+		})
+		pk := p.TakeDelivered()
+		bits := 0.0
+		for _, x := range pk {
+			bits += x.Bits
+		}
+		return uint64(len(pk)), bits
+	}
+	c1, b1 := run()
+	c2, b2 := run()
+	if c1 != c2 || b1 != b2 {
+		t.Fatalf("nondeterministic: (%d,%v) vs (%d,%v)", c1, b1, c2, b2)
+	}
+}
+
+func TestNowAndTick(t *testing.T) {
+	n := newNet(t)
+	n.AddLink(LinkConfig{Name: "l", CapacityMbps: 1})
+	n.Step()
+	n.Step()
+	if n.Tick() != 2 {
+		t.Fatalf("tick = %d, want 2", n.Tick())
+	}
+	if n.Now() != 0.02 {
+		t.Fatalf("now = %v, want 0.02", n.Now())
+	}
+}

@@ -1,0 +1,98 @@
+package smartpointer
+
+import (
+	"math/rand"
+	"testing"
+
+	"iqpaths/internal/simnet"
+	"iqpaths/internal/stream"
+)
+
+func newNet() *simnet.Network {
+	return simnet.New(0.01, rand.New(rand.NewSource(1)))
+}
+
+func TestWorkloadSpecs(t *testing.T) {
+	w := New(newNet())
+	if w.Atom.RequiredMbps != AtomMbps || w.Atom.Probability != 0.95 || w.Atom.Kind != stream.Probabilistic {
+		t.Fatalf("Atom spec wrong: %+v", w.Atom.Spec)
+	}
+	if w.Bond1.RequiredMbps != Bond1Mbps || w.Bond1.Kind != stream.Probabilistic {
+		t.Fatalf("Bond1 spec wrong: %+v", w.Bond1.Spec)
+	}
+	if w.Bond2.Kind != stream.BestEffort || w.Bond2.RequiredMbps != 0 {
+		t.Fatalf("Bond2 must be best-effort: %+v", w.Bond2.Spec)
+	}
+	ss := w.Streams()
+	if len(ss) != 3 || ss[0].ID != 0 || ss[2].ID != 2 {
+		t.Fatal("stream IDs must be dense 0..2")
+	}
+}
+
+func TestWorkloadArrivalRates(t *testing.T) {
+	net := newNet()
+	w := New(net)
+	for i := 0; i < 1000; i++ { // 10 simulated seconds
+		w.Tick()
+		net.Step()
+	}
+	frames := w.FramesEmitted()
+	for i, f := range frames {
+		if f < 250 || f > 251 {
+			t.Fatalf("stream %d emitted %d frames in 10 s, want ~250", i, f)
+		}
+	}
+	// Offered load matches the nominal rates to within one frame. Bond2's
+	// 60 Mbps overflows its bounded backlog with nothing draining it, so
+	// count arrivals (enqueued + dropped), not queued bits.
+	for i, want := range []float64{AtomMbps, Bond1Mbps, Bond2Mbps} {
+		s := w.Streams()[i]
+		wantPkts := uint64(float64(frames[i])) * uint64(w.PacketsPerFrame(i))
+		if got := s.Enqueued + s.Dropped; got != wantPkts {
+			t.Fatalf("stream %d arrivals = %d packets, want %d (%.1f Mbps nominal)", i, got, wantPkts, want)
+		}
+	}
+}
+
+func TestPacketsPerFrame(t *testing.T) {
+	w := New(newNet())
+	// Atom: 3.249 Mbps / 25 fps = 129960 bits/frame = 10×12000 + 9960.
+	if got := w.PacketsPerFrame(0); got != 11 {
+		t.Fatalf("Atom packets/frame = %d, want 11", got)
+	}
+	// The source must actually emit exactly that many per frame.
+	net := newNet()
+	w2 := New(net)
+	w2.Tick() // frame 1 of every stream at t=0
+	if got := w2.Atom.Len(); got != w2.PacketsPerFrame(0) {
+		t.Fatalf("emitted %d packets, PacketsPerFrame says %d", got, w2.PacketsPerFrame(0))
+	}
+	if got := w2.Bond1.Len(); got != w2.PacketsPerFrame(1) {
+		t.Fatalf("Bond1 emitted %d, want %d", got, w2.PacketsPerFrame(1))
+	}
+}
+
+func TestFrameTaggingSequential(t *testing.T) {
+	net := newNet()
+	w := New(net)
+	for i := 0; i < 12; i++ { // 3 frame periods
+		w.Tick()
+		net.Step()
+	}
+	seen := map[uint64]int{}
+	for {
+		p := w.Atom.Pop()
+		if p == nil {
+			break
+		}
+		seen[p.Frame]++
+	}
+	if len(seen) != 3 {
+		t.Fatalf("frames seen = %d, want 3", len(seen))
+	}
+	for f, n := range seen {
+		if n != w.PacketsPerFrame(0) {
+			t.Fatalf("frame %d has %d packets", f, n)
+		}
+	}
+}

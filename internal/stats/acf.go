@@ -1,0 +1,67 @@
+package stats
+
+// Autocorrelation returns the sample autocorrelation of xs at the given
+// lags. The paper's statistical-prediction argument leans on the finding
+// (Zhang et al.) that available bandwidth is close to IID at sub-second
+// scales — i.e. its autocorrelation decays fast — while the regime
+// component moves slowly; this diagnostic lets users verify the property
+// on their own measurement windows before trusting percentile predictions.
+// Lags at or beyond len(xs) return 0.
+func Autocorrelation(xs []float64, lags ...int) []float64 {
+	out := make([]float64, len(lags))
+	n := len(xs)
+	if n < 2 {
+		return out
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	var c0 float64
+	for _, x := range xs {
+		d := x - mean
+		c0 += d * d
+	}
+	if c0 == 0 {
+		return out
+	}
+	for i, lag := range lags {
+		if lag < 0 || lag >= n {
+			continue
+		}
+		var ck float64
+		for t := 0; t+lag < n; t++ {
+			ck += (xs[t] - mean) * (xs[t+lag] - mean)
+		}
+		out[i] = ck / c0
+	}
+	return out
+}
+
+// IIDScore summarizes how IID-like a series is: 1 − mean |ACF| over lags
+// 1..k (1 = white noise, → 0 for strongly correlated series). The monitor
+// exposes it so applications can sanity-check the §4 assumption on a live
+// path.
+func IIDScore(xs []float64, k int) float64 {
+	if k < 1 {
+		k = 1
+	}
+	lags := make([]int, k)
+	for i := range lags {
+		lags[i] = i + 1
+	}
+	acf := Autocorrelation(xs, lags...)
+	s := 0.0
+	for _, a := range acf {
+		if a < 0 {
+			a = -a
+		}
+		s += a
+	}
+	score := 1 - s/float64(k)
+	if score < 0 {
+		return 0
+	}
+	return score
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAutocorrelationWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	acf := Autocorrelation(xs, 1, 2, 5, 10)
+	for i, a := range acf {
+		if math.Abs(a) > 0.05 {
+			t.Fatalf("white-noise ACF[%d] = %v, want ~0", i, a)
+		}
+	}
+}
+
+func TestAutocorrelationAR1(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 5000)
+	x := 0.0
+	for i := range xs {
+		x = 0.8*x + rng.NormFloat64()
+		xs[i] = x
+	}
+	acf := Autocorrelation(xs, 1, 2)
+	if acf[0] < 0.7 || acf[0] > 0.9 {
+		t.Fatalf("AR(0.8) lag-1 ACF = %v, want ~0.8", acf[0])
+	}
+	if acf[1] >= acf[0] {
+		t.Fatalf("ACF should decay: %v", acf)
+	}
+}
+
+func TestAutocorrelationEdgeCases(t *testing.T) {
+	if got := Autocorrelation(nil, 1); got[0] != 0 {
+		t.Fatal("empty series")
+	}
+	if got := Autocorrelation([]float64{5, 5, 5}, 1); got[0] != 0 {
+		t.Fatal("constant series has zero variance → ACF 0 by convention")
+	}
+	if got := Autocorrelation([]float64{1, 2}, 5, -1); got[0] != 0 || got[1] != 0 {
+		t.Fatal("out-of-range lags return 0")
+	}
+	// Lag 0 is always 1 for a non-constant series.
+	if got := Autocorrelation([]float64{1, 2, 3}, 0); math.Abs(got[0]-1) > 1e-12 {
+		t.Fatalf("lag-0 ACF = %v, want 1", got[0])
+	}
+}
+
+func TestIIDScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	white := make([]float64, 3000)
+	trended := make([]float64, 3000)
+	x := 0.0
+	for i := range white {
+		white[i] = rng.NormFloat64()
+		x = 0.95*x + rng.NormFloat64()*0.1
+		trended[i] = x
+	}
+	w, tr := IIDScore(white, 5), IIDScore(trended, 5)
+	if w < 0.9 {
+		t.Fatalf("white noise IID score = %v, want ≈1", w)
+	}
+	if tr > 0.5 {
+		t.Fatalf("trended IID score = %v, want low", tr)
+	}
+	if w <= tr {
+		t.Fatal("ordering violated")
+	}
+	if IIDScore(nil, 0) != 1 {
+		t.Fatalf("empty series score = %v", IIDScore(nil, 0))
+	}
+}
+
+// The §4 claim on our own traces: the per-tick noise of available
+// bandwidth is IID-like once the slow regime is differenced out.
+func TestTraceNoiseIsIIDLike(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = 60 + rng.NormFloat64()*10 // the jitter component
+	}
+	if s := IIDScore(xs, 10); s < 0.9 {
+		t.Fatalf("jitter component should be IID-like: %v", s)
+	}
+}

@@ -1,0 +1,142 @@
+package stats
+
+import "fmt"
+
+// Histogram is a fixed-bin histogram over [Lo, Hi). It offers approximate
+// CDF/quantile queries in O(bins) with O(1) insertion and no per-sample
+// allocation, suited for very long experiment runs where keeping every
+// sample (as Window does) would be wasteful. Samples outside the range are
+// clamped into the first/last bin and counted in Under/Over.
+type Histogram struct {
+	lo, hi  float64
+	width   float64
+	counts  []uint64
+	total   uint64
+	under   uint64
+	over    uint64
+	welford Welford
+}
+
+// NewHistogram creates a histogram with the given bounds and bin count.
+// It panics if hi ≤ lo or bins < 1 (construction-time programming errors).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if hi <= lo {
+		panic("stats: Histogram requires hi > lo")
+	}
+	if bins < 1 {
+		panic("stats: Histogram requires bins >= 1")
+	}
+	return &Histogram{
+		lo:     lo,
+		hi:     hi,
+		width:  (hi - lo) / float64(bins),
+		counts: make([]uint64, bins),
+	}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.welford.Add(x)
+	h.total++
+	idx := int((x - h.lo) / h.width)
+	switch {
+	case x < h.lo:
+		h.under++
+		idx = 0
+	case idx >= len(h.counts):
+		if x >= h.hi {
+			h.over++
+		}
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx]++
+}
+
+// N returns the total number of samples recorded.
+func (h *Histogram) N() uint64 { return h.total }
+
+// Under and Over return the number of clamped out-of-range samples.
+func (h *Histogram) Under() uint64 { return h.under }
+
+// Over returns the number of samples clamped into the last bin.
+func (h *Histogram) Over() uint64 { return h.over }
+
+// Mean returns the exact mean of all samples (tracked outside the bins).
+func (h *Histogram) Mean() float64 { return h.welford.Mean() }
+
+// StdDev returns the exact sample standard deviation of all samples.
+func (h *Histogram) StdDev() float64 { return h.welford.StdDev() }
+
+// F returns the approximate probability P{X ≤ x}, interpolating within the
+// bin containing x.
+func (h *Histogram) F(x float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if x < h.lo {
+		return 0
+	}
+	if x >= h.hi {
+		return 1
+	}
+	pos := (x - h.lo) / h.width
+	idx := int(pos)
+	frac := pos - float64(idx)
+	var cum uint64
+	for i := 0; i < idx; i++ {
+		cum += h.counts[i]
+	}
+	return (float64(cum) + frac*float64(h.counts[idx])) / float64(h.total)
+}
+
+// Quantile returns the approximate q-quantile, interpolating within the
+// containing bin.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.total)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.lo + (float64(i)+frac)*h.width
+		}
+		cum = next
+	}
+	return h.hi
+}
+
+// Bins returns a copy of the per-bin counts.
+func (h *Histogram) Bins() []uint64 {
+	out := make([]uint64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// BinBounds returns the [lo, hi) bounds of bin i.
+func (h *Histogram) BinBounds(i int) (lo, hi float64) {
+	return h.lo + float64(i)*h.width, h.lo + float64(i+1)*h.width
+}
+
+// Reset zeroes all counts while keeping the configured bins.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total, h.under, h.over = 0, 0, 0
+	h.welford.Reset()
+}
+
+// String renders a short summary.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("Histogram{n=%d mean=%.3g p50=%.3g p95=%.3g}",
+		h.total, h.Mean(), h.Quantile(0.5), h.Quantile(0.95))
+}

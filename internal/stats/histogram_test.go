@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHistogramPanics(t *testing.T) {
+	for _, tc := range []struct {
+		lo, hi float64
+		bins   int
+	}{
+		{0, 0, 10}, {5, 1, 10}, {0, 1, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for lo=%v hi=%v bins=%d", tc.lo, tc.hi, tc.bins)
+				}
+			}()
+			NewHistogram(tc.lo, tc.hi, tc.bins)
+		}()
+	}
+}
+
+func TestHistogramUniformQuantiles(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if got := h.Quantile(0.5); got < 49 || got > 51 {
+		t.Errorf("median = %v, want ~50", got)
+	}
+	if got := h.F(50); got < 0.49 || got > 0.51 {
+		t.Errorf("F(50) = %v, want ~0.5", got)
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(-5)
+	h.Add(15)
+	h.Add(5)
+	if h.Under() != 1 || h.Over() != 1 || h.N() != 3 {
+		t.Fatalf("under=%d over=%d n=%d", h.Under(), h.Over(), h.N())
+	}
+	if h.F(-1) != 0 || h.F(100) != 1 {
+		t.Fatal("F outside range should saturate at 0/1")
+	}
+}
+
+func TestHistogramExactMoments(t *testing.T) {
+	h := NewHistogram(0, 1, 4) // coarse bins: moments must still be exact
+	var w Welford
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		x := rng.Float64()
+		h.Add(x)
+		w.Add(x)
+	}
+	if !almostEqual(h.Mean(), w.Mean(), 1e-12) || !almostEqual(h.StdDev(), w.StdDev(), 1e-12) {
+		t.Fatalf("moments not exact: %v/%v vs %v/%v", h.Mean(), h.StdDev(), w.Mean(), w.StdDev())
+	}
+}
+
+func TestHistogramQuantileApproximatesCDF(t *testing.T) {
+	h := NewHistogram(0, 200, 400)
+	var samples []float64
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 5000; i++ {
+		x := rng.NormFloat64()*20 + 100
+		h.Add(x)
+		samples = append(samples, x)
+	}
+	c := BuildCDF(samples)
+	for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+		exact := c.Quantile(q)
+		approx := h.Quantile(q)
+		if diff := exact - approx; diff < -1 || diff > 1 {
+			t.Errorf("Quantile(%v): histogram %v vs exact %v", q, approx, exact)
+		}
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(3)
+	h.Reset()
+	if h.N() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("reset did not clear histogram")
+	}
+}
+
+func TestHistogramBinBounds(t *testing.T) {
+	h := NewHistogram(10, 20, 5)
+	lo, hi := h.BinBounds(0)
+	if lo != 10 || hi != 12 {
+		t.Fatalf("bin 0 bounds = [%v,%v), want [10,12)", lo, hi)
+	}
+	lo, hi = h.BinBounds(4)
+	if lo != 18 || hi != 20 {
+		t.Fatalf("bin 4 bounds = [%v,%v), want [18,20)", lo, hi)
+	}
+	if len(h.Bins()) != 5 {
+		t.Fatal("Bins length mismatch")
+	}
+}

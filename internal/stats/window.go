@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Window is a fixed-capacity sliding window of float64 samples supporting
+// O(log n) insertion/eviction into a sorted multiset view, so that quantile
+// and F(x) queries are O(log n) after each new sample. This is the structure
+// behind per-path CDF maintenance in the monitor: the paper computes the
+// distribution of the last N (500–1000) bandwidth samples and reads
+// percentile points from it every measurement interval.
+type Window struct {
+	cap    int
+	ring   []float64 // insertion order
+	head   int       // index of oldest element in ring
+	n      int       // number of valid elements
+	sorted []float64 // same elements, kept sorted
+	sum    float64
+}
+
+// NewWindow creates a sliding window holding at most capacity samples.
+// capacity must be ≥ 1 or NewWindow panics (a zero-size monitoring window is
+// a programming error, not a runtime condition).
+func NewWindow(capacity int) *Window {
+	if capacity < 1 {
+		panic("stats: Window capacity must be >= 1")
+	}
+	return &Window{
+		cap:    capacity,
+		ring:   make([]float64, capacity),
+		sorted: make([]float64, 0, capacity),
+	}
+}
+
+// Cap returns the window capacity.
+func (w *Window) Cap() int { return w.cap }
+
+// Len returns the number of samples currently held.
+func (w *Window) Len() int { return w.n }
+
+// Full reports whether the window has reached capacity.
+func (w *Window) Full() bool { return w.n == w.cap }
+
+// Add inserts a sample, evicting the oldest if the window is full.
+func (w *Window) Add(x float64) {
+	if w.n == w.cap {
+		old := w.ring[w.head]
+		w.ring[w.head] = x
+		w.head = (w.head + 1) % w.cap
+		w.removeSorted(old)
+		w.sum -= old
+	} else {
+		w.ring[(w.head+w.n)%w.cap] = x
+		w.n++
+	}
+	w.insertSorted(x)
+	w.sum += x
+}
+
+func (w *Window) insertSorted(x float64) {
+	i := sort.SearchFloat64s(w.sorted, x)
+	w.sorted = append(w.sorted, 0)
+	copy(w.sorted[i+1:], w.sorted[i:])
+	w.sorted[i] = x
+}
+
+func (w *Window) removeSorted(x float64) {
+	i := sort.SearchFloat64s(w.sorted, x)
+	// x is guaranteed present; SearchFloat64s returns its first occurrence.
+	copy(w.sorted[i:], w.sorted[i+1:])
+	w.sorted = w.sorted[:len(w.sorted)-1]
+}
+
+// Mean returns the mean of the samples in the window (0 when empty).
+func (w *Window) Mean() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.sum / float64(w.n)
+}
+
+// StdDev returns the sample standard deviation of the window contents.
+func (w *Window) StdDev() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	m := w.Mean()
+	s := 0.0
+	for _, v := range w.sorted {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(w.n-1))
+}
+
+// Quantile returns the nearest-rank q-quantile of the window contents.
+func (w *Window) Quantile(q float64) float64 {
+	if w.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return w.sorted[0]
+	}
+	if q >= 1 {
+		return w.sorted[w.n-1]
+	}
+	rank := int(math.Ceil(q*float64(w.n)-1e-9)) - 1 // slack mirrors CDF.Quantile
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= w.n {
+		rank = w.n - 1
+	}
+	return w.sorted[rank]
+}
+
+// F returns the empirical probability P{X ≤ x} over the window contents.
+func (w *Window) F(x float64) float64 {
+	if w.n == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(w.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(w.n)
+}
+
+// TailMean returns the mean of window samples ≤ b0 (Lemma 2's M[b0]),
+// or 0 when no sample qualifies.
+func (w *Window) TailMean(b0 float64) float64 {
+	i := sort.SearchFloat64s(w.sorted, math.Nextafter(b0, math.Inf(1)))
+	if i == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range w.sorted[:i] {
+		s += v
+	}
+	return s / float64(i)
+}
+
+// Snapshot returns an immutable CDF of the current window contents.
+func (w *Window) Snapshot() *CDF {
+	s := make([]float64, w.n)
+	copy(s, w.sorted)
+	return &CDF{sorted: s}
+}
+
+// Values returns the window contents in insertion order (oldest first).
+// The returned slice is freshly allocated.
+func (w *Window) Values() []float64 {
+	out := make([]float64, 0, w.n)
+	for i := 0; i < w.n; i++ {
+		out = append(out, w.ring[(w.head+i)%w.cap])
+	}
+	return out
+}
+
+// Reset empties the window without releasing its storage.
+func (w *Window) Reset() {
+	w.head, w.n, w.sum = 0, 0, 0
+	w.sorted = w.sorted[:0]
+}

@@ -1,0 +1,109 @@
+package stream
+
+import "iqpaths/internal/simnet"
+
+// FrameSource feeds a stream with periodic application frames (the
+// SmartPointer server emits 25 frames/s; GridFTP records arrive per record
+// slot). Each frame of FrameBytes is fragmented into PacketBits packets
+// pushed to the stream's backlog, stamped with a delivery deadline one
+// frame period ahead.
+type FrameSource struct {
+	Stream *Stream
+	// FPS is the frame rate in frames per second.
+	FPS float64
+	// FrameBytes is the application frame payload size.
+	FrameBytes float64
+	// net allocates packets and supplies the clock.
+	net *simnet.Network
+
+	nextFrame float64 // virtual time of the next frame emission
+	frames    uint64
+}
+
+// NewFrameSource builds a source emitting frameBytes every 1/fps seconds
+// into st.
+func NewFrameSource(net *simnet.Network, st *Stream, fps, frameBytes float64) *FrameSource {
+	if fps <= 0 {
+		panic("stream: FrameSource fps must be positive")
+	}
+	return &FrameSource{Stream: st, FPS: fps, FrameBytes: frameBytes, net: net}
+}
+
+// Frames returns the number of frames emitted so far.
+func (f *FrameSource) Frames() uint64 { return f.frames }
+
+// Tick emits any frames due at the current virtual time. Call once per
+// network tick before scheduling.
+func (f *FrameSource) Tick() {
+	now := f.net.Now()
+	period := 1 / f.FPS
+	for f.nextFrame <= now {
+		deadline := f.net.Tick() + int64(period/f.net.TickSeconds())
+		bits := f.FrameBytes * 8
+		f.frames++
+		for bits > 0 {
+			sz := f.Stream.PacketBits
+			if bits < sz {
+				sz = bits
+			}
+			p := f.net.NewPacket(f.Stream.ID, sz)
+			p.Deadline = deadline
+			p.Frame = f.frames
+			f.Stream.Push(p)
+			bits -= sz
+		}
+		f.nextFrame += period
+	}
+}
+
+// BacklogSource keeps a stream's queue topped up to a target depth — the
+// model for elastic transfers (GridFTP's DT3 high-resolution data, or any
+// best-effort bulk stream) that always have data ready to send.
+type BacklogSource struct {
+	Stream *Stream
+	// Depth is the queue depth to maintain, in packets.
+	Depth int
+	net   *simnet.Network
+}
+
+// NewBacklogSource keeps st's queue at depth packets.
+func NewBacklogSource(net *simnet.Network, st *Stream, depth int) *BacklogSource {
+	if depth <= 0 {
+		panic("stream: BacklogSource depth must be positive")
+	}
+	return &BacklogSource{Stream: st, Depth: depth, net: net}
+}
+
+// Tick refills the stream's backlog. Call once per network tick.
+func (b *BacklogSource) Tick() {
+	for b.Stream.Len() < b.Depth {
+		b.Stream.Push(b.net.NewPacket(b.Stream.ID, b.Stream.PacketBits))
+	}
+}
+
+// RateSource emits a constant bit rate into a stream — arrivals for
+// streams whose offered load is finite but not frame-structured.
+type RateSource struct {
+	Stream *Stream
+	// Mbps is the arrival rate.
+	Mbps float64
+	net  *simnet.Network
+	debt float64 // accumulated bits awaiting packetization
+}
+
+// NewRateSource builds a constant-rate arrival process.
+func NewRateSource(net *simnet.Network, st *Stream, mbps float64) *RateSource {
+	if mbps < 0 {
+		panic("stream: RateSource rate must be >= 0")
+	}
+	return &RateSource{Stream: st, Mbps: mbps, net: net}
+}
+
+// Tick emits one tick's worth of arrivals.
+func (r *RateSource) Tick() {
+	r.debt += r.Mbps * 1e6 * r.net.TickSeconds()
+	for r.debt >= r.Stream.PacketBits {
+		r.Stream.Push(r.net.NewPacket(r.Stream.ID, r.Stream.PacketBits))
+		r.debt -= r.Stream.PacketBits
+	}
+}

@@ -1,0 +1,117 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"iqpaths/internal/simnet"
+)
+
+func TestFrameSourceRateAndFragmentation(t *testing.T) {
+	net := simnet.New(0.01, rand.New(rand.NewSource(1)))
+	s := New(0, Spec{Name: "atom", PacketBits: 12000})
+	// 25 fps × 16.2 KB frames ≈ 3.24 Mbps.
+	src := NewFrameSource(net, s, 25, 16200)
+	for i := 0; i < 100; i++ { // 1 simulated second
+		src.Tick()
+		net.Step()
+	}
+	if src.Frames() < 25 || src.Frames() > 26 {
+		t.Fatalf("frames = %d, want ~25", src.Frames())
+	}
+	// 16200 B = 129600 bits = 10×12000 + 9600 → 11 packets per frame.
+	wantPkts := int(src.Frames()) * 11
+	if s.Len() != wantPkts {
+		t.Fatalf("queued %d packets, want %d", s.Len(), wantPkts)
+	}
+	// Bits per frame must be exactly the frame payload.
+	if got := s.Bits(); math.Abs(got-float64(src.Frames())*129600) > 1 {
+		t.Fatalf("bits = %v", got)
+	}
+}
+
+func TestFrameSourceDeadlines(t *testing.T) {
+	net := simnet.New(0.01, rand.New(rand.NewSource(1)))
+	s := New(0, Spec{Name: "x", PacketBits: 1e9}) // one packet per frame
+	src := NewFrameSource(net, s, 25, 1000)
+	src.Tick()
+	p := s.Pop()
+	if p == nil {
+		t.Fatal("no packet emitted at t=0")
+	}
+	// Period = 40 ms = 4 ticks.
+	if p.Deadline != 4 {
+		t.Fatalf("deadline = %d ticks, want 4", p.Deadline)
+	}
+}
+
+func TestFrameSourcePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for fps <= 0")
+		}
+	}()
+	NewFrameSource(nil, nil, 0, 100)
+}
+
+func TestBacklogSourceMaintainsDepth(t *testing.T) {
+	net := simnet.New(0.01, rand.New(rand.NewSource(1)))
+	s := New(0, Spec{Name: "bulk"})
+	b := NewBacklogSource(net, s, 50)
+	b.Tick()
+	if s.Len() != 50 {
+		t.Fatalf("depth = %d, want 50", s.Len())
+	}
+	for i := 0; i < 20; i++ {
+		s.Pop()
+	}
+	b.Tick()
+	if s.Len() != 50 {
+		t.Fatalf("refilled depth = %d, want 50", s.Len())
+	}
+}
+
+func TestBacklogSourcePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for depth <= 0")
+		}
+	}()
+	NewBacklogSource(nil, nil, 0)
+}
+
+func TestRateSourceRate(t *testing.T) {
+	net := simnet.New(0.01, rand.New(rand.NewSource(1)))
+	s := New(0, Spec{Name: "cbr", PacketBits: 12000})
+	r := NewRateSource(net, s, 24) // 24 Mbps = 2000 pkt/s = 20 pkt/tick
+	for i := 0; i < 100; i++ {
+		r.Tick()
+		net.Step()
+	}
+	if s.Len() != 2000 {
+		t.Fatalf("arrivals = %d, want 2000", s.Len())
+	}
+}
+
+func TestRateSourceFractionalAccumulation(t *testing.T) {
+	net := simnet.New(0.01, rand.New(rand.NewSource(1)))
+	s := New(0, Spec{Name: "slow", PacketBits: 12000})
+	r := NewRateSource(net, s, 0.3) // 0.3 Mbps = 3000 bits/tick: 1 pkt per 4 ticks
+	for i := 0; i < 40; i++ {
+		r.Tick()
+		net.Step()
+	}
+	if s.Len() != 10 {
+		t.Fatalf("arrivals = %d, want 10", s.Len())
+	}
+}
+
+func TestRateSourcePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative rate")
+		}
+	}()
+	NewRateSource(nil, nil, -1)
+}

@@ -1,0 +1,162 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"iqpaths/internal/simnet"
+)
+
+func TestSpecDefaults(t *testing.T) {
+	s := New(0, Spec{Name: "x", Kind: Probabilistic, RequiredMbps: 10})
+	if s.PacketBits != 12000 {
+		t.Fatalf("default packet bits = %v", s.PacketBits)
+	}
+	if s.QueueLimit != 20000 {
+		t.Fatalf("default queue limit = %v", s.QueueLimit)
+	}
+	if s.Weight != 10 {
+		t.Fatalf("weight should derive from required bw: %v", s.Weight)
+	}
+	if s.Probability != 0.95 {
+		t.Fatalf("default probability = %v", s.Probability)
+	}
+	be := New(1, Spec{Name: "y"})
+	if be.Weight != 1 {
+		t.Fatalf("best-effort default weight = %v", be.Weight)
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	for _, s := range []Spec{
+		{Name: "a", Kind: Probabilistic, RequiredMbps: 3, Probability: 0.95},
+		{Name: "b", Kind: ViolationBound, RequiredMbps: 5, MaxViolations: 2},
+		{Name: "c", Kind: BestEffort},
+	} {
+		if s.String() == "" {
+			t.Fatal("empty String")
+		}
+	}
+	if BestEffort.String() != "best-effort" || GuaranteeKind(9).String() == "" {
+		t.Fatal("kind strings")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	net := simnet.New(0.01, rand.New(rand.NewSource(1)))
+	s := New(0, Spec{Name: "x"})
+	for i := 0; i < 10; i++ {
+		if !s.Push(net.NewPacket(0, float64(1000+i))) {
+			t.Fatal("push refused")
+		}
+	}
+	if s.Len() != 10 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Peek().Bits != 1000 {
+		t.Fatal("peek should see first packet")
+	}
+	for i := 0; i < 10; i++ {
+		p := s.Pop()
+		if p == nil || p.Bits != float64(1000+i) {
+			t.Fatalf("pop %d out of order", i)
+		}
+	}
+	if s.Pop() != nil || s.Peek() != nil {
+		t.Fatal("empty queue should return nil")
+	}
+}
+
+func TestQueueLimitDrops(t *testing.T) {
+	net := simnet.New(0.01, rand.New(rand.NewSource(1)))
+	s := New(0, Spec{Name: "x", QueueLimit: 3})
+	for i := 0; i < 5; i++ {
+		s.Push(net.NewPacket(0, 100))
+	}
+	if s.Len() != 3 || s.Dropped != 2 || s.Enqueued != 3 {
+		t.Fatalf("len=%d dropped=%d enqueued=%d", s.Len(), s.Dropped, s.Enqueued)
+	}
+}
+
+func TestBitsAccounting(t *testing.T) {
+	net := simnet.New(0.01, rand.New(rand.NewSource(1)))
+	s := New(0, Spec{Name: "x"})
+	s.Push(net.NewPacket(0, 100))
+	s.Push(net.NewPacket(0, 200))
+	if s.Bits() != 300 {
+		t.Fatalf("bits = %v", s.Bits())
+	}
+	s.Pop()
+	if s.Bits() != 200 {
+		t.Fatalf("bits after pop = %v", s.Bits())
+	}
+}
+
+// Property: after arbitrary push/pop sequences the queue length and bit
+// count stay consistent and compaction never loses packets.
+func TestQueueConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := simnet.New(0.01, rng)
+		s := New(0, Spec{Name: "x", QueueLimit: 1 << 20})
+		pushed, popped := 0, 0
+		bits := 0.0
+		for i := 0; i < 5000; i++ {
+			if rng.Float64() < 0.6 {
+				b := float64(1 + rng.Intn(1000))
+				s.Push(net.NewPacket(0, b))
+				bits += b
+				pushed++
+			} else if p := s.Pop(); p != nil {
+				bits -= p.Bits
+				popped++
+			}
+			if s.Len() != pushed-popped {
+				return false
+			}
+			if s.Bits() != bits {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequiredPacketsPerWindow(t *testing.T) {
+	s := New(0, Spec{Name: "x", Kind: Probabilistic, RequiredMbps: 12, PacketBits: 12000})
+	// 12 Mbps over 1 s = 12 Mbit = 1000 packets.
+	if got := s.RequiredPacketsPerWindow(1); got != 1000 {
+		t.Fatalf("x = %d, want 1000", got)
+	}
+	// Rounds up.
+	s2 := New(1, Spec{Name: "y", Kind: Probabilistic, RequiredMbps: 0.0121, PacketBits: 12000})
+	if got := s2.RequiredPacketsPerWindow(1); got != 2 {
+		t.Fatalf("x = %d, want 2 (round up)", got)
+	}
+	// Explicit window constraint wins.
+	s3 := New(2, Spec{Name: "z", WindowX: 7, WindowY: 10})
+	if got := s3.RequiredPacketsPerWindow(1); got != 7 {
+		t.Fatalf("x = %d, want 7", got)
+	}
+	// Best-effort has no requirement.
+	s4 := New(3, Spec{Name: "w"})
+	if got := s4.RequiredPacketsPerWindow(1); got != 0 {
+		t.Fatalf("x = %d, want 0", got)
+	}
+}
+
+func TestWindowConstraintRatio(t *testing.T) {
+	if got := New(0, Spec{Name: "a", WindowX: 3, WindowY: 4}).WindowConstraintRatio(); got != 0.75 {
+		t.Fatalf("ratio = %v", got)
+	}
+	if got := New(1, Spec{Name: "b", Kind: Probabilistic, RequiredMbps: 1}).WindowConstraintRatio(); got != 1 {
+		t.Fatalf("probabilistic default ratio = %v", got)
+	}
+	if got := New(2, Spec{Name: "c"}).WindowConstraintRatio(); got != 0 {
+		t.Fatalf("best-effort ratio = %v", got)
+	}
+}

@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hammers the trace-file parser: arbitrary input must never
+// panic or allocate absurdly, and accepted files must round-trip.
+func FuzzRead(f *testing.F) {
+	good := &File{TickSeconds: 0.1, Samples: []float64{1, 2, 3}}
+	var buf bytes.Buffer
+	_ = good.Write(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte("IQTR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := tr.Write(&out); err != nil {
+			t.Fatalf("accepted trace failed to re-write: %v", err)
+		}
+		tr2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-written trace rejected: %v", err)
+		}
+		if len(tr2.Samples) != len(tr.Samples) {
+			t.Fatal("round trip lost samples")
+		}
+	})
+}

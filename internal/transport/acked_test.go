@@ -1,0 +1,42 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAckedBitsTracksGoodput(t *testing.T) {
+	client, server, cleanup := rudpPair(t)
+	defer cleanup()
+	const n, payload = 100, 1200
+	for i := 0; i < n; i++ {
+		if err := client.Send(&Message{Kind: KindData, Payload: make([]byte, payload)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, err := server.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Acks are cumulative and may lag; wait for full acknowledgement.
+	want := float64(n * payload * 8)
+	deadline := time.Now().Add(2 * time.Second)
+	for client.AckedBits() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("acked %.0f of %.0f bits", client.AckedBits(), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := client.AckedBits(); got != want {
+		t.Fatalf("acked bits = %.0f, want %.0f", got, want)
+	}
+}
+
+func TestAckedBitsZeroBeforeTraffic(t *testing.T) {
+	client, _, cleanup := rudpPair(t)
+	defer cleanup()
+	if client.AckedBits() != 0 {
+		t.Fatal("fresh connection should have zero acked bits")
+	}
+}

@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// TestOverlayRouterChain exercises the iqpathsd router pattern at the
+// transport level: client → router (RUDP) → sink (RUDP), with the router
+// forwarding data messages hop to hop.
+func TestOverlayRouterChain(t *testing.T) {
+	sinkL, err := ListenRUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sinkL.Close()
+
+	routerL, err := ListenRUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer routerL.Close()
+
+	// Router: accept sessions, forward data to the sink.
+	out, err := DialRUDP(sinkL.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	go func() {
+		for {
+			conn, err := routerL.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				for {
+					m, err := conn.Recv()
+					if err != nil {
+						return
+					}
+					if m.Kind == KindData {
+						if err := out.Send(m); err != nil {
+							return
+						}
+					}
+				}
+			}()
+		}
+	}()
+
+	// Sink side.
+	sinkReady := make(chan *RUDPConn, 1)
+	go func() {
+		c, err := sinkL.Accept()
+		if err == nil {
+			sinkReady <- c
+		}
+	}()
+
+	client, err := DialRUDP(routerL.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	const n = 300
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = client.Send(&Message{Kind: KindData, Stream: 7, Frame: uint64(i + 1), Payload: make([]byte, 1200)})
+		}
+	}()
+
+	var sink *RUDPConn
+	select {
+	case sink = <-sinkReady:
+	case <-time.After(3 * time.Second):
+		t.Fatal("sink never saw the router's connection")
+	}
+	defer sink.Close()
+	seen := map[uint64]bool{}
+	deadline := time.After(10 * time.Second)
+	for len(seen) < n {
+		select {
+		case <-deadline:
+			t.Fatalf("received %d of %d through the chain", len(seen), n)
+		default:
+		}
+		m, err := sink.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Kind == KindData && m.Stream == 7 {
+			seen[m.Frame] = true
+		}
+	}
+}

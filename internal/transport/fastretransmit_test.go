@@ -1,0 +1,100 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// memPair wires two RUDP endpoints directly, with an injectable drop
+// filter on the a→b direction — no sockets, deterministic loss.
+func memPair(drop func(m *Message) bool) (a, b *RUDPConn) {
+	var mu sync.Mutex
+	a = newRUDPConn("b", nil, nil)
+	b = newRUDPConn("a", nil, nil)
+	a.write = func(data []byte) error {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		d := drop != nil && drop(m)
+		mu.Unlock()
+		if !d {
+			go b.handle(m)
+		}
+		return nil
+	}
+	b.write = func(data []byte) error {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return err
+		}
+		go a.handle(m)
+		return nil
+	}
+	return a, b
+}
+
+func TestFastRetransmitOnDupAcks(t *testing.T) {
+	droppedOnce := false
+	a, b := memPair(func(m *Message) bool {
+		if m.Kind == KindData && m.Seq == 3 && !droppedOnce {
+			droppedOnce = true
+			return true
+		}
+		return false
+	})
+	defer a.Close()
+	defer b.Close()
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := a.Send(&Message{Kind: KindData, Frame: uint64(i + 1), Payload: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Frame != uint64(i+1) {
+			t.Fatalf("order broken at %d: frame %d", i, m.Frame)
+		}
+	}
+	if !droppedOnce {
+		t.Fatal("the drop filter never fired")
+	}
+	if a.FastRetransmits() == 0 {
+		t.Fatalf("expected a fast retransmit; total retransmits %d", a.Retransmits())
+	}
+	// The recovery must have been duplicate-ack-driven, i.e. much faster
+	// than the minimum RTO: the whole exchange should finish promptly.
+	deadline := time.Now().Add(time.Second)
+	for a.InFlight() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestNoFastRetransmitWithoutLoss(t *testing.T) {
+	a, b := memPair(nil)
+	defer a.Close()
+	defer b.Close()
+	for i := 0; i < 50; i++ {
+		if err := a.Send(&Message{Kind: KindData, Payload: []byte("y")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := b.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	if a.FastRetransmits() != 0 {
+		t.Fatalf("spurious fast retransmits: %d", a.FastRetransmits())
+	}
+}

@@ -1,0 +1,102 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []*Message{
+		{Kind: KindData, Stream: 7, Frame: 42, Seq: 1, Payload: []byte("hello")},
+		{Kind: KindAck, Seq: 9},
+		{Kind: KindProbe, Seq: 1234, Stream: 1},
+		{Kind: KindControl, Payload: []byte("SYN")},
+	}
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kind != want.Kind || got.Stream != want.Stream || got.Frame != want.Frame || got.Seq != want.Seq {
+			t.Fatalf("header mismatch: %+v vs %+v", got, want)
+		}
+		if !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("payload mismatch")
+		}
+	}
+}
+
+func TestMarshalUnmarshalProperty(t *testing.T) {
+	f := func(kind uint8, stream uint32, frame, seq uint64, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		m := &Message{Kind: kind, Stream: stream, Frame: frame, Seq: seq, Payload: payload}
+		data, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		return got.Kind == kind && got.Stream == stream && got.Frame == frame &&
+			got.Seq == seq && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		bytes.Repeat([]byte{0}, headerLen), // bad magic
+		append([]byte("IQ"), bytes.Repeat([]byte{9}, headerLen)...), // bad length
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal(c); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("case %d: err = %v, want ErrBadFrame", i, err)
+		}
+	}
+}
+
+func TestReadMessageRejectsBadMagic(t *testing.T) {
+	buf := bytes.NewBuffer(bytes.Repeat([]byte{'X'}, headerLen))
+	if _, err := ReadMessage(buf); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWriteMessageRejectsOversize(t *testing.T) {
+	m := &Message{Kind: KindData, Payload: make([]byte, MaxPayload+1)}
+	if err := WriteMessage(&bytes.Buffer{}, m); err == nil {
+		t.Fatal("expected oversize error")
+	}
+	if _, err := m.Marshal(); err == nil {
+		t.Fatal("expected oversize error from Marshal")
+	}
+}
+
+func TestUnmarshalLengthMismatch(t *testing.T) {
+	m := &Message{Kind: KindData, Payload: []byte("abc")}
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(data[:len(data)-1]); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("truncated: %v", err)
+	}
+	if _, err := Unmarshal(append(data, 0)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("padded: %v", err)
+	}
+}

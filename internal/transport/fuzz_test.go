@@ -1,0 +1,63 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal hammers the datagram parser with arbitrary bytes: it must
+// never panic, and every accepted message must survive a re-marshal round
+// trip.
+func FuzzUnmarshal(f *testing.F) {
+	seed := []*Message{
+		{Kind: KindData, Stream: 1, Frame: 2, Seq: 3, Payload: []byte("hello")},
+		{Kind: KindAck, Seq: 99},
+		{Kind: KindControl, Payload: []byte("SYN")},
+		{Kind: KindProbe, Seq: 7, Stream: 1},
+	}
+	for _, m := range seed {
+		data, err := m.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte("IQ"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		re, err := m.Marshal()
+		if err != nil {
+			t.Fatalf("accepted message failed to re-marshal: %v", err)
+		}
+		m2, err := Unmarshal(re)
+		if err != nil {
+			t.Fatalf("re-marshaled message rejected: %v", err)
+		}
+		if m2.Kind != m.Kind || m2.Stream != m.Stream || m2.Frame != m.Frame ||
+			m2.Seq != m.Seq || !bytes.Equal(m2.Payload, m.Payload) {
+			t.Fatal("round trip not stable")
+		}
+	})
+}
+
+// FuzzReadMessage does the same for the stream framing.
+func FuzzReadMessage(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteMessage(&buf, &Message{Kind: KindData, Payload: []byte("x")})
+	f.Add(buf.Bytes())
+	f.Add([]byte("garbage that is long enough to cover a header at least"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadMessage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteMessage(&out, m); err != nil {
+			t.Fatalf("accepted message failed to re-frame: %v", err)
+		}
+	})
+}

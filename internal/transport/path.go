@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"sync/atomic"
+
+	"iqpaths/internal/simnet"
+)
+
+// Path adapts a live transport connection to the scheduler's PathService
+// surface, so the same PGOS engine that drives emulated paths drives real
+// sockets. Packets are serialized into KindData messages whose payload
+// length matches the packet's wire size; a writer goroutine drains the
+// queue so the (possibly blocking) transport never stalls the scheduler.
+type Path struct {
+	id   int
+	name string
+	conn Conn
+
+	queue    chan *simnet.Packet
+	queued   int64 // atomic
+	sentPkts uint64
+	sentBits uint64
+	closed   chan struct{}
+}
+
+// NewPath wraps conn as a schedulable path. queueCap bounds the packets
+// the scheduler may have in flight toward the connection (the pacing
+// surface); ≤0 selects 256.
+func NewPath(id int, name string, conn Conn, queueCap int) *Path {
+	if queueCap <= 0 {
+		queueCap = 256
+	}
+	p := &Path{
+		id:     id,
+		name:   name,
+		conn:   conn,
+		queue:  make(chan *simnet.Packet, queueCap),
+		closed: make(chan struct{}),
+	}
+	go p.writer()
+	return p
+}
+
+// ID implements sched.PathService.
+func (p *Path) ID() int { return p.id }
+
+// Name implements sched.PathService.
+func (p *Path) Name() string { return p.name }
+
+// Send implements sched.PathService: it never blocks; a full queue means
+// the path is saturated and reports false (PGOS's "blocked path").
+func (p *Path) Send(pkt *simnet.Packet) bool {
+	select {
+	case p.queue <- pkt:
+		atomic.AddInt64(&p.queued, 1)
+		return true
+	default:
+		return false
+	}
+}
+
+// QueuedPackets implements sched.PathService.
+func (p *Path) QueuedPackets() int { return int(atomic.LoadInt64(&p.queued)) }
+
+// SentPackets and SentBits report what the writer pushed to the transport.
+func (p *Path) SentPackets() uint64 { return atomic.LoadUint64(&p.sentPkts) }
+
+// SentBits reports the total payload bits handed to the transport.
+func (p *Path) SentBits() uint64 { return atomic.LoadUint64(&p.sentBits) }
+
+// Close stops the writer and closes the underlying connection.
+func (p *Path) Close() error {
+	select {
+	case <-p.closed:
+	default:
+		close(p.closed)
+	}
+	return p.conn.Close()
+}
+
+func (p *Path) writer() {
+	for {
+		select {
+		case <-p.closed:
+			return
+		case pkt := <-p.queue:
+			payload := make([]byte, int(pkt.Bits)/8)
+			m := &Message{
+				Kind:    KindData,
+				Stream:  uint32(pkt.Stream),
+				Frame:   pkt.Frame,
+				Payload: payload,
+			}
+			err := p.conn.Send(m)
+			atomic.AddInt64(&p.queued, -1)
+			if err != nil {
+				return
+			}
+			atomic.AddUint64(&p.sentPkts, 1)
+			atomic.AddUint64(&p.sentBits, uint64(pkt.Bits))
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"iqpaths/internal/simnet"
+)
+
+// collectorConn counts messages for path-adapter tests.
+type collectorConn struct {
+	mu    sync.Mutex
+	msgs  []*Message
+	block chan struct{} // if non-nil, Send blocks until closed
+}
+
+func (c *collectorConn) Send(m *Message) error {
+	if c.block != nil {
+		<-c.block
+	}
+	c.mu.Lock()
+	c.msgs = append(c.msgs, m)
+	c.mu.Unlock()
+	return nil
+}
+func (c *collectorConn) Recv() (*Message, error) { select {} }
+func (c *collectorConn) Close() error            { return nil }
+func (c *collectorConn) RemoteAddr() string      { return "test" }
+
+func (c *collectorConn) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.msgs)
+}
+
+func TestPathAdapterForwards(t *testing.T) {
+	cc := &collectorConn{}
+	p := NewPath(3, "live-A", cc, 16)
+	defer p.Close()
+	if p.ID() != 3 || p.Name() != "live-A" {
+		t.Fatal("identity")
+	}
+	pkt := &simnet.Packet{ID: 1, Stream: 2, Bits: 8000, Frame: 9}
+	if !p.Send(pkt) {
+		t.Fatal("send refused")
+	}
+	deadline := time.Now().Add(time.Second)
+	for cc.count() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("message never forwarded")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cc.mu.Lock()
+	m := cc.msgs[0]
+	cc.mu.Unlock()
+	if m.Stream != 2 || m.Frame != 9 || len(m.Payload) != 1000 {
+		t.Fatalf("forwarded message wrong: %+v", m)
+	}
+	if p.SentPackets() != 1 || p.SentBits() != 8000 {
+		t.Fatalf("counters: %d/%d", p.SentPackets(), p.SentBits())
+	}
+}
+
+func TestPathAdapterBackpressure(t *testing.T) {
+	cc := &collectorConn{block: make(chan struct{})}
+	p := NewPath(0, "x", cc, 4)
+	defer p.Close()
+	accepted := 0
+	for i := 0; i < 20; i++ {
+		if p.Send(&simnet.Packet{Bits: 800}) {
+			accepted++
+		}
+	}
+	// Queue cap 4 plus possibly one in the writer's hands.
+	if accepted < 4 || accepted > 5 {
+		t.Fatalf("accepted %d, want 4-5", accepted)
+	}
+	if p.QueuedPackets() == 0 {
+		t.Fatal("queue should report backlog")
+	}
+	close(cc.block)
+	deadline := time.Now().Add(time.Second)
+	for p.QueuedPackets() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPathAdapterOverRealRUDP(t *testing.T) {
+	l, err := ListenRUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	client, err := DialRUDP(l.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	p := NewPath(0, "rudp", client, 64)
+	defer p.Close()
+	const n = 200
+	for i := 0; i < n; i++ {
+		for !p.Send(&simnet.Packet{Stream: 1, Bits: 9600, Frame: uint64(i + 1)}) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for i := 0; i < n; i++ {
+		m, err := server.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m.Payload) != 1200 {
+			t.Fatalf("payload = %d bytes", len(m.Payload))
+		}
+	}
+}

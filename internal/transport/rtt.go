@@ -1,0 +1,86 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// RTTEstimator implements Jacobson/Karels smoothed RTT estimation, the
+// standard SRTT/RTTVAR filter TCP uses, with the usual RTO clamp. It is
+// safe for concurrent use.
+type RTTEstimator struct {
+	mu     sync.Mutex
+	srtt   time.Duration
+	rttvar time.Duration
+	seeded bool
+	minRTO time.Duration
+	maxRTO time.Duration
+}
+
+// NewRTTEstimator returns an estimator with RTO clamped to [minRTO, maxRTO].
+// Zero values select 20 ms and 3 s.
+func NewRTTEstimator(minRTO, maxRTO time.Duration) *RTTEstimator {
+	if minRTO <= 0 {
+		minRTO = 20 * time.Millisecond
+	}
+	if maxRTO <= 0 {
+		maxRTO = 3 * time.Second
+	}
+	return &RTTEstimator{minRTO: minRTO, maxRTO: maxRTO}
+}
+
+// Observe feeds one RTT sample.
+func (e *RTTEstimator) Observe(sample time.Duration) {
+	if sample <= 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.seeded {
+		e.srtt = sample
+		e.rttvar = sample / 2
+		e.seeded = true
+		return
+	}
+	diff := e.srtt - sample
+	if diff < 0 {
+		diff = -diff
+	}
+	e.rttvar = (3*e.rttvar + diff) / 4
+	e.srtt = (7*e.srtt + sample) / 8
+}
+
+// SRTT returns the smoothed RTT (0 before any sample).
+func (e *RTTEstimator) SRTT() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.srtt
+}
+
+// RTO returns the retransmission timeout: srtt + 4·rttvar, clamped.
+func (e *RTTEstimator) RTO() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rto := e.srtt + 4*e.rttvar
+	if !e.seeded || rto < e.minRTO {
+		rto = e.minRTO
+	}
+	if rto > e.maxRTO {
+		rto = e.maxRTO
+	}
+	return rto
+}
+
+// Backoff doubles the RTO estimate (call on retransmission timeout), up to
+// the maximum, by inflating rttvar — the next genuine sample deflates it.
+func (e *RTTEstimator) Backoff() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.rttvar == 0 {
+		e.rttvar = e.minRTO
+	}
+	e.rttvar *= 2
+	if e.srtt+4*e.rttvar > e.maxRTO {
+		e.rttvar = (e.maxRTO - e.srtt) / 4
+	}
+}

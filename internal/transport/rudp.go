@@ -1,0 +1,388 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RUDP constants.
+const (
+	// rudpWindow is the sender's in-flight window in packets.
+	rudpWindow = 256
+	// rudpWindowBytes additionally bounds the in-flight payload bytes, so
+	// large-block senders cannot burst past receiver socket buffers (UDP
+	// has no congestion control of its own).
+	rudpWindowBytes = 256 * 1024
+	// rudpMaxDatagram bounds one datagram (header + payload).
+	rudpMaxDatagram = 64 * 1024
+	// rudpAckEvery acknowledges every k-th in-order packet (plus any
+	// out-of-order arrival immediately).
+	rudpAckEvery = 4
+	// rudpMaxRetries gives up the connection after this many
+	// retransmissions of the same packet.
+	rudpMaxRetries = 20
+)
+
+// ErrClosed reports use of a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// control payloads.
+var (
+	ctlSyn    = []byte("SYN")
+	ctlSynAck = []byte("SYN-ACK")
+	ctlFin    = []byte("FIN")
+)
+
+type pendingPkt struct {
+	data    []byte
+	sentAt  time.Time
+	retries int
+}
+
+// RUDPConn is a reliable, ordered message connection over UDP: sliding
+// window, cumulative acks, Jacobson RTO with exponential backoff, and
+// in-order delivery — the RUDP module of the IQ-Paths middleware stack
+// (Fig. 2), whose acks double as the bandwidth/RTT measurement hooks.
+type RUDPConn struct {
+	write func([]byte) error // socket write bound to the peer
+	peer  string
+	rtt   *RTTEstimator
+
+	mu            sync.Mutex
+	sendCond      *sync.Cond
+	nextSeq       uint64
+	unacked       map[uint64]*pendingPkt
+	inFlightBytes int
+	lowest        uint64 // lowest unacked seq
+	closed        bool
+
+	recvNext uint64
+	ooo      map[uint64]*Message
+	recvQ    chan *Message
+
+	// stats
+	retransmits     uint64
+	fastRetransmits uint64
+	acksSent        uint64
+	ackedSeq        uint64  // highest cumulatively acknowledged sequence
+	ackedBits       float64 // payload bits confirmed delivered by acks
+	dupAcks         int     // consecutive duplicate cumulative acks
+
+	probeEcho chan uint64
+
+	closeOnce sync.Once
+	closeFn   func()
+	done      chan struct{}
+}
+
+func newRUDPConn(peer string, write func([]byte) error, closeFn func()) *RUDPConn {
+	c := &RUDPConn{
+		write:     write,
+		peer:      peer,
+		rtt:       NewRTTEstimator(0, 0),
+		nextSeq:   1,
+		unacked:   map[uint64]*pendingPkt{},
+		lowest:    1,
+		recvNext:  1,
+		ooo:       map[uint64]*Message{},
+		recvQ:     make(chan *Message, 1024),
+		probeEcho: make(chan uint64, 8),
+		closeFn:   closeFn,
+		done:      make(chan struct{}),
+	}
+	c.sendCond = sync.NewCond(&c.mu)
+	go c.retransmitLoop()
+	return c
+}
+
+// RemoteAddr implements Conn.
+func (c *RUDPConn) RemoteAddr() string { return c.peer }
+
+// RTT returns the connection's smoothed round-trip estimate.
+func (c *RUDPConn) RTT() time.Duration { return c.rtt.SRTT() }
+
+// Retransmits returns the number of retransmitted packets so far.
+func (c *RUDPConn) Retransmits() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retransmits
+}
+
+// FastRetransmits returns the number of duplicate-ack-triggered
+// retransmissions.
+func (c *RUDPConn) FastRetransmits() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fastRetransmits
+}
+
+// AckedBits returns the total payload bits the peer has cumulatively
+// acknowledged — the sender-side goodput measure feeding live monitors.
+func (c *RUDPConn) AckedBits() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ackedBits
+}
+
+// InFlight returns the number of unacknowledged packets.
+func (c *RUDPConn) InFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.unacked)
+}
+
+// Send implements Conn: it blocks while the send window is full and
+// returns once the message is transmitted (not yet acknowledged).
+func (c *RUDPConn) Send(m *Message) error {
+	c.mu.Lock()
+	for !c.closed && (len(c.unacked) >= rudpWindow || c.inFlightBytes >= rudpWindowBytes) {
+		c.sendCond.Wait()
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	seq := c.nextSeq
+	c.nextSeq++
+	wire := *m
+	wire.Seq = seq
+	data, err := wire.Marshal()
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.unacked[seq] = &pendingPkt{data: data, sentAt: time.Now()}
+	c.inFlightBytes += len(data)
+	c.mu.Unlock()
+	return c.write(data)
+}
+
+// Recv implements Conn: messages are delivered reliably and in order.
+func (c *RUDPConn) Recv() (*Message, error) {
+	m, ok := <-c.recvQ
+	if !ok {
+		return nil, ErrClosed
+	}
+	return m, nil
+}
+
+// Close implements Conn.
+func (c *RUDPConn) Close() error {
+	c.closeOnce.Do(func() {
+		fin, _ := (&Message{Kind: KindControl, Payload: ctlFin}).Marshal()
+		_ = c.write(fin)
+		c.mu.Lock()
+		c.closed = true
+		c.sendCond.Broadcast()
+		c.mu.Unlock()
+		close(c.done)
+		close(c.recvQ)
+		if c.closeFn != nil {
+			c.closeFn()
+		}
+	})
+	return nil
+}
+
+// handle processes one datagram addressed to this connection.
+func (c *RUDPConn) handle(m *Message) {
+	switch m.Kind {
+	case KindAck:
+		c.onAck(m.Seq)
+	case KindData:
+		c.onData(m)
+	case KindProbe:
+		if m.Stream == 0 {
+			// Request: echo it back marked as a reply.
+			reply := &Message{Kind: KindProbe, Seq: m.Seq, Stream: 1}
+			if data, err := reply.Marshal(); err == nil {
+				_ = c.write(data)
+			}
+			return
+		}
+		// Reply: hand the token to a waiting Probe call.
+		select {
+		case c.probeEcho <- m.Seq:
+		default:
+		}
+	case KindControl:
+		if string(m.Payload) == string(ctlFin) {
+			_ = c.Close()
+			return
+		}
+		// Application control messages travel through Send and carry a
+		// sequence number: they are acked, ordered, and delivered via
+		// Recv exactly like data. Handshake frames (SYN/SYN-ACK, and FIN
+		// above) are marshaled raw with Seq 0 and never reach the app.
+		if m.Seq != 0 {
+			c.onData(m)
+		}
+	}
+}
+
+func (c *RUDPConn) onAck(cum uint64) {
+	var fastResend []byte
+	c.mu.Lock()
+	now := time.Now()
+	for seq := c.lowest; seq <= cum; seq++ {
+		if p, ok := c.unacked[seq]; ok {
+			if p.retries == 0 { // Karn's rule: no RTT from retransmits
+				c.rtt.Observe(now.Sub(p.sentAt))
+			}
+			c.ackedBits += float64(len(p.data)-headerLen) * 8
+			c.inFlightBytes -= len(p.data)
+			delete(c.unacked, seq)
+		}
+	}
+	if cum >= c.lowest {
+		c.lowest = cum + 1
+		c.dupAcks = 0
+	} else if cum+1 == c.lowest {
+		// Duplicate cumulative ack: the packet at c.lowest is likely lost.
+		// After three duplicates, retransmit it immediately (fast
+		// retransmit) instead of waiting out the RTO.
+		c.dupAcks++
+		if c.dupAcks == 3 {
+			if p, ok := c.unacked[c.lowest]; ok {
+				p.retries++
+				p.sentAt = now
+				c.retransmits++
+				c.fastRetransmits++
+				fastResend = p.data
+			}
+			c.dupAcks = 0
+		}
+	}
+	if cum > c.ackedSeq {
+		c.ackedSeq = cum
+	}
+	c.sendCond.Broadcast()
+	c.mu.Unlock()
+	if fastResend != nil {
+		_ = c.write(fastResend)
+	}
+}
+
+func (c *RUDPConn) onData(m *Message) {
+	c.mu.Lock()
+	if m.Seq < c.recvNext {
+		// Duplicate: re-ack so the sender can advance.
+		c.mu.Unlock()
+		c.sendAck()
+		return
+	}
+	c.ooo[m.Seq] = m
+	delivered := 0
+	for {
+		next, ok := c.ooo[c.recvNext]
+		if !ok {
+			break
+		}
+		delete(c.ooo, c.recvNext)
+		c.recvNext++
+		delivered++
+		if !c.closed {
+			select {
+			case c.recvQ <- next:
+			default:
+				// Receiver not draining: drop to protect the loop; the
+				// ack already covered it, mirroring a full app buffer.
+			}
+		}
+	}
+	outOfOrder := delivered == 0
+	ackDue := outOfOrder || (c.recvNext-1)%rudpAckEvery == 0
+	c.mu.Unlock()
+	if ackDue {
+		c.sendAck()
+	}
+}
+
+func (c *RUDPConn) sendAck() {
+	c.mu.Lock()
+	cum := c.recvNext - 1
+	c.acksSent++
+	c.mu.Unlock()
+	data, err := (&Message{Kind: KindAck, Seq: cum}).Marshal()
+	if err == nil {
+		_ = c.write(data)
+	}
+}
+
+// retransmitLoop re-sends the oldest expired unacked packets.
+func (c *RUDPConn) retransmitLoop() {
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-ticker.C:
+		}
+		rto := c.rtt.RTO()
+		now := time.Now()
+		var resend [][]byte
+		fatal := false
+		c.mu.Lock()
+		for _, p := range c.unacked {
+			if now.Sub(p.sentAt) < rto {
+				continue
+			}
+			p.retries++
+			if p.retries > rudpMaxRetries {
+				fatal = true
+				break
+			}
+			p.sentAt = now
+			resend = append(resend, p.data)
+			c.retransmits++
+			if len(resend) >= 64 {
+				break
+			}
+		}
+		c.mu.Unlock()
+		if fatal {
+			_ = c.Close()
+			return
+		}
+		if len(resend) > 0 {
+			c.rtt.Backoff()
+			for _, d := range resend {
+				_ = c.write(d)
+			}
+		}
+	}
+}
+
+// Probe measures one RTT sample by sending a probe (Stream 0) and waiting
+// for the peer's echo (Stream 1) carrying the same token.
+func (c *RUDPConn) Probe(timeout time.Duration) (time.Duration, error) {
+	token := uint64(time.Now().UnixNano())
+	data, err := (&Message{Kind: KindProbe, Seq: token}).Marshal()
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if err := c.write(data); err != nil {
+		return 0, err
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case tok := <-c.probeEcho:
+			if tok != token {
+				continue // stale echo from an earlier timed-out probe
+			}
+			rtt := time.Since(start)
+			c.rtt.Observe(rtt)
+			return rtt, nil
+		case <-deadline.C:
+			return 0, fmt.Errorf("transport: probe timeout after %v", timeout)
+		case <-c.done:
+			return 0, ErrClosed
+		}
+	}
+}

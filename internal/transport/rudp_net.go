@@ -1,0 +1,182 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// RUDPListener accepts RUDP sessions on one UDP socket, demultiplexing
+// datagrams by peer address.
+type RUDPListener struct {
+	sock *net.UDPConn
+
+	mu       sync.Mutex
+	sessions map[string]*RUDPConn
+	acceptQ  chan *RUDPConn
+	closed   bool
+}
+
+// ListenRUDP binds a UDP socket (e.g. "127.0.0.1:0") and starts the demux.
+func ListenRUDP(addr string) (*RUDPListener, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sock, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	// Large buffers absorb striping bursts; errors are advisory (the OS
+	// may clamp to its limits).
+	_ = sock.SetReadBuffer(1 << 21)
+	_ = sock.SetWriteBuffer(1 << 21)
+	l := &RUDPListener{
+		sock:     sock,
+		sessions: map[string]*RUDPConn{},
+		acceptQ:  make(chan *RUDPConn, 16),
+	}
+	go l.demux()
+	return l, nil
+}
+
+// Addr returns the bound address.
+func (l *RUDPListener) Addr() string { return l.sock.LocalAddr().String() }
+
+// Accept returns the next new session (created on its first SYN).
+func (l *RUDPListener) Accept() (*RUDPConn, error) {
+	c, ok := <-l.acceptQ
+	if !ok {
+		return nil, ErrClosed
+	}
+	return c, nil
+}
+
+// Close shuts the listener and every session down.
+func (l *RUDPListener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	sessions := make([]*RUDPConn, 0, len(l.sessions))
+	for _, c := range l.sessions {
+		sessions = append(sessions, c)
+	}
+	l.mu.Unlock()
+	for _, c := range sessions {
+		_ = c.Close()
+	}
+	close(l.acceptQ)
+	return l.sock.Close()
+}
+
+func (l *RUDPListener) demux() {
+	buf := make([]byte, rudpMaxDatagram)
+	for {
+		n, from, err := l.sock.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		m, err := Unmarshal(buf[:n])
+		if err != nil {
+			continue // garbage datagram
+		}
+		key := from.String()
+		l.mu.Lock()
+		conn, ok := l.sessions[key]
+		if !ok {
+			if l.closed {
+				l.mu.Unlock()
+				continue
+			}
+			peer := *from
+			conn = newRUDPConn(key, func(d []byte) error {
+				_, werr := l.sock.WriteToUDP(d, &peer)
+				return werr
+			}, func() {
+				l.mu.Lock()
+				delete(l.sessions, key)
+				l.mu.Unlock()
+			})
+			l.sessions[key] = conn
+			select {
+			case l.acceptQ <- conn:
+			default:
+			}
+		}
+		l.mu.Unlock()
+		if m.Kind == KindControl && string(m.Payload) == string(ctlSyn) {
+			ack, _ := (&Message{Kind: KindControl, Payload: ctlSynAck}).Marshal()
+			_, _ = l.sock.WriteToUDP(ack, from)
+			continue
+		}
+		conn.handle(m)
+	}
+}
+
+// DialRUDP opens an RUDP session to addr, performing a small SYN/SYN-ACK
+// handshake so the server registers the session before data flows.
+func DialRUDP(addr string, timeout time.Duration) (*RUDPConn, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sock, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, err
+	}
+	_ = sock.SetReadBuffer(1 << 21)
+	_ = sock.SetWriteBuffer(1 << 21)
+	conn := newRUDPConn(addr, func(d []byte) error {
+		_, werr := sock.Write(d)
+		return werr
+	}, func() { _ = sock.Close() })
+
+	// Reader loop: everything from the socket goes to the session.
+	ready := make(chan struct{})
+	var once sync.Once
+	go func() {
+		buf := make([]byte, rudpMaxDatagram)
+		for {
+			n, rerr := sock.Read(buf)
+			if rerr != nil {
+				_ = conn.Close()
+				return
+			}
+			m, merr := Unmarshal(buf[:n])
+			if merr != nil {
+				continue
+			}
+			if m.Kind == KindControl && string(m.Payload) == string(ctlSynAck) {
+				once.Do(func() { close(ready) })
+				continue
+			}
+			conn.handle(m)
+		}
+	}()
+
+	// Handshake with retry.
+	syn, _ := (&Message{Kind: KindControl, Payload: ctlSyn}).Marshal()
+	deadline := time.Now().Add(timeout)
+	for {
+		if _, err := sock.Write(syn); err != nil {
+			_ = conn.Close()
+			return nil, err
+		}
+		select {
+		case <-ready:
+			return conn, nil
+		case <-time.After(50 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			_ = conn.Close()
+			return nil, fmt.Errorf("transport: RUDP handshake with %s timed out", addr)
+		}
+	}
+}
+
+var _ Conn = (*RUDPConn)(nil)
+var _ Conn = (*TCPConn)(nil)

@@ -1,0 +1,238 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func rudpPair(t *testing.T) (*RUDPConn, *RUDPConn, func()) {
+	t.Helper()
+	l, err := ListenRUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := DialRUDP(l.Addr(), 2*time.Second)
+	if err != nil {
+		l.Close()
+		t.Fatal(err)
+	}
+	server, err := l.Accept()
+	if err != nil {
+		l.Close()
+		t.Fatal(err)
+	}
+	return client, server, func() {
+		client.Close()
+		server.Close()
+		l.Close()
+	}
+}
+
+func TestRUDPBasicDelivery(t *testing.T) {
+	client, server, cleanup := rudpPair(t)
+	defer cleanup()
+	for i := 0; i < 100; i++ {
+		err := client.Send(&Message{Kind: KindData, Stream: 1, Payload: []byte(fmt.Sprintf("msg-%03d", i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		m, err := server.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("msg-%03d", i); string(m.Payload) != want {
+			t.Fatalf("out of order: got %q want %q", m.Payload, want)
+		}
+	}
+}
+
+func TestRUDPBidirectional(t *testing.T) {
+	client, server, cleanup := rudpPair(t)
+	defer cleanup()
+	if err := server.Send(&Message{Kind: KindData, Payload: []byte("from-server")}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Payload) != "from-server" {
+		t.Fatalf("payload = %q", m.Payload)
+	}
+}
+
+func TestRUDPLargeTransferConcurrent(t *testing.T) {
+	client, server, cleanup := rudpPair(t)
+	defer cleanup()
+	const n = 2000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	errCh := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := client.Send(&Message{Kind: KindData, Seq: 0, Frame: uint64(i), Payload: make([]byte, 1200)}); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		m, err := server.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Frame != uint64(i) {
+			t.Fatalf("frame %d arrived at slot %d", m.Frame, i)
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestRUDPProbeRTT(t *testing.T) {
+	client, _, cleanup := rudpPair(t)
+	defer cleanup()
+	rtt, err := client.Probe(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt <= 0 || rtt > time.Second {
+		t.Fatalf("loopback RTT = %v", rtt)
+	}
+	if client.RTT() <= 0 {
+		t.Fatal("estimator not updated")
+	}
+}
+
+func TestRUDPSendAfterClose(t *testing.T) {
+	client, _, cleanup := rudpPair(t)
+	defer cleanup()
+	client.Close()
+	if err := client.Send(&Message{Kind: KindData}); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if _, err := client.Recv(); err != ErrClosed {
+		t.Fatalf("recv err = %v, want ErrClosed", err)
+	}
+}
+
+func TestRUDPFinClosesPeer(t *testing.T) {
+	client, server, cleanup := rudpPair(t)
+	defer cleanup()
+	client.Close()
+	done := make(chan struct{})
+	go func() {
+		for {
+			if _, err := server.Recv(); err != nil {
+				close(done)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("server did not observe FIN")
+	}
+}
+
+func TestRUDPInFlightDrains(t *testing.T) {
+	client, server, cleanup := rudpPair(t)
+	defer cleanup()
+	for i := 0; i < 50; i++ {
+		if err := client.Send(&Message{Kind: KindData, Payload: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := server.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for client.InFlight() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight stuck at %d", client.InFlight())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRTTEstimator(t *testing.T) {
+	e := NewRTTEstimator(0, 0)
+	if e.SRTT() != 0 {
+		t.Fatal("fresh estimator should report 0")
+	}
+	if e.RTO() < 20*time.Millisecond {
+		t.Fatal("floor RTO")
+	}
+	e.Observe(100 * time.Millisecond)
+	if e.SRTT() != 100*time.Millisecond {
+		t.Fatalf("first sample seeds SRTT: %v", e.SRTT())
+	}
+	for i := 0; i < 50; i++ {
+		e.Observe(100 * time.Millisecond)
+	}
+	if got := e.SRTT(); got < 95*time.Millisecond || got > 105*time.Millisecond {
+		t.Fatalf("converged SRTT = %v", got)
+	}
+	rtoBefore := e.RTO()
+	e.Backoff()
+	if e.RTO() <= rtoBefore {
+		t.Fatal("backoff should inflate RTO")
+	}
+	e.Observe(0) // ignored
+}
+
+func TestTCPConnRoundTrip(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan error, 1)
+	go func() {
+		s, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer s.Close()
+		m, err := s.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- s.Send(&Message{Kind: KindData, Payload: append([]byte("echo:"), m.Payload...)})
+	}()
+	c, err := DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(&Message{Kind: KindData, Payload: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Payload) != "echo:hi" {
+		t.Fatalf("payload = %q", m.Payload)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if c.RemoteAddr() == "" {
+		t.Fatal("remote addr empty")
+	}
+}

@@ -1,0 +1,183 @@
+package video
+
+import (
+	"math/rand"
+	"testing"
+
+	"iqpaths/internal/simnet"
+	"iqpaths/internal/stream"
+)
+
+func newNet() *simnet.Network {
+	return simnet.New(0.01, rand.New(rand.NewSource(1)))
+}
+
+func TestSourceLayerSpecs(t *testing.T) {
+	src := NewSource(newNet(), Config{}, rand.New(rand.NewSource(2)))
+	ss := src.Streams()
+	if len(ss) != 3 {
+		t.Fatalf("layers = %d, want 3 (base + 2 enh)", len(ss))
+	}
+	if ss[0].Kind != stream.Probabilistic || ss[0].Probability != 0.99 {
+		t.Fatalf("base layer spec: %+v", ss[0].Spec)
+	}
+	if ss[1].Kind != stream.Probabilistic || ss[1].Probability != 0.95 {
+		t.Fatalf("enh1 spec: %+v", ss[1].Spec)
+	}
+	if ss[2].Kind != stream.BestEffort || ss[2].Weight != 8 {
+		t.Fatalf("last layer must be weighted best-effort: %+v", ss[2].Spec)
+	}
+}
+
+func TestSourceRateAndGOP(t *testing.T) {
+	net := newNet()
+	src := NewSource(net, Config{VBRSigma: 0.0001, SceneChangeProb: 1e-12}, rand.New(rand.NewSource(3)))
+	for i := 0; i < 1000; i++ { // 10 s
+		src.Tick()
+		net.Step()
+	}
+	if f := src.Frames(); f < 300 || f > 301 {
+		t.Fatalf("frames in 10 s = %d, want ~300", f)
+	}
+	// Base layer rate ≈ 2 Mbps over 10 s.
+	if mbps := src.Streams()[0].Bits() / 1e6 / 10; mbps < 1.8 || mbps > 2.2 {
+		t.Fatalf("base layer offered %.2f Mbps, want ~2", mbps)
+	}
+	// I frames are bigger than P/B frames.
+	iPkts := src.ExpectedPackets(1)[0] // frame 1 is an I frame
+	pPkts := src.ExpectedPackets(2)[0]
+	if iPkts <= pPkts {
+		t.Fatalf("I frame (%d pkts) should exceed P frame (%d)", iPkts, pPkts)
+	}
+}
+
+func TestReceiverScoresPerfectDelivery(t *testing.T) {
+	net := newNet()
+	src := NewSource(net, Config{DeadlineFrames: 2}, rand.New(rand.NewSource(4)))
+	rcv := NewReceiver(src)
+	// Deliver everything instantly for 2 simulated seconds.
+	for tick := int64(0); tick < 200; tick++ {
+		src.Tick()
+		for _, st := range src.Streams() {
+			for {
+				p := st.Pop()
+				if p == nil {
+					break
+				}
+				rcv.OnPacket(p)
+			}
+		}
+		net.Step()
+		rcv.Tick(net.Tick())
+	}
+	rep := rcv.Report()
+	if rep.FramesScored == 0 {
+		t.Fatal("no frames scored")
+	}
+	if rep.BaseMissRate != 0 {
+		t.Fatalf("perfect delivery missed base frames: %v", rep)
+	}
+	if rep.MeanQuality < 2.99 {
+		t.Fatalf("perfect delivery quality = %v, want 3 layers", rep.MeanQuality)
+	}
+	if rep.QualityStdDev > 0.01 {
+		t.Fatalf("perfect delivery should be perfectly smooth: %v", rep)
+	}
+}
+
+func TestReceiverScoresDroppedEnhancement(t *testing.T) {
+	net := newNet()
+	src := NewSource(net, Config{DeadlineFrames: 2}, rand.New(rand.NewSource(5)))
+	rcv := NewReceiver(src)
+	for tick := int64(0); tick < 200; tick++ {
+		src.Tick()
+		for layer, st := range src.Streams() {
+			for {
+				p := st.Pop()
+				if p == nil {
+					break
+				}
+				if layer == 2 {
+					continue // drop the top enhancement layer entirely
+				}
+				rcv.OnPacket(p)
+			}
+		}
+		net.Step()
+		rcv.Tick(net.Tick())
+	}
+	rep := rcv.Report()
+	if rep.BaseMissRate != 0 {
+		t.Fatalf("base should still play: %v", rep)
+	}
+	if rep.MeanQuality < 1.99 || rep.MeanQuality > 2.01 {
+		t.Fatalf("quality = %v, want 2 layers", rep.MeanQuality)
+	}
+}
+
+func TestReceiverCountsBaseMisses(t *testing.T) {
+	net := newNet()
+	src := NewSource(net, Config{DeadlineFrames: 1}, rand.New(rand.NewSource(6)))
+	rcv := NewReceiver(src)
+	for tick := int64(0); tick < 100; tick++ {
+		src.Tick()
+		for _, st := range src.Streams() {
+			for st.Pop() != nil {
+				// drop everything
+			}
+		}
+		net.Step()
+		rcv.Tick(net.Tick())
+	}
+	rep := rcv.Report()
+	if rep.FramesScored == 0 || rep.BaseMissRate != 1 {
+		t.Fatalf("all frames should miss: %v", rep)
+	}
+}
+
+func TestSourceForget(t *testing.T) {
+	net := newNet()
+	src := NewSource(net, Config{}, rand.New(rand.NewSource(7)))
+	for tick := int64(0); tick < 100; tick++ {
+		src.Tick()
+		net.Step()
+	}
+	n := src.Frames()
+	src.Forget(n - 1)
+	if src.ExpectedPackets(1) != nil {
+		t.Fatal("old frame bookkeeping not forgotten")
+	}
+	if src.ExpectedPackets(n) == nil {
+		t.Fatal("recent frame forgotten too eagerly")
+	}
+}
+
+func TestFGSPartialCredit(t *testing.T) {
+	net := newNet()
+	src := NewSource(net, Config{DeadlineFrames: 2, VBRSigma: 0.0001}, rand.New(rand.NewSource(8)))
+	rcv := NewReceiver(src)
+	for tick := int64(0); tick < 200; tick++ {
+		src.Tick()
+		for layer, st := range src.Streams() {
+			expected := 0
+			for {
+				p := st.Pop()
+				if p == nil {
+					break
+				}
+				expected++
+				// Truncate the top layer halfway (FGS cut).
+				if layer == 2 && expected%2 == 0 {
+					continue
+				}
+				rcv.OnPacket(p)
+			}
+		}
+		net.Step()
+		rcv.Tick(net.Tick())
+	}
+	rep := rcv.Report()
+	if rep.MeanQuality < 2.3 || rep.MeanQuality > 2.7 {
+		t.Fatalf("half-truncated top layer quality = %v, want ~2.5", rep.MeanQuality)
+	}
+}
