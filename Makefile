@@ -2,19 +2,21 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench figures ablations html fuzz clean
+.PHONY: all build vet test race cover bench figures ablations html fuzz clean
 
-all: build test
+all: build vet test
 
 build:
 	$(GO) build ./...
+
+vet:
 	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/transport/ ./internal/gridftp/ .
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./internal/...

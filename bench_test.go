@@ -17,6 +17,7 @@ import (
 	"iqpaths/internal/simnet"
 	"iqpaths/internal/stats"
 	"iqpaths/internal/stream"
+	"iqpaths/internal/telemetry"
 	"iqpaths/internal/trace"
 )
 
@@ -305,6 +306,44 @@ func BenchmarkPGOSTick(b *testing.B) {
 			b.StartTimer()
 		}
 	}
+}
+
+// BenchmarkTelemetryOverhead measures the metric hot paths the schedulers
+// and transport hit per packet/tick. All of them must be allocation-free
+// and cost a handful of nanoseconds, or instrumentation would distort the
+// systems it observes (the strict zero-alloc assertion lives in the
+// telemetry package's tests).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	b.Run("CounterInc", func(b *testing.B) {
+		c := reg.Counter("iqpaths_bench_counter_total", "bench")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("GaugeSet", func(b *testing.B) {
+		g := reg.Gauge("iqpaths_bench_gauge", "bench")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Set(float64(i))
+		}
+	})
+	b.Run("HistogramObserve", func(b *testing.B) {
+		h := reg.Histogram("iqpaths_bench_hist", "bench")
+		rng := rand.New(rand.NewSource(1))
+		xs := make([]float64, 4096)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Observe(xs[i&4095])
+		}
+	})
 }
 
 // BenchmarkTraceGenerator measures one synthetic NLANR sample.

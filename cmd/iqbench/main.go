@@ -38,6 +38,7 @@ func main() {
 		outDir   = flag.String("out", "", "also write each table as a CSV file into this directory")
 		seeds    = flag.Int("seeds", 0, "with -fig multiseed: number of seeds to aggregate over")
 		htmlPath = flag.String("html", "", "write a self-contained HTML report (charts + tables) to this file")
+		telePath = flag.String("telemetry", "", "write the PGOS SmartPointer run's telemetry snapshot (JSON) to this file")
 	)
 	flag.Parse()
 	if *outDir != "" {
@@ -59,6 +60,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, "iqbench:", err)
 		os.Exit(1)
 	}
+	if *telePath != "" {
+		cfg := experiment.RunConfig{Seed: *seed, DurationSec: *duration, WarmupSec: *warmup}
+		if err := dumpTelemetry(*telePath, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "iqbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpTelemetry writes the PGOS SmartPointer run's end-of-run telemetry
+// snapshot as JSON. When the figure set already ran the SmartPointer
+// suite its PGOS result is reused; otherwise one run is executed.
+func dumpTelemetry(path string, cfg experiment.RunConfig) error {
+	var res experiment.Result
+	if spSuite != nil {
+		res = spSuite.Results[experiment.AlgPGOS]
+	} else {
+		cfg.Algorithm = experiment.AlgPGOS
+		var err error
+		res, err = experiment.RunSmartPointer(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	if res.Telemetry == nil {
+		return fmt.Errorf("PGOS run produced no telemetry snapshot")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.Telemetry.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("wrote telemetry snapshot", path)
+	return nil
 }
 
 // writeHTML runs the full figure set and renders the HTML report.

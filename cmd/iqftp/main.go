@@ -37,6 +37,7 @@ func main() {
 		seconds = flag.Float64("seconds", 10, "transfer duration (stream mode)")
 		records = flag.Int("records", 0, "record mode: transfer and verify N climate records (blocked/partitioned layouts)")
 		verify  = flag.Bool("verify", false, "serve mode: reassemble and verify a record transfer, then exit")
+		seed    = flag.Int64("seed", 1, "seed for the workload's virtual-clock emulator (stream mode)")
 	)
 	flag.Parse()
 	switch {
@@ -53,7 +54,7 @@ func main() {
 			log.Fatal(err)
 		}
 	case *paths != "":
-		if err := runSend(strings.Split(*paths, ","), *layout, *seconds); err != nil {
+		if err := runSend(strings.Split(*paths, ","), *layout, *seconds, *seed); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -177,7 +178,7 @@ func runServe(addr string) error {
 	}
 }
 
-func runSend(addrs []string, layout string, seconds float64) error {
+func runSend(addrs []string, layout string, seconds float64, seed int64) error {
 	const tickSec = 0.01
 	// Live paths.
 	var pathServices []sched.PathService
@@ -203,7 +204,7 @@ func runSend(addrs []string, layout string, seconds float64) error {
 
 	// Workload: a clock-only emulator instance supplies packet identity and
 	// virtual time for the sources; the bytes travel over the live paths.
-	net := simnet.New(tickSec, rand.New(rand.NewSource(1)))
+	net := simnet.New(tickSec, rand.New(rand.NewSource(seed)))
 	guarantees := layout == "pgos"
 	w := gridftp.NewWorkload(net, guarantees)
 	streams := w.Streams()

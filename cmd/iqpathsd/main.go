@@ -9,20 +9,34 @@
 //	    an overlay router: forward every data message to the next hop
 //	    over RUDP (the in-network daemon of Fig. 1).
 //
+// Every daemon serves its telemetry registry on -http: GET /metrics is
+// Prometheus text exposition (transport counters, RTT histograms,
+// per-stream receive totals) and /debug/pprof the standard profiles.
+// On SIGINT/SIGTERM the daemon shuts down gracefully, and with
+// -snapshot it writes a final JSON telemetry snapshot before exiting.
+//
 // The experiments run on the deterministic emulator; this daemon is the
 // live counterpart used by cmd/iqftp and the examples to demonstrate the
 // same middleware moving real bytes.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
+	"iqpaths/internal/telemetry"
 	"iqpaths/internal/transport"
 )
 
@@ -33,40 +47,111 @@ func main() {
 		tcpAddr  = flag.String("tcp", "", "TCP listen address (optional)")
 		next     = flag.String("next", "", "next hop (router role, RUDP)")
 		quiet    = flag.Bool("quiet", false, "suppress periodic reports")
+		httpAddr = flag.String("http", "127.0.0.1:9090", "HTTP address for /metrics and /debug/pprof (empty disables)")
+		snapPath = flag.String("snapshot", "", "write a final JSON telemetry snapshot to this file on shutdown")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		httpSrv = startHTTP(*httpAddr)
+	}
+
+	var err error
 	switch *role {
 	case "sink":
-		if err := runSink(*rudpAddr, *tcpAddr, *quiet); err != nil {
-			log.Fatal(err)
-		}
+		err = runSink(ctx, *rudpAddr, *tcpAddr, *quiet)
 	case "router":
 		if *next == "" {
 			fmt.Fprintln(os.Stderr, "router role requires -next")
 			os.Exit(2)
 		}
-		if err := runRouter(*rudpAddr, *next); err != nil {
-			log.Fatal(err)
-		}
+		err = runRouter(ctx, *rudpAddr, *next)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown role %q\n", *role)
 		os.Exit(2)
 	}
+
+	if httpSrv != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		httpSrv.Shutdown(sctx)
+		cancel()
+	}
+	if *snapPath != "" {
+		if werr := writeSnapshot(*snapPath); werr != nil {
+			log.Printf("snapshot: %v", werr)
+		} else {
+			log.Printf("wrote telemetry snapshot to %s", *snapPath)
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
 }
 
-// rateTable accumulates per-stream byte counts.
+// startHTTP serves the process-global telemetry registry and the pprof
+// profiles on their own mux (never http.DefaultServeMux, so nothing else
+// leaks onto the port).
+func startHTTP(addr string) *http.Server {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.Handler(telemetry.Default()))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("http: %v", err)
+		}
+	}()
+	log.Printf("telemetry: /metrics and /debug/pprof on http://%s", addr)
+	return srv
+}
+
+// writeSnapshot dumps the global registry as indented JSON.
+func writeSnapshot(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	snap := telemetry.BuildSnapshot(telemetry.WallClock{}, telemetry.Default(), nil, nil)
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// rateTable accumulates per-stream byte counts for the periodic report
+// and mirrors them into per-stream registry counters for /metrics.
 type rateTable struct {
 	mu    sync.Mutex
 	bytes map[uint32]uint64
+	ctrs  map[uint32]*telemetry.Counter
 	total uint64
 }
 
-func newRateTable() *rateTable { return &rateTable{bytes: map[uint32]uint64{}} }
+func newRateTable() *rateTable {
+	return &rateTable{bytes: map[uint32]uint64{}, ctrs: map[uint32]*telemetry.Counter{}}
+}
 
 func (r *rateTable) add(stream uint32, n int) {
 	r.mu.Lock()
 	r.bytes[stream] += uint64(n)
+	c := r.ctrs[stream]
+	if c == nil {
+		c = telemetry.Default().Counter("iqpaths_daemon_stream_rx_bytes_total",
+			"Data payload bytes received per stream.",
+			"stream", strconv.FormatUint(uint64(stream), 10))
+		r.ctrs[stream] = c
+	}
 	r.mu.Unlock()
+	c.Add(uint64(n))
 	atomic.AddUint64(&r.total, uint64(n))
 }
 
@@ -78,14 +163,16 @@ func (r *rateTable) snapshotAndReset() map[uint32]uint64 {
 	return out
 }
 
-func runSink(rudpAddr, tcpAddr string, quiet bool) error {
+func runSink(ctx context.Context, rudpAddr, tcpAddr string, quiet bool) error {
 	rates := newRateTable()
+	var closers []interface{ Close() error }
 	if rudpAddr != "" {
 		l, err := transport.ListenRUDP(rudpAddr)
 		if err != nil {
 			return err
 		}
 		log.Printf("sink: RUDP on %s", l.Addr())
+		closers = append(closers, l)
 		go acceptLoop(func() (transport.Conn, error) { return l.Accept() }, rates)
 	}
 	if tcpAddr != "" {
@@ -94,20 +181,31 @@ func runSink(rudpAddr, tcpAddr string, quiet bool) error {
 			return err
 		}
 		log.Printf("sink: TCP on %s", l.Addr())
+		closers = append(closers, l)
 		go acceptLoop(func() (transport.Conn, error) { return l.Accept() }, rates)
 	}
-	for range time.Tick(time.Second) {
-		snap := rates.snapshotAndReset()
-		if quiet || len(snap) == 0 {
-			continue
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			log.Print("sink: shutting down")
+			for _, c := range closers {
+				c.Close()
+			}
+			return nil
+		case <-ticker.C:
+			snap := rates.snapshotAndReset()
+			if quiet || len(snap) == 0 {
+				continue
+			}
+			line := "rates:"
+			for id, b := range snap {
+				line += fmt.Sprintf(" stream%d=%.2fMbps", id, float64(b)*8/1e6)
+			}
+			log.Print(line)
 		}
-		line := "rates:"
-		for id, b := range snap {
-			line += fmt.Sprintf(" stream%d=%.2fMbps", id, float64(b)*8/1e6)
-		}
-		log.Print(line)
 	}
-	return nil
 }
 
 func acceptLoop(accept func() (transport.Conn, error), rates *rateTable) {
@@ -131,19 +229,30 @@ func acceptLoop(accept func() (transport.Conn, error), rates *rateTable) {
 	}
 }
 
-func runRouter(rudpAddr, next string) error {
+func runRouter(ctx context.Context, rudpAddr, next string) error {
 	out, err := transport.DialRUDP(next, 5*time.Second)
 	if err != nil {
 		return fmt.Errorf("dial next hop: %w", err)
 	}
+	defer out.Close()
 	l, err := transport.ListenRUDP(rudpAddr)
 	if err != nil {
 		return err
 	}
 	log.Printf("router: RUDP on %s → %s", l.Addr(), next)
+	forwarded := telemetry.Default().Counter("iqpaths_daemon_forwarded_messages_total",
+		"Data messages forwarded to the next hop.")
+	go func() {
+		<-ctx.Done()
+		log.Print("router: shutting down")
+		l.Close()
+	}()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
 			return err
 		}
 		go func() {
@@ -160,6 +269,7 @@ func runRouter(rudpAddr, next string) error {
 					log.Printf("router: forward failed: %v", err)
 					return
 				}
+				forwarded.Inc()
 			}
 		}()
 	}

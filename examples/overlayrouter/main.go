@@ -10,6 +10,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -21,6 +22,8 @@ import (
 )
 
 func main() {
+	seed := flag.Int64("seed", 1, "emulator seed")
+	flag.Parse()
 	// 1. The overlay: server → {router1, router2} → client.
 	g := overlay.NewGraph()
 	server := g.AddNode("server", overlay.Server)
@@ -40,9 +43,9 @@ func main() {
 	// 2. Compile to an emulated network. Router 1 culls stream 2
 	// (out-of-view data); router 2 compresses stream 1 2:1 in flight.
 	culled := 0
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewSource(*seed))
 	net := simnet.New(0.01, rng)
-	cross := trace.NewNLANRLike(trace.DefaultNLANR(), rand.New(rand.NewSource(2)))
+	cross := trace.NewNLANRLike(trace.DefaultNLANR(), rand.New(rand.NewSource(*seed+1)))
 	paths, err := emulab.FromOverlay(net, g, server, client,
 		func(from, to overlay.NodeID) simnet.LinkConfig {
 			cfg := simnet.LinkConfig{CapacityMbps: 100}

@@ -10,6 +10,7 @@ import (
 	"iqpaths/internal/sched"
 	"iqpaths/internal/stats"
 	"iqpaths/internal/stream"
+	"iqpaths/internal/telemetry"
 )
 
 // PathsRow is one row of the path-count sweep.
@@ -136,6 +137,10 @@ type ViolationBoundResult struct {
 	MeanViolations  float64 // measured mean shortfall packets per window
 	WorstViolations float64
 	Admitted        bool
+	// Telemetry is the run's snapshot; its vb-stream account is computed
+	// by the telemetry accountant independently of MeanViolations above,
+	// and the two must agree.
+	Telemetry *telemetry.Snapshot
 }
 
 // RunViolationBound drives a violation-bound stream (E[Z] ≤ bound missed
@@ -157,6 +162,16 @@ func RunViolationBound(cfg RunConfig, requiredMbps, maxViolations float64) (Viol
 	vbSrc := stream.NewRateSource(net, vb, requiredMbps)
 	bulkSrc := stream.NewBacklogSource(net, bulk, 4000)
 
+	quota := vb.RequiredPacketsPerWindow(cfg.TwSec)
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(net, 1024)
+	net.SetTelemetry(reg)
+	acct := telemetry.NewAccountant(net, reg, tracer, cfg.TwSec, []telemetry.StreamSLO{
+		{Name: vb.Name, Kind: vb.Kind.String(), RequiredMbps: requiredMbps,
+			MaxViolations: maxViolations, QuotaPackets: quota, PacketBits: vb.PacketBits},
+		{Name: bulk.Name, Kind: bulk.Kind.String()},
+	})
+
 	mons := []*monitor.PathMonitor{
 		monitor.New("A", 500, 100), monitor.New("B", 500, 100),
 	}
@@ -166,13 +181,16 @@ func RunViolationBound(cfg RunConfig, requiredMbps, maxViolations float64) (Viol
 		TickSeconds: net.TickSeconds(),
 		PaceLimit:   cfg.PaceLimit,
 		OnReject:    func(*stream.Stream) { rejected = true },
+		Telemetry:   reg,
+		OnRemap: func(m pgos.Mapping, latencySec float64) {
+			acct.ObserveRemap(latencySec, len(m.Rejected) > 0 && !m.Rejected[0])
+		},
 	}, streams, []sched.PathService{tb.PathA, tb.PathB}, mons)
 
 	tickSec := net.TickSeconds()
 	warmupTicks := int64(cfg.WarmupSec / tickSec)
 	totalTicks := warmupTicks + int64(cfg.DurationSec/tickSec)
 	windowTicks := int64(cfg.TwSec / tickSec)
-	quota := vb.RequiredPacketsPerWindow(cfg.TwSec)
 	var perWindow []float64
 	delivered := 0
 	for t := int64(0); t < totalTicks; t++ {
@@ -188,11 +206,13 @@ func RunViolationBound(cfg RunConfig, requiredMbps, maxViolations float64) (Viol
 			if pkt.Stream == 0 {
 				delivered++
 			}
+			acct.ObserveDelivery(pkt.Stream, pkt.Bits, false)
 		}
 		for _, pkt := range tb.PathB.TakeDelivered() {
 			if pkt.Stream == 0 {
 				delivered++
 			}
+			acct.ObserveDelivery(pkt.Stream, pkt.Bits, false)
 		}
 		if (t+1)%windowTicks == 0 {
 			if t >= warmupTicks {
@@ -201,6 +221,9 @@ func RunViolationBound(cfg RunConfig, requiredMbps, maxViolations float64) (Viol
 					short = 0
 				}
 				perWindow = append(perWindow, short)
+				acct.CloseWindow()
+			} else {
+				acct.DiscardWindow()
 			}
 			delivered = 0
 		}
@@ -222,5 +245,6 @@ func RunViolationBound(cfg RunConfig, requiredMbps, maxViolations float64) (Viol
 		res.MeanViolations = sum / float64(len(perWindow))
 	}
 	res.WorstViolations = worst
+	res.Telemetry = telemetry.BuildSnapshot(net, reg, acct, tracer)
 	return res, nil
 }

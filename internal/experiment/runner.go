@@ -18,6 +18,7 @@ import (
 	"iqpaths/internal/smartpointer"
 	"iqpaths/internal/stats"
 	"iqpaths/internal/stream"
+	"iqpaths/internal/telemetry"
 )
 
 // Algorithm names accepted by the runners.
@@ -103,6 +104,10 @@ type Result struct {
 	// Rejected lists streams PGOS admission control refused (the upcall);
 	// they were served best-effort.
 	Rejected []string
+	// Telemetry is the end-of-run snapshot: every metric the emulator and
+	// scheduler recorded, per-stream guarantee accounts (virtual-time
+	// windows, PGOS shortfall semantics), and the retained event trace.
+	Telemetry *telemetry.Snapshot
 }
 
 // workload abstracts the two applications for the runner.
@@ -172,6 +177,28 @@ func run(cfg RunConfig, tb *emulab.Testbed, w workload, ppf ppfFunc) (Result, er
 		samplers[j] = monitor.NewSampler(sp, mons[j], 0, nil)
 	}
 
+	// Telemetry: a per-run registry (isolated, reproducible), an event
+	// tracer on the emulator's virtual clock, and a guarantee accountant
+	// holding each stream's contract.
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(net, 4096)
+	net.SetTelemetry(reg)
+	slos := make([]telemetry.StreamSLO, len(streams))
+	for i, s := range streams {
+		slos[i] = telemetry.StreamSLO{
+			Name:          s.Name,
+			Kind:          s.Kind.String(),
+			RequiredMbps:  s.RequiredMbps,
+			Probability:   s.Probability,
+			MaxViolations: s.MaxViolations,
+			PacketBits:    s.PacketBits,
+		}
+		if s.Kind != stream.BestEffort {
+			slos[i].QuotaPackets = s.RequiredPacketsPerWindow(cfg.TwSec)
+		}
+	}
+	acct := telemetry.NewAccountant(net, reg, tracer, cfg.TwSec, slos)
+
 	var scheduler sched.Scheduler
 	switch cfg.Algorithm {
 	case AlgWFQ:
@@ -184,6 +211,17 @@ func run(cfg RunConfig, tb *emulab.Testbed, w workload, ppf ppfFunc) (Result, er
 			TickSeconds:    net.TickSeconds(),
 			MeanPrediction: cfg.MeanPrediction,
 			PaceLimit:      cfg.PaceLimit,
+			Telemetry:      reg,
+			OnRemap: func(m pgos.Mapping, latencySec float64) {
+				committed := false
+				for _, rej := range m.Rejected {
+					if !rej {
+						committed = true
+						break
+					}
+				}
+				acct.ObserveRemap(latencySec, committed)
+			},
 		}, streams, pathServices, mons)
 	case AlgOptSched:
 		avail := func(id int) float64 {
@@ -208,6 +246,10 @@ func run(cfg RunConfig, tb *emulab.Testbed, w workload, ppf ppfFunc) (Result, er
 	monEvery := int64(0.1 / tickSec)
 	if monEvery < 1 {
 		monEvery = 1
+	}
+	windowTicks := int64(cfg.TwSec / tickSec)
+	if windowTicks < 1 {
+		windowTicks = 1
 	}
 
 	nStreams := len(streams)
@@ -247,6 +289,8 @@ func run(cfg RunConfig, tb *emulab.Testbed, w workload, ppf ppfFunc) (Result, er
 					mons[j].ObserveRTT(2 * float64(pkt.Delivered-pkt.Created) * tickSec)
 				}
 				acc[pkt.Stream][j] += pkt.Bits
+				missed := pkt.Deadline != 0 && pkt.Delivered > pkt.Deadline
+				acct.ObserveDelivery(pkt.Stream, pkt.Bits, missed)
 				if n := ppf(pkt.Stream); n > 0 && pkt.Frame != 0 {
 					fp := frameProgress[pkt.Stream]
 					fp[pkt.Frame]++
@@ -258,6 +302,15 @@ func run(cfg RunConfig, tb *emulab.Testbed, w workload, ppf ppfFunc) (Result, er
 						}
 					}
 				}
+			}
+		}
+		if (t+1)%windowTicks == 0 {
+			// Guarantee windows run on the virtual clock; warmup windows
+			// are discarded with the same timing RunViolationBound uses.
+			if t >= warmupTicks {
+				acct.CloseWindow()
+			} else {
+				acct.DiscardWindow()
 			}
 		}
 		if (t+1)%sampleTicks == 0 {
@@ -302,6 +355,7 @@ func run(cfg RunConfig, tb *emulab.Testbed, w workload, ppf ppfFunc) (Result, er
 			}
 		}
 	}
+	res.Telemetry = telemetry.BuildSnapshot(net, reg, acct, tracer)
 	return res, nil
 }
 

@@ -50,6 +50,7 @@ type Node struct {
 type Graph struct {
 	nodes []Node
 	adj   map[NodeID][]NodeID
+	tel   *graphMetrics
 }
 
 // NewGraph returns an empty graph.
@@ -134,6 +135,7 @@ func (g *Graph) SimplePaths(src, dst NodeID, maxPaths int) [][]NodeID {
 	}
 	dfs(src)
 	sort.SliceStable(out, func(i, j int) bool { return len(out[i]) < len(out[j]) })
+	g.observeQuery("simple", len(out))
 	return out
 }
 
@@ -148,6 +150,7 @@ func (g *Graph) DisjointPaths(src, dst NodeID) [][]NodeID {
 	for {
 		p := g.bfs(src, dst, used)
 		if p == nil {
+			g.observeQuery("disjoint", len(out))
 			return out
 		}
 		for i := 0; i+1 < len(p); i++ {
@@ -202,6 +205,7 @@ func (g *Graph) KShortestPaths(src, dst NodeID, k int) [][]NodeID {
 	}
 	shortest := g.bfs(src, dst, nil)
 	if shortest == nil {
+		g.observeQuery("kshortest", 0)
 		return nil
 	}
 	paths := [][]NodeID{shortest}
@@ -248,6 +252,7 @@ func (g *Graph) KShortestPaths(src, dst NodeID, k int) [][]NodeID {
 		paths = append(paths, candidates[best])
 		candidates = append(candidates[:best], candidates[best+1:]...)
 	}
+	g.observeQuery("kshortest", len(paths))
 	return paths
 }
 

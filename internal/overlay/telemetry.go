@@ -1,0 +1,37 @@
+package overlay
+
+import "iqpaths/internal/telemetry"
+
+// graphMetrics counts the graph's path computations per query kind
+// (iqpaths_overlay_*); nil on an uninstrumented graph.
+type graphMetrics struct {
+	queries map[string]*telemetry.Counter
+	found   map[string]*telemetry.Counter
+}
+
+// SetTelemetry attaches a metrics registry to the graph, counting path
+// queries and paths found per query kind. Nil detaches.
+func (g *Graph) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		g.tel = nil
+		return
+	}
+	m := &graphMetrics{
+		queries: map[string]*telemetry.Counter{},
+		found:   map[string]*telemetry.Counter{},
+	}
+	for _, kind := range []string{"simple", "disjoint", "kshortest"} {
+		m.queries[kind] = reg.Counter("iqpaths_overlay_path_queries_total", "Path computations by query kind.", "kind", kind)
+		m.found[kind] = reg.Counter("iqpaths_overlay_paths_found_total", "Paths returned by query kind.", "kind", kind)
+	}
+	g.tel = m
+}
+
+// observeQuery records one path computation returning n paths.
+func (g *Graph) observeQuery(kind string, n int) {
+	if g.tel == nil {
+		return
+	}
+	g.tel.queries[kind].Inc()
+	g.tel.found[kind].Add(uint64(n))
+}

@@ -2,12 +2,14 @@ package pgos
 
 import (
 	"math"
+	"time"
 
 	"iqpaths/internal/monitor"
 	"iqpaths/internal/sched"
 	"iqpaths/internal/simnet"
 	"iqpaths/internal/stats"
 	"iqpaths/internal/stream"
+	"iqpaths/internal/telemetry"
 )
 
 // Config parameterizes a PGOS scheduler.
@@ -33,6 +35,13 @@ type Config struct {
 	// predictions (the ablation isolating the statistical predictor's
 	// contribution from the scheduler's).
 	MeanPrediction bool
+	// Telemetry receives the scheduler's metrics (iqpaths_pgos_*). Nil
+	// routes them to a private registry so instrumentation stays
+	// branch-free on the hot path.
+	Telemetry *telemetry.Registry
+	// OnRemap is invoked after each resource-mapping rebuild with the new
+	// mapping and the wall-clock time the rebuild took. May be nil.
+	OnRemap func(m Mapping, latencySec float64)
 }
 
 func (c *Config) fillDefaults() {
@@ -108,6 +117,46 @@ type Scheduler struct {
 	blockedUntil []int64
 	backoffTicks []int64
 	now          int64
+
+	tel schedTelemetry
+}
+
+// schedTelemetry holds the scheduler's metric handles; always non-nil
+// fields (a private registry backs them when Config.Telemetry is nil).
+type schedTelemetry struct {
+	remaps       *telemetry.Counter
+	remapLatency *telemetry.Histogram
+	slotAllocs   *telemetry.Counter
+	scheduled    *telemetry.Counter
+	otherPath    *telemetry.Counter
+	unscheduled  *telemetry.Counter
+	slotMisses   *telemetry.Counter
+	sendFailures *telemetry.Counter
+	pathSent     []*telemetry.Counter
+	queueDepth   []*telemetry.Histogram
+}
+
+func newSchedTelemetry(reg *telemetry.Registry, paths []sched.PathService) schedTelemetry {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	t := schedTelemetry{
+		remaps:       reg.Counter("iqpaths_pgos_remaps_total", "Resource-mapping rebuilds."),
+		remapLatency: reg.Histogram("iqpaths_pgos_remap_latency_seconds", "Wall-clock cost of one mapping rebuild."),
+		slotAllocs:   reg.Counter("iqpaths_pgos_slot_allocations_total", "Scheduled packet slots allocated at window boundaries."),
+		scheduled:    reg.Counter("iqpaths_pgos_scheduled_sent_total", "Packets sent under Table 1 rule 1."),
+		otherPath:    reg.Counter("iqpaths_pgos_other_path_sent_total", "Packets sent under Table 1 rule 2."),
+		unscheduled:  reg.Counter("iqpaths_pgos_unscheduled_sent_total", "Packets sent under Table 1 rule 3."),
+		slotMisses:   reg.Counter("iqpaths_pgos_slot_misses_total", "Scheduled slots forfeited with no packet queued."),
+		sendFailures: reg.Counter("iqpaths_pgos_send_failures_total", "Sends refused by a path despite pacing."),
+	}
+	for _, p := range paths {
+		t.pathSent = append(t.pathSent,
+			reg.Counter("iqpaths_pgos_path_sent_total", "Packets dispatched per path.", "path", p.Name()))
+		t.queueDepth = append(t.queueDepth,
+			reg.Histogram("iqpaths_pgos_queue_depth_packets", "Per-tick queued packets per path.", "path", p.Name()))
+	}
+	return t
 }
 
 // New builds a PGOS scheduler over parallel slices of paths and their
@@ -144,6 +193,7 @@ func New(cfg Config, streams []*stream.Stream, paths []sched.PathService, mons [
 	}
 	s.blockedUntil = make([]int64, len(paths))
 	s.backoffTicks = make([]int64, len(paths))
+	s.tel = newSchedTelemetry(cfg.Telemetry, paths)
 	return s
 }
 
@@ -186,6 +236,9 @@ func (s *Scheduler) Invalidate() { s.dirty = true }
 func (s *Scheduler) Tick(now int64) {
 	if now >= s.windowEnd {
 		s.beginWindow(now)
+	}
+	for j, p := range s.paths {
+		s.tel.queueDepth[j].Observe(float64(p.QueuedPackets()))
 	}
 	s.dispatch(now)
 }
@@ -235,15 +288,18 @@ func (s *Scheduler) beginWindow(now int64) {
 				s.remaining[i] = make([]int, len(s.paths))
 			}
 		}
+		var slots uint64
 		for i := range s.remaining {
 			for j := range s.remaining[i] {
 				if i < len(s.mapping.Packets) {
 					s.remaining[i][j] = s.mapping.Packets[i][j]
+					slots += uint64(s.remaining[i][j])
 				} else {
 					s.remaining[i][j] = 0
 				}
 			}
 		}
+		s.tel.slotAllocs.Add(slots)
 		s.vpCur = 0
 		for j := range s.vsCur {
 			s.vsCur[j] = 0
@@ -268,13 +324,17 @@ func (s *Scheduler) remap(cdfs []*stats.CDF) {
 	for j, m := range s.mons {
 		metrics[j] = PathMetrics{MeanLoss: m.MeanLoss(), MeanRTT: m.MeanRTT()}
 	}
+	remapStart := time.Now()
 	s.mapping = ComputeMappingOpts(s.streams, cdfs, s.cfg.TwSec, MapOptions{
 		MeanPrediction: s.cfg.MeanPrediction,
 		Metrics:        metrics,
 	})
+	remapLatency := time.Since(remapStart).Seconds()
 	s.haveMap = true
 	s.dirty = false
 	s.stats.Remaps++
+	s.tel.remaps.Inc()
+	s.tel.remapLatency.Observe(remapLatency)
 	constraint := make([]float64, len(s.streams))
 	for i, st := range s.streams {
 		constraint[i] = st.WindowConstraintRatio()
@@ -291,6 +351,9 @@ func (s *Scheduler) remap(cdfs []*stats.CDF) {
 				s.cfg.OnReject(s.streams[i])
 			}
 		}
+	}
+	if s.cfg.OnRemap != nil {
+		s.cfg.OnRemap(s.mapping, remapLatency)
 	}
 }
 
@@ -324,6 +387,7 @@ func (s *Scheduler) dispatch(now int64) {
 			// restore its quota, and back off exponentially before
 			// offering this path more traffic (§5.2.2).
 			s.stats.SendFailures++
+			s.tel.sendFailures.Inc()
 			s.streams[srcStream].PushFront(pkt)
 			if quotaPath >= 0 {
 				s.remaining[srcStream][quotaPath]++
@@ -344,16 +408,20 @@ func (s *Scheduler) dispatch(now int64) {
 		for len(s.stats.PerStream) < len(s.streams) {
 			s.stats.PerStream = append(s.stats.PerStream, StreamStats{})
 		}
+		s.tel.pathSent[j].Inc()
 		switch rule {
 		case 1:
 			s.stats.ScheduledSent++
 			s.stats.PerStream[srcStream].Scheduled++
+			s.tel.scheduled.Inc()
 		case 2:
 			s.stats.OtherPathSent++
 			s.stats.PerStream[srcStream].OtherPath++
+			s.tel.otherPath.Inc()
 		default:
 			s.stats.UnscheduledSent++
 			s.stats.PerStream[srcStream].Unscheduled++
+			s.tel.unscheduled.Inc()
 		}
 	}
 }
@@ -429,6 +497,7 @@ func (s *Scheduler) nextScheduled(j int, now int64) (*simnet.Packet, int, int) {
 			s.vsCur[j]++
 			s.remaining[i][j]--
 			s.stats.SlotMisses++
+			s.tel.slotMisses.Inc()
 			continue
 		}
 		return nil, -1, -1

@@ -3,6 +3,7 @@ package simnet
 import (
 	"math/rand"
 
+	"iqpaths/internal/telemetry"
 	"iqpaths/internal/trace"
 )
 
@@ -61,6 +62,12 @@ type Link struct {
 	availMbps float64
 	stats     LinkStats
 	rng       *rand.Rand
+
+	// metric handles, nil until the network has a telemetry registry.
+	mUtil        *telemetry.Histogram
+	mTransmitted *telemetry.Counter
+	mQueueDrops  *telemetry.Counter
+	mLossDrops   *telemetry.Counter
 }
 
 // Name returns the configured link name.
@@ -83,6 +90,9 @@ func (l *Link) Stats() LinkStats { return l.stats }
 func (l *Link) enqueue(p *Packet) bool {
 	if l.Full() {
 		l.stats.QueueDrops++
+		if l.mQueueDrops != nil {
+			l.mQueueDrops.Inc()
+		}
 		return false
 	}
 	l.queue = append(l.queue, p)
@@ -101,6 +111,7 @@ func (l *Link) step() {
 	}
 	l.availMbps = avail
 	budget := avail * l.net.tickSeconds * 1e6 // bits this tick
+	budget0 := budget
 
 	for budget > 0 && len(l.queue) > 0 {
 		head := l.queue[0]
@@ -115,12 +126,21 @@ func (l *Link) step() {
 		l.queue = l.queue[1:]
 		if l.cfg.LossProb > 0 && l.rng.Float64() < l.cfg.LossProb {
 			l.stats.LossDrops++
+			if l.mLossDrops != nil {
+				l.mLossDrops.Inc()
+			}
 			continue
 		}
 		l.stats.Transmitted++
 		l.stats.BitsSent += head.Bits
+		if l.mTransmitted != nil {
+			l.mTransmitted.Inc()
+		}
 		slot := (l.net.tick + int64(l.cfg.DelayTicks)) % int64(len(l.delayRing))
 		l.delayRing[slot] = append(l.delayRing[slot], head)
+	}
+	if l.mUtil != nil && budget0 > 0 {
+		l.mUtil.Observe((budget0 - budget) / budget0)
 	}
 }
 

@@ -3,6 +3,8 @@ package simnet
 import (
 	"fmt"
 	"math/rand"
+
+	"iqpaths/internal/telemetry"
 )
 
 // Network owns the links, paths, and the virtual clock.
@@ -13,6 +15,7 @@ type Network struct {
 	paths       []*Path
 	rng         *rand.Rand
 	nextPktID   uint64
+	tel         *telemetry.Registry
 }
 
 // New creates a network advancing in ticks of tickSeconds (e.g. 0.01).
@@ -52,6 +55,7 @@ func (n *Network) AddLink(cfg LinkConfig) *Link {
 		delayRing: make([][]*Packet, ringLen),
 		rng:       n.rng,
 	}
+	l.initTelemetry(n.tel)
 	n.links = append(n.links, l)
 	return l
 }
@@ -62,6 +66,7 @@ func (n *Network) AddPath(name string, links ...*Link) *Path {
 		panic("simnet: path needs at least one link")
 	}
 	p := &Path{id: len(n.paths), name: name, links: links, net: n}
+	p.initTelemetry(n.tel)
 	n.paths = append(n.paths, p)
 	return p
 }
@@ -98,6 +103,9 @@ func (n *Network) Step() {
 			}
 			if !path.links[p.hop].enqueue(p) {
 				path.stats.Dropped++
+				if path.mDropped != nil {
+					path.mDropped.Inc()
+				}
 			}
 		}
 	}

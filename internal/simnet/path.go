@@ -1,5 +1,7 @@
 package simnet
 
+import "iqpaths/internal/telemetry"
+
 // PathStats counts end-to-end path events.
 type PathStats struct {
 	Sent           uint64 // packets accepted by the first hop
@@ -19,6 +21,11 @@ type Path struct {
 	net       *Network
 	delivered []*Packet
 	stats     PathStats
+
+	// metric handles, nil until the network has a telemetry registry.
+	mDelivered *telemetry.Counter
+	mRejected  *telemetry.Counter
+	mDropped   *telemetry.Counter
 }
 
 // ID returns the path's index within its network.
@@ -37,6 +44,9 @@ func (p *Path) Send(pkt *Packet) bool {
 	pkt.hop = 0
 	if !p.links[0].enqueue(pkt) {
 		p.stats.Rejected++
+		if p.mRejected != nil {
+			p.mRejected.Inc()
+		}
 		return false
 	}
 	p.stats.Sent++
@@ -75,6 +85,9 @@ func (p *Path) TakeDelivered() []*Packet {
 	for _, pkt := range out {
 		p.stats.DeliveredCount++
 		p.stats.DeliveredBits += pkt.Bits
+	}
+	if p.mDelivered != nil && len(out) > 0 {
+		p.mDelivered.Add(uint64(len(out)))
 	}
 	return out
 }

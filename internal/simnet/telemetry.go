@@ -1,0 +1,41 @@
+package simnet
+
+import "iqpaths/internal/telemetry"
+
+// SetTelemetry attaches a metrics registry to the network: every link
+// gains per-tick utilization and drop/transmit counters, every path
+// delivery/rejection counters (iqpaths_simnet_*). Call it after the
+// topology is built; links or paths added later pick the registry up
+// lazily on their first step. Nil detaches.
+func (n *Network) SetTelemetry(reg *telemetry.Registry) {
+	n.tel = reg
+	for _, l := range n.links {
+		l.initTelemetry(reg)
+	}
+	for _, p := range n.paths {
+		p.initTelemetry(reg)
+	}
+}
+
+func (l *Link) initTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		l.mUtil, l.mTransmitted, l.mQueueDrops, l.mLossDrops = nil, nil, nil, nil
+		return
+	}
+	lbl := []string{"link", l.cfg.Name}
+	l.mUtil = reg.Histogram("iqpaths_simnet_link_utilization", "Per-tick fraction of the post-cross-traffic bit budget used.", lbl...)
+	l.mTransmitted = reg.Counter("iqpaths_simnet_link_transmitted_total", "Packets fully transmitted.", lbl...)
+	l.mQueueDrops = reg.Counter("iqpaths_simnet_link_queue_drops_total", "Packets dropped on enqueue (queue full).", lbl...)
+	l.mLossDrops = reg.Counter("iqpaths_simnet_link_loss_drops_total", "Packets dropped by random loss.", lbl...)
+}
+
+func (p *Path) initTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		p.mDelivered, p.mRejected, p.mDropped = nil, nil, nil
+		return
+	}
+	lbl := []string{"path", p.name}
+	p.mDelivered = reg.Counter("iqpaths_simnet_path_delivered_total", "Packets delivered end to end.", lbl...)
+	p.mRejected = reg.Counter("iqpaths_simnet_path_rejected_total", "Packets refused at the first hop.", lbl...)
+	p.mDropped = reg.Counter("iqpaths_simnet_path_dropped_total", "Packets lost at intermediate hops.", lbl...)
+}

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// WritePrometheus renders every metric in the registry in Prometheus
+// text exposition format 0.0.4. Histograms are rendered as cumulative
+// `_bucket{le="..."}` series over their occupied buckets plus the
+// mandatory `+Inf` bucket, `_sum`, and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	entries := r.snapshotEntries()
+	prevFamily := ""
+	for _, e := range entries {
+		if e.name != prevFamily {
+			if e.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", e.name, e.help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", e.name, e.kind)
+			prevFamily = e.name
+		}
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s %d\n", seriesName(e.name, e.labels), e.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s %s\n", seriesName(e.name, e.labels), formatFloat(e.gauge.Value()))
+		case kindHistogram:
+			writePromHistogram(bw, e)
+		}
+	}
+	return bw.Flush()
+}
+
+func seriesName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writePromHistogram(w io.Writer, e *entry) {
+	h := e.hist
+	idx, counts := h.nonEmpty()
+	var cum uint64
+	for k, i := range idx {
+		cum += counts[k]
+		le := "+Inf"
+		if i < histBuckets-1 {
+			le = formatFloat(bucketUpper(i))
+		}
+		fmt.Fprintf(w, "%s %d\n", seriesName(e.name+"_bucket", joinLabels(e.labels, `le="`+le+`"`)), cum)
+	}
+	// The +Inf bucket is mandatory even when the overflow bin is empty.
+	if len(idx) == 0 || idx[len(idx)-1] < histBuckets-1 {
+		fmt.Fprintf(w, "%s %d\n", seriesName(e.name+"_bucket", joinLabels(e.labels, `le="+Inf"`)), cum)
+	}
+	fmt.Fprintf(w, "%s %s\n", seriesName(e.name+"_sum", e.labels), formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s %d\n", seriesName(e.name+"_count", e.labels), h.Count())
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+// Handler serves the registry at GET /metrics in text exposition format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// HistogramSnapshot summarises one histogram for the JSON snapshot.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is a point-in-time JSON view of a run's telemetry: every
+// metric, the per-stream guarantee accounts, and the retained trace.
+type Snapshot struct {
+	TakenAt       float64                      `json:"taken_at"` // seconds on the snapshot clock
+	Counters      map[string]uint64            `json:"counters,omitempty"`
+	Gauges        map[string]float64           `json:"gauges,omitempty"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Streams       []StreamAccount              `json:"streams,omitempty"`
+	Remaps        uint64                       `json:"remaps,omitempty"`
+	Events        []Event                      `json:"events,omitempty"`
+	EventsDropped uint64                       `json:"events_dropped,omitempty"`
+}
+
+// BuildSnapshot assembles a Snapshot from a registry plus optional
+// accountant and tracer (nil skips those sections). clock defaults to
+// wall time.
+func BuildSnapshot(clock Clock, reg *Registry, acct *Accountant, tracer *Tracer) *Snapshot {
+	if clock == nil {
+		clock = WallClock{}
+	}
+	s := &Snapshot{TakenAt: clock.Now()}
+	if reg != nil {
+		s.Counters = make(map[string]uint64)
+		s.Gauges = make(map[string]float64)
+		s.Histograms = make(map[string]HistogramSnapshot)
+		for _, e := range reg.snapshotEntries() {
+			key := seriesName(e.name, e.labels)
+			switch e.kind {
+			case kindCounter:
+				s.Counters[key] = e.counter.Value()
+			case kindGauge:
+				s.Gauges[key] = e.gauge.Value()
+			case kindHistogram:
+				h := e.hist
+				s.Histograms[key] = HistogramSnapshot{
+					Count: h.Count(), Sum: h.Sum(), Mean: h.Mean(),
+					P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+				}
+			}
+		}
+	}
+	if acct != nil {
+		s.Streams = acct.Accounts()
+		s.Remaps = acct.Remaps()
+	}
+	if tracer != nil {
+		s.Events, s.EventsDropped = tracer.Events()
+	}
+	return s
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,231 @@
+package telemetry
+
+import "sync"
+
+// StreamSLO is the guarantee contract for one stream, as the accountant
+// needs it. QuotaPackets is the per-window packet quota x that PGOS
+// guarantees (stream.Spec.RequiredPacketsPerWindow); the caller computes
+// it so this package stays dependency-free. QuotaPackets <= 0 marks a
+// best-effort stream: deliveries are tallied but windows never count as
+// violated.
+type StreamSLO struct {
+	Name          string  `json:"name"`
+	Kind          string  `json:"kind"` // "best-effort" | "probabilistic" | "violation-bound"
+	RequiredMbps  float64 `json:"required_mbps,omitempty"`
+	Probability   float64 `json:"probability,omitempty"`    // probabilistic: promised P
+	MaxViolations float64 `json:"max_violations,omitempty"` // violation-bound: promised E[Z]
+	QuotaPackets  int     `json:"quota_packets,omitempty"`
+	PacketBits    float64 `json:"packet_bits,omitempty"`
+}
+
+// StreamAccount is the realised guarantee record for one stream over the
+// accounted portion of a run.
+type StreamAccount struct {
+	StreamSLO
+
+	Windows          int     `json:"windows"`
+	ViolatedWindows  int     `json:"violated_windows"`
+	MeanShortfall    float64 `json:"mean_shortfall"` // mean per-window shortfall z in packets (empirical E[Z])
+	AchievedProb     float64 `json:"achieved_prob"`  // fraction of windows meeting the quota
+	DeliveredPackets uint64  `json:"delivered_packets"`
+	DeliveredMbps    float64 `json:"delivered_mbps"` // mean over accounted windows
+	DeadlineMisses   uint64  `json:"deadline_misses"`
+}
+
+// streamAcct is the accountant's per-stream working state.
+type streamAcct struct {
+	slo StreamSLO
+
+	// current window
+	winPkts   int
+	winBits   float64
+	winMisses uint64
+
+	// totals over closed windows
+	windows       int
+	violated      int
+	shortfallPkts float64
+	totalPkts     uint64
+	totalBits     float64
+	misses        uint64
+
+	// metric handles (nil when the accountant has no registry)
+	mPkts, mMisses, mWindows, mViolated, mShortfall *Counter
+	mMbps                                           *Gauge
+}
+
+// Accountant tracks delivered-versus-requested service per stream in
+// scheduling windows of twSec, using exactly the PGOS shortfall
+// semantics: each closed window contributes z = max(0, quota − delivered
+// packets); a window is violated when z > 0. Probabilistic guarantees
+// compare the violated-window fraction against 1−P (Lemma 1);
+// violation-bound guarantees compare the mean shortfall against the
+// promised E[Z] (Lemma 2).
+//
+// Registry and tracer are optional (nil disables them). Safe for
+// concurrent use.
+type Accountant struct {
+	mu     sync.Mutex
+	clock  Clock
+	tracer *Tracer
+	twSec  float64
+
+	streams []*streamAcct
+	remaps  uint64
+	mRemaps *Counter
+	mRemapL *Histogram
+}
+
+// NewAccountant builds an accountant for the given stream contracts.
+// Stream i in slos is addressed by index i in ObserveDelivery.
+func NewAccountant(clock Clock, reg *Registry, tracer *Tracer, twSec float64, slos []StreamSLO) *Accountant {
+	if clock == nil {
+		clock = WallClock{}
+	}
+	if twSec <= 0 {
+		twSec = 1
+	}
+	a := &Accountant{clock: clock, tracer: tracer, twSec: twSec}
+	for _, slo := range slos {
+		sa := &streamAcct{slo: slo}
+		if reg != nil {
+			lbl := []string{"stream", slo.Name}
+			sa.mPkts = reg.Counter("iqpaths_guarantee_delivered_packets_total", "Packets delivered to the stream's sink.", lbl...)
+			sa.mMisses = reg.Counter("iqpaths_guarantee_deadline_misses_total", "Packets delivered after their deadline.", lbl...)
+			sa.mWindows = reg.Counter("iqpaths_guarantee_windows_total", "Closed accounting windows.", lbl...)
+			sa.mViolated = reg.Counter("iqpaths_guarantee_violated_windows_total", "Windows whose delivered packets fell short of the quota.", lbl...)
+			sa.mShortfall = reg.Counter("iqpaths_guarantee_shortfall_packets_total", "Total per-window packet shortfall (sum of z).", lbl...)
+			sa.mMbps = reg.Gauge("iqpaths_guarantee_delivered_mbps", "Delivered bandwidth over the last closed window.", lbl...)
+		}
+		a.streams = append(a.streams, sa)
+	}
+	if reg != nil {
+		a.mRemaps = reg.Counter("iqpaths_guarantee_remap_events_total", "PGOS remap events observed by the accountant.")
+		a.mRemapL = reg.Histogram("iqpaths_guarantee_remap_latency_seconds", "Wall-clock latency of remap computations.")
+	}
+	return a
+}
+
+// ObserveDelivery records one packet delivered for stream i in the
+// current window.
+func (a *Accountant) ObserveDelivery(i int, bits float64, deadlineMissed bool) {
+	if i < 0 || i >= len(a.streams) {
+		return
+	}
+	a.mu.Lock()
+	sa := a.streams[i]
+	sa.winPkts++
+	sa.winBits += bits
+	sa.totalPkts++
+	sa.totalBits += bits
+	if deadlineMissed {
+		sa.misses++
+		sa.winMisses++
+	}
+	a.mu.Unlock()
+	if sa.mPkts != nil {
+		sa.mPkts.Inc()
+		if deadlineMissed {
+			sa.mMisses.Inc()
+		}
+	}
+}
+
+// ObserveRemap records one PGOS remap event with its computation latency
+// in seconds.
+func (a *Accountant) ObserveRemap(latencySec float64, committed bool) {
+	a.mu.Lock()
+	a.remaps++
+	a.mu.Unlock()
+	if a.mRemaps != nil {
+		a.mRemaps.Inc()
+		a.mRemapL.Observe(latencySec)
+	}
+	if a.tracer != nil {
+		v := 0.0
+		if committed {
+			v = 1
+		}
+		a.tracer.Emit("remap", "", "", v)
+	}
+}
+
+// CloseWindow ends the current accounting window for every stream,
+// applying the PGOS shortfall rule.
+func (a *Accountant) CloseWindow() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, sa := range a.streams {
+		sa.windows++
+		var short int
+		if sa.slo.QuotaPackets > 0 {
+			if short = sa.slo.QuotaPackets - sa.winPkts; short < 0 {
+				short = 0
+			}
+			if short > 0 {
+				sa.violated++
+				if a.tracer != nil {
+					a.tracer.Emit("violation", sa.slo.Name, "", float64(short))
+				}
+			}
+			sa.shortfallPkts += float64(short)
+		}
+		if sa.mWindows != nil {
+			sa.mWindows.Inc()
+			if short > 0 {
+				sa.mViolated.Inc()
+				sa.mShortfall.Add(uint64(short))
+			}
+			sa.mMbps.Set(sa.winBits / a.twSec / 1e6)
+		}
+		sa.winPkts = 0
+		sa.winBits = 0
+		sa.winMisses = 0
+	}
+}
+
+// DiscardWindow resets the current window without accounting it — used
+// for warmup windows that measurement excludes.
+func (a *Accountant) DiscardWindow() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, sa := range a.streams {
+		sa.totalPkts -= uint64(sa.winPkts)
+		sa.totalBits -= sa.winBits
+		sa.misses -= sa.winMisses
+		sa.winPkts = 0
+		sa.winBits = 0
+		sa.winMisses = 0
+	}
+}
+
+// Remaps returns the number of remap events observed.
+func (a *Accountant) Remaps() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.remaps
+}
+
+// Accounts returns the realised guarantee record per stream, in the
+// order the SLOs were given.
+func (a *Accountant) Accounts() []StreamAccount {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]StreamAccount, 0, len(a.streams))
+	for _, sa := range a.streams {
+		acc := StreamAccount{
+			StreamSLO:        sa.slo,
+			Windows:          sa.windows,
+			ViolatedWindows:  sa.violated,
+			DeliveredPackets: sa.totalPkts,
+			DeadlineMisses:   sa.misses,
+		}
+		if sa.windows > 0 {
+			acc.MeanShortfall = sa.shortfallPkts / float64(sa.windows)
+			acc.AchievedProb = 1 - float64(sa.violated)/float64(sa.windows)
+			acc.DeliveredMbps = sa.totalBits / (float64(sa.windows) * a.twSec) / 1e6
+		}
+		out = append(out, acc)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAccountantShortfallSemantics(t *testing.T) {
+	clk := &fakeClock{}
+	reg := NewRegistry()
+	tr := NewTracer(clk, 64)
+	a := NewAccountant(clk, reg, tr, 1, []StreamSLO{
+		{Name: "Atom", Kind: "probabilistic", RequiredMbps: 12, Probability: 0.95, QuotaPackets: 10, PacketBits: 12000},
+		{Name: "Bond2", Kind: "best-effort"},
+	})
+
+	// Window 1: quota met exactly.
+	for i := 0; i < 10; i++ {
+		a.ObserveDelivery(0, 12000, false)
+	}
+	a.ObserveDelivery(1, 12000, false)
+	a.CloseWindow()
+	// Window 2: shortfall of 3 packets, one deadline miss.
+	for i := 0; i < 7; i++ {
+		a.ObserveDelivery(0, 12000, i == 0)
+	}
+	a.CloseWindow()
+	// Window 3: over-delivery never compensates negative shortfall.
+	for i := 0; i < 15; i++ {
+		a.ObserveDelivery(0, 12000, false)
+	}
+	a.CloseWindow()
+
+	accs := a.Accounts()
+	atom := accs[0]
+	if atom.Windows != 3 || atom.ViolatedWindows != 1 {
+		t.Fatalf("windows=%d violated=%d, want 3/1", atom.Windows, atom.ViolatedWindows)
+	}
+	if want := 3.0 / 3.0; math.Abs(atom.MeanShortfall-want) > 1e-12 {
+		t.Fatalf("mean shortfall = %v, want %v", atom.MeanShortfall, want)
+	}
+	if math.Abs(atom.AchievedProb-2.0/3.0) > 1e-12 {
+		t.Fatalf("achieved prob = %v", atom.AchievedProb)
+	}
+	if atom.DeliveredPackets != 32 || atom.DeadlineMisses != 1 {
+		t.Fatalf("pkts=%d misses=%d", atom.DeliveredPackets, atom.DeadlineMisses)
+	}
+	// 32 pkts × 12000 bits over 3 windows of 1 s.
+	if want := 32.0 * 12000 / 3 / 1e6; math.Abs(atom.DeliveredMbps-want) > 1e-9 {
+		t.Fatalf("delivered mbps = %v, want %v", atom.DeliveredMbps, want)
+	}
+
+	// Best-effort stream: tallied, never violated.
+	be := accs[1]
+	if be.ViolatedWindows != 0 || be.DeliveredPackets != 1 || be.Windows != 3 {
+		t.Fatalf("best-effort account wrong: %+v", be)
+	}
+
+	// Registry mirrors the accounts.
+	if v := reg.Counter("iqpaths_guarantee_violated_windows_total", "", "stream", "Atom").Value(); v != 1 {
+		t.Fatalf("violated counter = %d", v)
+	}
+	if v := reg.Counter("iqpaths_guarantee_shortfall_packets_total", "", "stream", "Atom").Value(); v != 3 {
+		t.Fatalf("shortfall counter = %d", v)
+	}
+
+	// Tracer captured the violation with its shortfall.
+	events, _ := tr.Events()
+	var sawViolation bool
+	for _, ev := range events {
+		if ev.Name == "violation" && ev.Stream == "Atom" && ev.Value == 3 {
+			sawViolation = true
+		}
+	}
+	if !sawViolation {
+		t.Fatal("no violation event traced")
+	}
+}
+
+func TestAccountantRemaps(t *testing.T) {
+	clk := &fakeClock{}
+	reg := NewRegistry()
+	a := NewAccountant(clk, reg, nil, 1, nil)
+	a.ObserveRemap(0.002, true)
+	a.ObserveRemap(0.004, false)
+	if a.Remaps() != 2 {
+		t.Fatalf("remaps = %d", a.Remaps())
+	}
+	if v := reg.Counter("iqpaths_guarantee_remap_events_total", "").Value(); v != 2 {
+		t.Fatalf("remap counter = %d", v)
+	}
+	h := reg.Histogram("iqpaths_guarantee_remap_latency_seconds", "")
+	if h.Count() != 2 || math.Abs(h.Sum()-0.006) > 1e-12 {
+		t.Fatalf("remap latency hist count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestAccountantNilRegistry(t *testing.T) {
+	a := NewAccountant(nil, nil, nil, 2, []StreamSLO{{Name: "x", QuotaPackets: 5}})
+	a.ObserveDelivery(0, 1000, false)
+	a.ObserveDelivery(99, 1000, false) // out of range: ignored, no panic
+	a.CloseWindow()
+	acc := a.Accounts()[0]
+	if acc.ViolatedWindows != 1 || acc.MeanShortfall != 4 {
+		t.Fatalf("account = %+v", acc)
+	}
+}

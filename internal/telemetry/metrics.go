@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. All methods are safe for
+// concurrent use and allocation-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down. All methods are safe for
+// concurrent use and allocation-free.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (may be negative) with a CAS loop.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Log-linear histogram layout: each power-of-two octave [2^k, 2^(k+1)) is
+// split into histSub equal-width sub-buckets, giving a worst-case relative
+// bucket width of 1/histSub (~3 %). Values ≤ 0 (and anything below
+// 2^histMinExp ≈ 1e-6) land in the underflow bucket 0; values ≥ 2^histMaxExp
+// (~1e12) land in the overflow bucket. The layout is fixed at compile time
+// so Observe never allocates and the whole structure is a flat array of
+// atomics.
+const (
+	histMinExp  = -20 // smallest tracked octave: [2^-21, 2^-20) ≈ [4.8e-7, 9.5e-7)
+	histMaxExp  = 40  // largest tracked value: 2^40 ≈ 1.1e12
+	histSub     = 32  // sub-buckets per octave → ≤3.125 % relative width
+	histOctaves = histMaxExp - histMinExp
+	histBuckets = 2 + histOctaves*histSub // + underflow and overflow
+)
+
+// Histogram records a distribution of non-negative float64 samples in
+// fixed log-linear buckets. Observe is wait-free apart from one bounded
+// CAS loop for the running sum, and never allocates.
+type Histogram struct {
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+	buckets [histBuckets]atomic.Uint64
+}
+
+// histIndex maps a sample to its bucket index.
+func histIndex(v float64) int {
+	if !(v > 0) { // zero, negative, NaN → underflow
+		return 0
+	}
+	frac, exp := math.Frexp(v) // v = frac·2^exp, frac ∈ [0.5, 1)
+	if exp <= histMinExp {
+		return 0
+	}
+	if exp > histMaxExp {
+		return histBuckets - 1
+	}
+	sub := int((frac - 0.5) * (2 * histSub))
+	if sub >= histSub {
+		sub = histSub - 1
+	}
+	return 1 + (exp-histMinExp-1)*histSub + sub
+}
+
+// bucketUpper returns the exclusive upper bound of bucket i.
+func bucketUpper(i int) float64 {
+	if i <= 0 {
+		return math.Ldexp(1, histMinExp)
+	}
+	if i >= histBuckets-1 {
+		return math.Inf(1)
+	}
+	oct := (i - 1) / histSub
+	sub := (i - 1) % histSub
+	base := math.Ldexp(1, histMinExp+oct) // octave start = 2^(histMinExp+oct)
+	return base + base*float64(sub+1)/histSub
+}
+
+// bucketMid returns a representative value for bucket i (its midpoint).
+func bucketMid(i int) float64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= histBuckets-1 {
+		return math.Ldexp(1, histMaxExp)
+	}
+	oct := (i - 1) / histSub
+	sub := (i - 1) % histSub
+	base := math.Ldexp(1, histMinExp+oct)
+	return base + base*(float64(sub)+0.5)/histSub
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.buckets[histIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the running sum of recorded samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile returns an approximation of the q-quantile (q in [0, 1]) from
+// the bucket midpoints; the error is bounded by the bucket width (~3 %
+// relative). Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	// Nearest-rank, matching stats.Window.Quantile's convention.
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return bucketMid(i)
+		}
+	}
+	return bucketMid(histBuckets - 1)
+}
+
+// nonEmpty appends (bucketIndex, count) pairs for every occupied bucket.
+// Used by the exporters to keep the exposition sparse.
+func (h *Histogram) nonEmpty() (idx []int, counts []uint64) {
+	for i := 0; i < histBuckets; i++ {
+		if c := h.buckets[i].Load(); c > 0 {
+			idx = append(idx, i)
+			counts = append(counts, c)
+		}
+	}
+	return idx, counts
+}

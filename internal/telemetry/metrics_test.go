@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"iqpaths/internal/stats"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("iqpaths_test_ops_total", "ops")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if again := r.Counter("iqpaths_test_ops_total", "ops"); again != c {
+		t.Fatal("get-or-create returned a different counter for the same key")
+	}
+	if other := r.Counter("iqpaths_test_ops_total", "ops", "path", "A"); other == c {
+		t.Fatal("different labels must yield a different counter")
+	}
+
+	g := r.Gauge("iqpaths_test_depth", "depth")
+	g.Set(3.5)
+	g.Add(-1.25)
+	if got := g.Value(); got != 2.25 {
+		t.Fatalf("gauge = %v, want 2.25", got)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("iqpaths_test_x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("iqpaths_test_x", "")
+}
+
+func TestHistogramIndexEdges(t *testing.T) {
+	for _, v := range []float64{0, -1, math.NaN(), 1e-9} {
+		if i := histIndex(v); i != 0 {
+			t.Fatalf("histIndex(%v) = %d, want underflow bucket 0", v, i)
+		}
+	}
+	if i := histIndex(1e15); i != histBuckets-1 {
+		t.Fatalf("histIndex(1e15) = %d, want overflow bucket %d", i, histBuckets-1)
+	}
+	// Every regular bucket's bounds must bracket values that index into it.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10000; trial++ {
+		v := math.Exp(rng.Float64()*40 - 10) // log-uniform over ~[4.5e-5, 1e13]
+		i := histIndex(v)
+		if i == 0 || i == histBuckets-1 {
+			continue
+		}
+		up := bucketUpper(i)
+		lo := bucketUpper(i - 1)
+		if v < lo || v >= up {
+			t.Fatalf("v=%v indexed into bucket %d with bounds [%v, %v)", v, i, lo, up)
+		}
+		if rel := (up - lo) / v; rel > 1.0/histSub+1e-12 {
+			t.Fatalf("bucket %d relative width %v exceeds 1/%d", i, rel, histSub)
+		}
+	}
+}
+
+func TestHistogramMeanSumCount(t *testing.T) {
+	var h Histogram
+	vals := []float64{1, 2, 3, 4}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-10) > 1e-12 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	if math.Abs(h.Mean()-2.5) > 1e-12 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+// TestHistogramQuantilesAgreeWithWindow is the satellite correctness
+// check: on uniform, Pareto, and bimodal inputs the histogram quantiles
+// must agree with internal/stats' exact sliding-window quantiles within
+// the bucket resolution (relative width ≤ 1/histSub, midpoint error ≤
+// half that).
+func TestHistogramQuantilesAgreeWithWindow(t *testing.T) {
+	const n = 4000
+	rng := rand.New(rand.NewSource(42))
+	dists := map[string]func() float64{
+		"uniform": func() float64 { return 1 + 99*rng.Float64() },
+		"pareto":  func() float64 { return math.Pow(1-rng.Float64(), -1/1.5) }, // xm=1, α=1.5
+		"bimodal": func() float64 {
+			if rng.Float64() < 0.5 {
+				return math.Max(0.1, 10+rng.NormFloat64())
+			}
+			return math.Max(0.1, 1000+50*rng.NormFloat64())
+		},
+	}
+	for name, draw := range dists {
+		t.Run(name, func(t *testing.T) {
+			var h Histogram
+			w := stats.NewWindow(n)
+			for i := 0; i < n; i++ {
+				v := draw()
+				h.Observe(v)
+				w.Add(v)
+			}
+			for _, q := range []float64{0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99} {
+				exact := w.Quantile(q)
+				approx := h.Quantile(q)
+				if exact <= 0 {
+					t.Fatalf("q=%v exact=%v: degenerate fixture", q, exact)
+				}
+				rel := math.Abs(approx-exact) / exact
+				// One bucket of slack: midpoint error plus the chance the
+				// exact quantile sits on a bucket edge.
+				if rel > 1.0/histSub {
+					t.Errorf("q=%.2f: histogram=%v exact=%v rel err=%.4f > %.4f",
+						q, approx, exact, rel, 1.0/histSub)
+				}
+			}
+		})
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+}
+
+// TestHotPathAllocationFree pins the always-on claim: metric updates on
+// the hot path must not allocate.
+func TestHotPathAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("iqpaths_test_hot_total", "")
+	g := r.Gauge("iqpaths_test_hot", "")
+	h := r.Histogram("iqpaths_test_hot_seconds", "")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1.5)
+		g.Add(0.25)
+		h.Observe(0.0042)
+	})
+	if allocs != 0 {
+		t.Fatalf("hot path allocated %v times per op, want 0", allocs)
+	}
+}

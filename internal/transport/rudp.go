@@ -49,6 +49,7 @@ type RUDPConn struct {
 	write func([]byte) error // socket write bound to the peer
 	peer  string
 	rtt   *RTTEstimator
+	tm    *connMetrics
 
 	mu            sync.Mutex
 	sendCond      *sync.Cond
@@ -82,6 +83,7 @@ func newRUDPConn(peer string, write func([]byte) error, closeFn func()) *RUDPCon
 		write:     write,
 		peer:      peer,
 		rtt:       NewRTTEstimator(0, 0),
+		tm:        acquireConnMetrics(),
 		nextSeq:   1,
 		unacked:   map[uint64]*pendingPkt{},
 		lowest:    1,
@@ -137,6 +139,9 @@ func (c *RUDPConn) InFlight() int {
 // returns once the message is transmitted (not yet acknowledged).
 func (c *RUDPConn) Send(m *Message) error {
 	c.mu.Lock()
+	if !c.closed && (len(c.unacked) >= rudpWindow || c.inFlightBytes >= rudpWindowBytes) {
+		c.tm.sendBlocks.Inc()
+	}
 	for !c.closed && (len(c.unacked) >= rudpWindow || c.inFlightBytes >= rudpWindowBytes) {
 		c.sendCond.Wait()
 	}
@@ -156,6 +161,8 @@ func (c *RUDPConn) Send(m *Message) error {
 	c.unacked[seq] = &pendingPkt{data: data, sentAt: time.Now()}
 	c.inFlightBytes += len(data)
 	c.mu.Unlock()
+	c.tm.sent.Inc()
+	c.tm.inFlight.Add(1)
 	return c.write(data)
 }
 
@@ -175,6 +182,12 @@ func (c *RUDPConn) Close() error {
 		_ = c.write(fin)
 		c.mu.Lock()
 		c.closed = true
+		// Retire the in-flight gauge contribution of packets that will
+		// never be acked; the map is cleared so a late ack cannot
+		// double-decrement.
+		c.tm.inFlight.Add(-float64(len(c.unacked)))
+		c.unacked = map[uint64]*pendingPkt{}
+		c.inFlightBytes = 0
 		c.sendCond.Broadcast()
 		c.mu.Unlock()
 		close(c.done)
@@ -224,16 +237,20 @@ func (c *RUDPConn) handle(m *Message) {
 
 func (c *RUDPConn) onAck(cum uint64) {
 	var fastResend []byte
+	var acked int
 	c.mu.Lock()
 	now := time.Now()
 	for seq := c.lowest; seq <= cum; seq++ {
 		if p, ok := c.unacked[seq]; ok {
 			if p.retries == 0 { // Karn's rule: no RTT from retransmits
-				c.rtt.Observe(now.Sub(p.sentAt))
+				sample := now.Sub(p.sentAt)
+				c.rtt.Observe(sample)
+				c.tm.rtt.Observe(sample.Seconds())
 			}
 			c.ackedBits += float64(len(p.data)-headerLen) * 8
 			c.inFlightBytes -= len(p.data)
 			delete(c.unacked, seq)
+			acked++
 		}
 	}
 	if cum >= c.lowest {
@@ -260,7 +277,12 @@ func (c *RUDPConn) onAck(cum uint64) {
 	}
 	c.sendCond.Broadcast()
 	c.mu.Unlock()
+	if acked > 0 {
+		c.tm.inFlight.Add(-float64(acked))
+	}
 	if fastResend != nil {
+		c.tm.retx.Inc()
+		c.tm.fastRetx.Inc()
 		_ = c.write(fastResend)
 	}
 }
@@ -295,6 +317,9 @@ func (c *RUDPConn) onData(m *Message) {
 	outOfOrder := delivered == 0
 	ackDue := outOfOrder || (c.recvNext-1)%rudpAckEvery == 0
 	c.mu.Unlock()
+	if delivered > 0 {
+		c.tm.received.Add(uint64(delivered))
+	}
 	if ackDue {
 		c.sendAck()
 	}
@@ -307,6 +332,7 @@ func (c *RUDPConn) sendAck() {
 	c.mu.Unlock()
 	data, err := (&Message{Kind: KindAck, Seq: cum}).Marshal()
 	if err == nil {
+		c.tm.acksSent.Inc()
 		_ = c.write(data)
 	}
 }
@@ -349,6 +375,7 @@ func (c *RUDPConn) retransmitLoop() {
 		}
 		if len(resend) > 0 {
 			c.rtt.Backoff()
+			c.tm.retx.Add(uint64(len(resend)))
 			for _, d := range resend {
 				_ = c.write(d)
 			}
@@ -378,6 +405,7 @@ func (c *RUDPConn) Probe(timeout time.Duration) (time.Duration, error) {
 			}
 			rtt := time.Since(start)
 			c.rtt.Observe(rtt)
+			c.tm.rtt.Observe(rtt.Seconds())
 			return rtt, nil
 		case <-deadline.C:
 			return 0, fmt.Errorf("transport: probe timeout after %v", timeout)
