@@ -21,8 +21,12 @@ race:
 cover:
 	$(GO) test -cover ./internal/...
 
+# Runs every benchmark and records the ns/op + allocs baseline as JSON
+# (BENCH_PR2.json) for regression comparison across PRs. Override BENCHTIME
+# (e.g. BENCHTIME=1x) for a quick smoke pass.
+BENCHTIME ?= 1s
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_PR2.json
 
 # Regenerate every paper table/figure into ./figures as CSV + stdout tables.
 figures:

@@ -9,6 +9,7 @@
 //	iqbench -fig 11           # SmartPointer summary bars (Fig. 11)
 //	iqbench -fig 12           # GridFTP vs IQPG time series (Fig. 12)
 //	iqbench -fig 13           # GridFTP vs IQPG CDFs (Fig. 13)
+//	iqbench -fig faults       # WFQ/MSFQ/PGOS under a scripted fault scenario
 //	iqbench -fig all          # everything
 //	iqbench -fig ablations    # DESIGN.md §5 ablation sweeps
 //
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 4, 9, 10, 11, 12, 13, video, all, ablations")
+		fig      = flag.String("fig", "all", "figure to regenerate: 4, 9, 10, 11, 12, 13, video, faults, all, ablations")
 		seed     = flag.Int64("seed", 42, "experiment seed")
 		duration = flag.Float64("duration", 150, "measured seconds per run")
 		warmup   = flag.Float64("warmup", 60, "warm-up seconds before measurement")
@@ -167,6 +168,8 @@ func run(fig string, seed int64, duration, warmup float64, csv bool) error {
 		return ablations(cfg, csv)
 	case "video":
 		return videoFig(cfg, csv)
+	case "faults":
+		return faultsFig(cfg, csv)
 	case "multiseed":
 		n := seedCount
 		if n <= 1 {
@@ -375,6 +378,19 @@ func ablations(cfg experiment.RunConfig, csv bool) error {
 	fmt.Printf("ask: %.0f Mbps, E[Z] <= %.0f pkts/window  ->  admitted=%t, measured mean violations %.2f/window (worst %.0f)\n",
 		vb.RequiredMbps, vb.MaxViolations, vb.Admitted, vb.MeanViolations, vb.WorstViolations)
 	return nil
+}
+
+func faultsFig(cfg experiment.RunConfig, csv bool) error {
+	banner("Fault scenario: WFQ/MSFQ/PGOS recovery under an identical fault script")
+	res, err := experiment.RunFaults(cfg)
+	if err != nil {
+		return err
+	}
+	tl := res.Timeline
+	fmt.Printf("script on %s: outage [%.0fs, %.0fs), %.0f%% loss storm [%.0fs, %.0fs), %d× flap from %.0fs (%.1fs down / %.1fs up)\n",
+		tl.Link, tl.OutageStartSec, tl.OutageEndSec, 100*tl.StormProb,
+		tl.StormStartSec, tl.StormEndSec, tl.FlapCycles, tl.FlapStartSec, tl.FlapDownSec, tl.FlapUpSec)
+	return tee(func(w io.Writer, csv bool) error { return experiment.RenderFaults(w, res, csv) }, csv)
 }
 
 func videoFig(cfg experiment.RunConfig, csv bool) error {

@@ -18,6 +18,7 @@ func TestQuantileSweepRows(t *testing.T) {
 }
 
 func TestWindowSweepRows(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("multi-run sweep")
 	}
@@ -36,6 +37,7 @@ func TestWindowSweepRows(t *testing.T) {
 }
 
 func TestAdmissionAblationStructure(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("long runs")
 	}
@@ -73,6 +75,7 @@ func TestAdmissionAblationStructure(t *testing.T) {
 // accounting sees proportionally less, but the system neither wedges nor
 // collapses — criticals stay within the loss budget of their targets.
 func TestLossInjection(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("experiment run")
 	}

@@ -50,6 +50,7 @@ func TestRenderFig4(t *testing.T) {
 }
 
 func TestGridFTPShape(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("multi-run experiment")
 	}

@@ -3,6 +3,7 @@ package experiment
 import "testing"
 
 func TestPathsSweepShape(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("multi-run experiment")
 	}
@@ -32,6 +33,7 @@ func TestPathsSweepShape(t *testing.T) {
 }
 
 func TestViolationBoundHolds(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("experiment run")
 	}

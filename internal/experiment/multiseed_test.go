@@ -3,6 +3,7 @@ package experiment
 import "testing"
 
 func TestMultiSeedAggregation(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("multi-seed sweep")
 	}

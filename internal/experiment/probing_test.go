@@ -3,6 +3,7 @@ package experiment
 import "testing"
 
 func TestProbingAblationShape(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("two full runs")
 	}

@@ -1,0 +1,11 @@
+//go:build !race
+
+package experiment
+
+import "testing"
+
+// raceEnabled reports whether this test binary was built with -race.
+const raceEnabled = false
+
+// skipIfRace is a no-op without -race; see the race-build variant.
+func skipIfRace(t *testing.T) { t.Helper() }

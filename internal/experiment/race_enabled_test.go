@@ -1,0 +1,22 @@
+//go:build race
+
+package experiment
+
+import "testing"
+
+// raceEnabled reports whether this test binary was built with -race.
+const raceEnabled = true
+
+// skipIfRace skips tests that replay full testbed experiments. Those
+// loops are single-goroutine and deterministic — the race detector has
+// nothing to observe in them — but its instrumentation slows the replays
+// ~8×, pushing the package past the go test timeout on small machines.
+// The skipped tests run in every non-race invocation; concurrent code
+// paths (transport, telemetry, daemons) keep their race coverage in
+// their own packages.
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("single-goroutine emulator replay; too slow under -race (covered by the non-race suite)")
+	}
+}

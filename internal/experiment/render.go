@@ -176,6 +176,40 @@ func RenderCDFs(w io.Writer, rows []CDFRow, csv bool) error {
 	return WriteTable(w, header, out)
 }
 
+// RenderFaults writes the fault-scenario comparison: one row per
+// algorithm × stream, with the per-algorithm recovery columns repeated on
+// each of the algorithm's rows for grep-ability.
+func RenderFaults(w io.Writer, res *FaultsResult, csv bool) error {
+	header := []string{"algorithm", "stream", "target_mbps", "delivered_mbps",
+		"windows", "violated", "violated_frac", "mean_shortfall_pkts",
+		"remaps", "recovery_windows", "fault_events"}
+	var rows [][]string
+	for _, run := range res.Runs {
+		recovery := "-"
+		if run.RecoveryWindows >= 0 {
+			recovery = fmt.Sprintf("%d", run.RecoveryWindows)
+		}
+		for _, s := range run.Streams {
+			rows = append(rows, []string{
+				run.Algorithm, s.Name,
+				fmt.Sprintf("%.3f", s.RequiredMbps),
+				fmt.Sprintf("%.3f", s.DeliveredMbps),
+				fmt.Sprintf("%d", s.Windows),
+				fmt.Sprintf("%d", s.ViolatedWindows),
+				fmt.Sprintf("%.4f", s.ViolatedFrac),
+				fmt.Sprintf("%.3f", s.MeanShortfall),
+				fmt.Sprintf("%d", run.Remaps),
+				recovery,
+				fmt.Sprintf("%d", run.FaultEvents),
+			})
+		}
+	}
+	if csv {
+		return WriteCSV(w, header, rows)
+	}
+	return WriteTable(w, header, rows)
+}
+
 // RenderFig11 writes the Fig. 11 summary rows.
 func RenderFig11(w io.Writer, rows []Fig11Row, csv bool) error {
 	header := []string{"algorithm", "stream", "target_mbps", "mean", "sustained_95pct", "sustained_99pct", "stddev", "jitter_ms"}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"iqpaths/internal/emulab"
+	"iqpaths/internal/faults"
 	"iqpaths/internal/gridftp"
 	"iqpaths/internal/monitor"
 	"iqpaths/internal/pgos"
@@ -56,6 +57,11 @@ type RunConfig struct {
 	// (0 or 2 = both; 1 = path A only). Used by ablations that must
 	// disable multi-path rescue.
 	PathCount int
+	// FaultSchedule, when non-empty, is played against the testbed by a
+	// faults.Scenario: event ticks count from the start of the run
+	// (warmup included), so a schedule is one fixed script across
+	// algorithms and seeds.
+	FaultSchedule faults.Schedule
 }
 
 func (c *RunConfig) fillDefaults() {
@@ -108,6 +114,15 @@ type Result struct {
 	// scheduler recorded, per-stream guarantee accounts (virtual-time
 	// windows, PGOS shortfall semantics), and the retained event trace.
 	Telemetry *telemetry.Snapshot
+	// Accounts is the per-stream realised-guarantee record (same data the
+	// snapshot carries, exposed directly for programmatic consumers).
+	Accounts []telemetry.StreamAccount
+	// RemapTimes lists the virtual times (seconds from run start, warmup
+	// included) of PGOS resource-mapping rebuilds; empty for the other
+	// schedulers.
+	RemapTimes []float64
+	// FaultEvents counts fault-injection events applied during the run.
+	FaultEvents uint64
 }
 
 // workload abstracts the two applications for the runner.
@@ -199,6 +214,19 @@ func run(cfg RunConfig, tb *emulab.Testbed, w workload, ppf ppfFunc) (Result, er
 	}
 	acct := telemetry.NewAccountant(net, reg, tracer, cfg.TwSec, slos)
 
+	// Fault injection: the scripted scenario plays against the testbed's
+	// links on the same virtual clock as everything else.
+	var scn *faults.Scenario
+	if len(cfg.FaultSchedule) > 0 {
+		var err error
+		scn, err = faults.NewScenario(cfg.Algorithm, net, cfg.FaultSchedule)
+		if err != nil {
+			return Result{}, err
+		}
+		scn.SetTelemetry(reg, tracer)
+	}
+
+	var remapTimes []float64
 	var scheduler sched.Scheduler
 	switch cfg.Algorithm {
 	case AlgWFQ:
@@ -221,6 +249,7 @@ func run(cfg RunConfig, tb *emulab.Testbed, w workload, ppf ppfFunc) (Result, er
 					}
 				}
 				acct.ObserveRemap(latencySec, committed)
+				remapTimes = append(remapTimes, net.Now())
 			},
 		}, streams, pathServices, mons)
 	case AlgOptSched:
@@ -270,6 +299,9 @@ func run(cfg RunConfig, tb *emulab.Testbed, w workload, ppf ppfFunc) (Result, er
 	}
 
 	for t := int64(0); t < totalTicks; t++ {
+		if scn != nil {
+			scn.Apply(t)
+		}
 		w.Tick()
 		scheduler.Tick(t)
 		net.Step()
@@ -356,6 +388,11 @@ func run(cfg RunConfig, tb *emulab.Testbed, w workload, ppf ppfFunc) (Result, er
 		}
 	}
 	res.Telemetry = telemetry.BuildSnapshot(net, reg, acct, tracer)
+	res.Accounts = acct.Accounts()
+	res.RemapTimes = remapTimes
+	if scn != nil {
+		res.FaultEvents = scn.Applied()
+	}
 	return res, nil
 }
 

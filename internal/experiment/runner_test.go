@@ -15,6 +15,7 @@ func TestRunSmartPointerUnknownAlgorithm(t *testing.T) {
 }
 
 func TestRunSmartPointerAllAlgorithms(t *testing.T) {
+	skipIfRace(t)
 	for _, alg := range []string{AlgWFQ, AlgMSFQ, AlgPGOS, AlgOptSched} {
 		res, err := RunSmartPointer(shortCfg(alg))
 		if err != nil {
@@ -41,6 +42,7 @@ func TestRunSmartPointerAllAlgorithms(t *testing.T) {
 // The §6.1 headline: PGOS holds the critical streams at ~target for ≥95 %
 // of the time while MSFQ does not; Bond2's mean is not sacrificed.
 func TestSmartPointerShape(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("multi-run experiment")
 	}

@@ -56,6 +56,7 @@ func TestViolationBoundTelemetryAgreement(t *testing.T) {
 // throughput series, scheduler counters mirroring pgos.Stats, and the
 // emulator's per-link metrics present.
 func TestRunnerTelemetrySnapshot(t *testing.T) {
+	skipIfRace(t)
 	res, err := RunSmartPointer(shortCfg(AlgPGOS))
 	if err != nil {
 		t.Fatal(err)

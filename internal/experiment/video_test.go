@@ -12,6 +12,7 @@ func TestRunVideoUnknownAlg(t *testing.T) {
 // frames and yields a steadier quality than proportional sharing when the
 // network dips below total demand.
 func TestVideoShape(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("experiment run")
 	}

@@ -7,6 +7,7 @@
 package monitor
 
 import (
+	"math"
 	"math/rand"
 
 	"iqpaths/internal/simnet"
@@ -178,7 +179,10 @@ func NewSampler(path *simnet.Path, m *PathMonitor, noiseFrac float64, rng *rand.
 	return &Sampler{Path: path, Monitor: m, NoiseFrac: noiseFrac, rng: rng}
 }
 
-// Sample takes one measurement from the live path.
+// Sample takes one measurement from the live path. Non-finite readings
+// (a corrupted estimator, or noise applied to an already-broken value)
+// are discarded rather than fed to the window — stats.Window rejects them
+// too, but dropping them here keeps the monitor's sample count honest.
 func (s *Sampler) Sample() {
 	bw := s.Path.AvailMbps()
 	if s.NoiseFrac > 0 {
@@ -186,6 +190,9 @@ func (s *Sampler) Sample() {
 		if bw < 0 {
 			bw = 0
 		}
+	}
+	if math.IsNaN(bw) || math.IsInf(bw, 0) {
+		return
 	}
 	s.Monitor.ObserveBandwidth(bw)
 }

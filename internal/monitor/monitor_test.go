@@ -217,3 +217,44 @@ func TestBandwidthIIDScore(t *testing.T) {
 		t.Fatalf("IID path (%v) should out-score trending path (%v)", si, st)
 	}
 }
+
+// TestMonitorSurvivesNonFiniteSamples: a poisoned measurement (NaN/Inf
+// from a broken estimator) must not corrupt the CDF the monitor serves to
+// PGOS — neither through ObserveBandwidth directly nor through a Sampler.
+func TestMonitorSurvivesNonFiniteSamples(t *testing.T) {
+	m := New("p", 16, 4)
+	for i := 1; i <= 8; i++ {
+		m.ObserveBandwidth(float64(i) * 10)
+	}
+	m.ObserveBandwidth(math.NaN())
+	m.ObserveBandwidth(math.Inf(1))
+	m.ObserveBandwidth(math.Inf(-1))
+	if m.Samples() != 8 {
+		t.Fatalf("samples = %d, want 8 (non-finite must be rejected)", m.Samples())
+	}
+	if got := m.MeanBandwidth(); got != 45 {
+		t.Fatalf("mean = %v, want 45", got)
+	}
+	if got := m.Percentile(0.5); math.IsNaN(got) {
+		t.Fatal("median is NaN")
+	}
+	if p := m.ExceedProbability(40); p != 0.625 {
+		t.Fatalf("ExceedProbability(40) = %v, want 0.625 (5 of 8 samples ≥ 40)", p)
+	}
+}
+
+// TestSamplerGuardsNonFinite drives a Sampler whose noise multiplies a
+// normal reading; with an artificially NaN'd path reading the sample must
+// be discarded before it reaches the window.
+func TestSamplerGuardsNonFinite(t *testing.T) {
+	net := simnet.New(0.01, rand.New(rand.NewSource(3)))
+	l := net.AddLink(simnet.LinkConfig{Name: "l", CapacityMbps: 100, Cross: trace.NewCBR(math.NaN())})
+	p := net.AddPath("p", l)
+	m := New("p", 16, 4)
+	s := NewSampler(p, m, 0, nil)
+	net.Step() // availMbps = 100 - NaN = NaN (clamped only for negatives)
+	s.Sample()
+	if m.Samples() != 0 {
+		t.Fatalf("NaN path reading reached the window: samples = %d", m.Samples())
+	}
+}

@@ -1,0 +1,100 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"iqpaths/internal/telemetry"
+	"iqpaths/internal/trace"
+)
+
+// TestStarvedLinkUtilizationObserved is the regression test for the
+// telemetry blind spot: when cross traffic (or a fault) consumes the whole
+// tick budget, the utilization histogram used to record nothing, so the
+// ticks where the link was at its worst were invisible and the histogram
+// read healthier than reality. A starved link with a non-empty queue must
+// observe 1.0.
+func TestStarvedLinkUtilizationObserved(t *testing.T) {
+	net := New(0.01, rand.New(rand.NewSource(1)))
+	// Cross traffic at full capacity: budget0 = 0 every tick.
+	l := net.AddLink(LinkConfig{Name: "starved", CapacityMbps: 10, Cross: trace.NewCBR(10)})
+	p := net.AddPath("p", l)
+	reg := telemetry.NewRegistry()
+	net.SetTelemetry(reg)
+
+	p.Send(net.NewPacket(0, 1000))
+	for i := 0; i < 5; i++ {
+		net.Step()
+	}
+	h := reg.Histogram("iqpaths_simnet_link_utilization", "", "link", "starved")
+	if h.Count() != 5 {
+		t.Fatalf("starved ticks observed = %d, want 5", h.Count())
+	}
+	if m := h.Mean(); m < 0.99 || m > 1.01 {
+		t.Fatalf("starved utilization mean = %v, want 1.0", m)
+	}
+
+	// An idle starved link (no queue) still records nothing: zero budget
+	// with zero demand is not saturation.
+	net2 := New(0.01, rand.New(rand.NewSource(1)))
+	idle := net2.AddLink(LinkConfig{Name: "idle", CapacityMbps: 10, Cross: trace.NewCBR(10)})
+	_ = idle
+	reg2 := telemetry.NewRegistry()
+	net2.SetTelemetry(reg2)
+	for i := 0; i < 5; i++ {
+		net2.Step()
+	}
+	if c := reg2.Histogram("iqpaths_simnet_link_utilization", "", "link", "idle").Count(); c != 0 {
+		t.Fatalf("idle starved link observed %d samples, want 0", c)
+	}
+}
+
+// TestLinkRuntimeFaultState exercises the runtime-mutable capacity/loss
+// state the faults subsystem drives.
+func TestLinkRuntimeFaultState(t *testing.T) {
+	net := New(0.01, rand.New(rand.NewSource(2)))
+	l := net.AddLink(LinkConfig{Name: "l", CapacityMbps: 100, LossProb: 0.05})
+	p := net.AddPath("p", l)
+
+	if l.CapacityScale() != 1 || l.IsDown() || l.LossProb() != 0.05 || l.BaseLossProb() != 0.05 {
+		t.Fatalf("fresh link state: scale=%v down=%v loss=%v", l.CapacityScale(), l.IsDown(), l.LossProb())
+	}
+
+	l.SetDown(true)
+	p.Send(net.NewPacket(0, 1000))
+	net.Step()
+	if l.AvailMbps() != 0 {
+		t.Fatalf("downed link avail = %v", l.AvailMbps())
+	}
+	if l.QueueLen() != 1 {
+		t.Fatalf("downed link must hold its queue, len = %d", l.QueueLen())
+	}
+	l.SetDown(false)
+	net.Step()
+	net.Step()
+	if got := len(p.TakeDelivered()); got != 1 {
+		t.Fatalf("delivered after recovery = %d, want 1", got)
+	}
+
+	l.SetCapacityScale(0.5)
+	net.Step()
+	if l.AvailMbps() != 50 {
+		t.Fatalf("half-capacity avail = %v, want 50", l.AvailMbps())
+	}
+	l.SetCapacityScale(-3)
+	if l.CapacityScale() != 0 {
+		t.Fatalf("negative scale must clamp to 0, got %v", l.CapacityScale())
+	}
+
+	l.SetLossProb(2)
+	if l.LossProb() != 1 {
+		t.Fatalf("loss prob must clamp to 1, got %v", l.LossProb())
+	}
+	l.SetLossProb(-1)
+	if l.LossProb() != 0 {
+		t.Fatalf("loss prob must clamp to 0, got %v", l.LossProb())
+	}
+	if l.BaseLossProb() != 0.05 {
+		t.Fatal("baseline loss must stay the configured value")
+	}
+}

@@ -63,6 +63,15 @@ type Link struct {
 	stats     LinkStats
 	rng       *rand.Rand
 
+	// Runtime fault state (mutated by internal/faults between ticks; the
+	// static LinkConfig stays the healthy baseline). capScale multiplies
+	// the configured capacity, down forces the capacity to zero while the
+	// queue and in-flight ring stay intact, and lossProb overrides
+	// LinkConfig.LossProb.
+	capScale float64
+	down     bool
+	lossProb float64
+
 	// metric handles, nil until the network has a telemetry registry.
 	mUtil        *telemetry.Histogram
 	mTransmitted *telemetry.Counter
@@ -72,6 +81,45 @@ type Link struct {
 
 // Name returns the configured link name.
 func (l *Link) Name() string { return l.cfg.Name }
+
+// SetDown forces the link's transmit capacity to zero (true) or restores
+// it (false). Queued and in-flight packets are preserved: a downed link
+// stalls rather than drains, which is what fills its queue and raises the
+// blocked-path condition PGOS reacts to.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// IsDown reports whether the link is currently forced down.
+func (l *Link) IsDown() bool { return l.down }
+
+// SetCapacityScale sets a runtime multiplier on the configured capacity
+// (1 = healthy, 0.25 = degraded to a quarter). Negative values clamp to 0.
+func (l *Link) SetCapacityScale(s float64) {
+	if s < 0 {
+		s = 0
+	}
+	l.capScale = s
+}
+
+// CapacityScale returns the current runtime capacity multiplier.
+func (l *Link) CapacityScale() float64 { return l.capScale }
+
+// SetLossProb overrides the per-packet loss probability at runtime,
+// clamped to [0, 1]. The configured LinkConfig.LossProb is the baseline a
+// loss storm recovers to.
+func (l *Link) SetLossProb(p float64) {
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	l.lossProb = p
+}
+
+// LossProb returns the link's current per-packet loss probability.
+func (l *Link) LossProb() float64 { return l.lossProb }
+
+// BaseLossProb returns the configured (healthy) loss probability.
+func (l *Link) BaseLossProb() float64 { return l.cfg.LossProb }
 
 // AvailMbps returns capacity − cross traffic from the most recent tick.
 func (l *Link) AvailMbps() float64 { return l.availMbps }
@@ -105,7 +153,11 @@ func (l *Link) step() {
 	if l.cfg.Cross != nil {
 		cross = l.cfg.Cross.Next()
 	}
-	avail := l.cfg.CapacityMbps - cross
+	capacity := l.cfg.CapacityMbps * l.capScale
+	if l.down {
+		capacity = 0
+	}
+	avail := capacity - cross
 	if avail < 0 {
 		avail = 0
 	}
@@ -124,7 +176,7 @@ func (l *Link) step() {
 		budget -= need
 		l.headSent = 0
 		l.queue = l.queue[1:]
-		if l.cfg.LossProb > 0 && l.rng.Float64() < l.cfg.LossProb {
+		if l.lossProb > 0 && l.rng.Float64() < l.lossProb {
 			l.stats.LossDrops++
 			if l.mLossDrops != nil {
 				l.mLossDrops.Inc()
@@ -139,8 +191,16 @@ func (l *Link) step() {
 		slot := (l.net.tick + int64(l.cfg.DelayTicks)) % int64(len(l.delayRing))
 		l.delayRing[slot] = append(l.delayRing[slot], head)
 	}
-	if l.mUtil != nil && budget0 > 0 {
-		l.mUtil.Observe((budget0 - budget) / budget0)
+	if l.mUtil != nil {
+		if budget0 > 0 {
+			l.mUtil.Observe((budget0 - budget) / budget0)
+		} else if len(l.queue) > 0 {
+			// Fully starved (cross traffic or a fault consumed the whole
+			// budget) with work waiting: the link is saturated, not idle.
+			// Skipping the sample here would make the histogram read
+			// healthier exactly when the link is at its worst.
+			l.mUtil.Observe(1)
+		}
 	}
 }
 

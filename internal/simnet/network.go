@@ -54,6 +54,8 @@ func (n *Network) AddLink(cfg LinkConfig) *Link {
 		net:       n,
 		delayRing: make([][]*Packet, ringLen),
 		rng:       n.rng,
+		capScale:  1,
+		lossProb:  cfg.LossProb,
 	}
 	l.initTelemetry(n.tel)
 	n.links = append(n.links, l)
@@ -73,6 +75,21 @@ func (n *Network) AddPath(name string, links ...*Link) *Path {
 
 // Paths returns the registered paths in creation order.
 func (n *Network) Paths() []*Path { return n.paths }
+
+// Links returns the registered links in creation order.
+func (n *Network) Links() []*Link { return n.links }
+
+// Link returns the link with the given configured name, or nil when no
+// such link exists. Names are assumed unique per network (the topology
+// builders guarantee it); with duplicates the first match wins.
+func (n *Network) Link(name string) *Link {
+	for _, l := range n.links {
+		if l.cfg.Name == name {
+			return l
+		}
+	}
+	return nil
+}
 
 // NewPacket allocates a packet of the given size tagged with a stream.
 func (n *Network) NewPacket(stream int, bits float64) *Packet {

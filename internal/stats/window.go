@@ -44,7 +44,15 @@ func (w *Window) Len() int { return w.n }
 func (w *Window) Full() bool { return w.n == w.cap }
 
 // Add inserts a sample, evicting the oldest if the window is full.
+// Non-finite samples (NaN, ±Inf) are rejected: NaN breaks the binary
+// search removeSorted relies on (NaN compares false with everything, so
+// sort.SearchFloat64s cannot find it and a *different* element gets
+// evicted), silently corrupting the sorted multiset, the running sum, and
+// every quantile/CDF served downstream; ±Inf poisons the sum the same way.
 func (w *Window) Add(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return
+	}
 	if w.n == w.cap {
 		old := w.ring[w.head]
 		w.ring[w.head] = x

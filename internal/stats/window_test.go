@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -159,5 +160,57 @@ func TestWindowStdDevMatchesWelford(t *testing.T) {
 	}
 	if !almostEqual(w.StdDev(), wf.StdDev(), 1e-9) {
 		t.Fatalf("stddev %v vs %v", w.StdDev(), wf.StdDev())
+	}
+}
+
+// TestWindowRejectsNonFinite is the regression test for the NaN-corruption
+// bug: before the guard in Add, a NaN sample defeated removeSorted's
+// binary search (NaN compares false with everything), so a *different*
+// element was evicted and the sorted multiset, sum, and every downstream
+// quantile/CDF drifted from the ring contents.
+func TestWindowRejectsNonFinite(t *testing.T) {
+	w := NewWindow(4)
+	for _, x := range []float64{10, 20, 30, 40} {
+		w.Add(x)
+	}
+	// Attack the full window with every non-finite class; each must be a
+	// no-op.
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		w.Add(bad)
+	}
+	if w.Len() != 4 {
+		t.Fatalf("Len = %d after non-finite adds, want 4", w.Len())
+	}
+	if got := w.Mean(); got != 25 {
+		t.Fatalf("Mean = %v, want 25", got)
+	}
+	// Keep rolling the (full) window; the multiset invariant must survive:
+	// sorted view, sum, and ring agree after further evictions.
+	for _, x := range []float64{50, 60} {
+		w.Add(x)
+		w.Add(math.NaN())
+	}
+	vals := w.Values()
+	if want := []float64{30, 40, 50, 60}; len(vals) != 4 {
+		t.Fatalf("Values = %v, want %v", vals, want)
+	} else {
+		for i, v := range vals {
+			if v != want[i] {
+				t.Fatalf("Values = %v, want %v", vals, want)
+			}
+		}
+	}
+	if got := w.Mean(); got != 45 {
+		t.Fatalf("Mean after eviction = %v, want 45", got)
+	}
+	if q := w.Quantile(0.5); q != 40 {
+		t.Fatalf("median = %v, want 40", q)
+	}
+	if f := w.F(45); f != 0.5 {
+		t.Fatalf("F(45) = %v, want 0.5", f)
+	}
+	snap := w.Snapshot()
+	if snap.Min() != 30 || snap.Max() != 60 || snap.N() != 4 {
+		t.Fatalf("snapshot min=%v max=%v n=%d", snap.Min(), snap.Max(), snap.N())
 	}
 }

@@ -62,6 +62,9 @@ type RUDPConn struct {
 	recvNext uint64
 	ooo      map[uint64]*Message
 	recvQ    chan *Message
+	// ackPending marks in-order deliveries that did not reach an ack
+	// boundary; retransmitLoop flushes them as a delayed ack.
+	ackPending bool
 
 	// stats
 	retransmits     uint64
@@ -149,8 +152,11 @@ func (c *RUDPConn) Send(m *Message) error {
 		c.mu.Unlock()
 		return ErrClosed
 	}
+	// Marshal before consuming the sequence number: a consumed-but-never-
+	// transmitted seq would leave a permanent hole the receiver's recvNext
+	// can never cross, stranding every later message in its out-of-order
+	// map.
 	seq := c.nextSeq
-	c.nextSeq++
 	wire := *m
 	wire.Seq = seq
 	data, err := wire.Marshal()
@@ -158,6 +164,7 @@ func (c *RUDPConn) Send(m *Message) error {
 		c.mu.Unlock()
 		return err
 	}
+	c.nextSeq++
 	c.unacked[seq] = &pendingPkt{data: data, sentAt: time.Now()}
 	c.inFlightBytes += len(data)
 	c.mu.Unlock()
@@ -296,6 +303,7 @@ func (c *RUDPConn) onData(m *Message) {
 		return
 	}
 	c.ooo[m.Seq] = m
+	start := c.recvNext
 	delivered := 0
 	for {
 		next, ok := c.ooo[c.recvNext]
@@ -315,7 +323,21 @@ func (c *RUDPConn) onData(m *Message) {
 		}
 	}
 	outOfOrder := delivered == 0
-	ackDue := outOfOrder || (c.recvNext-1)%rudpAckEvery == 0
+	// Ack when the delivered batch [start, recvNext) crossed an ack
+	// boundary anywhere — not only when it *ended* on one. A burst of
+	// buffered packets delivering at once can straddle a multiple of
+	// rudpAckEvery without landing on it; checking only the endpoint
+	// skipped those acks.
+	crossed := (c.recvNext-1)/rudpAckEvery > (start-1)/rudpAckEvery
+	ackDue := outOfOrder || crossed
+	if !ackDue && delivered > 0 {
+		// Delayed ack: the final packets of a transfer may never reach a
+		// boundary. Mark them ack-pending so retransmitLoop flushes a
+		// cumulative ack within one ticker period — well inside the
+		// sender's RTO floor — instead of forcing an RTO retransmit and a
+		// duplicate-triggered re-ack.
+		c.ackPending = true
+	}
 	c.mu.Unlock()
 	if delivered > 0 {
 		c.tm.received.Add(uint64(delivered))
@@ -329,6 +351,7 @@ func (c *RUDPConn) sendAck() {
 	c.mu.Lock()
 	cum := c.recvNext - 1
 	c.acksSent++
+	c.ackPending = false
 	c.mu.Unlock()
 	data, err := (&Message{Kind: KindAck, Seq: cum}).Marshal()
 	if err == nil {
@@ -346,6 +369,14 @@ func (c *RUDPConn) retransmitLoop() {
 		case <-c.done:
 			return
 		case <-ticker.C:
+		}
+		// Delayed-ack flush: cover a quiescent in-order tail before the
+		// peer's RTO can fire.
+		c.mu.Lock()
+		flushAck := c.ackPending
+		c.mu.Unlock()
+		if flushAck {
+			c.sendAck()
 		}
 		rto := c.rtt.RTO()
 		now := time.Now()
