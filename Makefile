@@ -22,11 +22,12 @@ cover:
 	$(GO) test -cover ./internal/...
 
 # Runs every benchmark and records the ns/op + allocs baseline as JSON
-# (BENCH_PR2.json) for regression comparison across PRs. Override BENCHTIME
+# (BENCH_PR3.json) for regression comparison across PRs — now including the
+# control-plane convergence and admission benchmarks. Override BENCHTIME
 # (e.g. BENCHTIME=1x) for a quick smoke pass.
 BENCHTIME ?= 1s
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_PR2.json
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_PR3.json
 
 # Regenerate every paper table/figure into ./figures as CSV + stdout tables.
 figures:

@@ -10,6 +10,7 @@
 //	iqbench -fig 12           # GridFTP vs IQPG time series (Fig. 12)
 //	iqbench -fig 13           # GridFTP vs IQPG CDFs (Fig. 13)
 //	iqbench -fig faults       # WFQ/MSFQ/PGOS under a scripted fault scenario
+//	iqbench -fig churn        # static routing vs control-plane rerouting under churn
 //	iqbench -fig all          # everything
 //	iqbench -fig ablations    # DESIGN.md §5 ablation sweeps
 //
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 4, 9, 10, 11, 12, 13, video, faults, all, ablations")
+		fig      = flag.String("fig", "all", "figure to regenerate: 4, 9, 10, 11, 12, 13, video, faults, churn, all, ablations")
 		seed     = flag.Int64("seed", 42, "experiment seed")
 		duration = flag.Float64("duration", 150, "measured seconds per run")
 		warmup   = flag.Float64("warmup", 60, "warm-up seconds before measurement")
@@ -170,6 +171,8 @@ func run(fig string, seed int64, duration, warmup float64, csv bool) error {
 		return videoFig(cfg, csv)
 	case "faults":
 		return faultsFig(cfg, csv)
+	case "churn":
+		return churnFig(cfg, csv)
 	case "multiseed":
 		n := seedCount
 		if n <= 1 {
@@ -391,6 +394,32 @@ func faultsFig(cfg experiment.RunConfig, csv bool) error {
 		tl.Link, tl.OutageStartSec, tl.OutageEndSec, 100*tl.StormProb,
 		tl.StormStartSec, tl.StormEndSec, tl.FlapCycles, tl.FlapStartSec, tl.FlapDownSec, tl.FlapUpSec)
 	return tee(func(w io.Writer, csv bool) error { return experiment.RenderFaults(w, res, csv) }, csv)
+}
+
+func churnFig(cfg experiment.RunConfig, csv bool) error {
+	banner("Churn scenario: static routing vs control-plane rerouting under membership churn")
+	res, err := experiment.RunChurn(cfg)
+	if err != nil {
+		return err
+	}
+	tl := res.Timeline
+	fmt.Printf("script: router %s fails at %.0fs and rejoins at %.0fs; gossip every %.1fs, failure detection %.1fs\n",
+		tl.FailNode, tl.FailSec, tl.RejoinSec, tl.GossipSec, tl.DetectSec)
+	for _, d := range res.Admission {
+		if d.Admitted {
+			fmt.Printf("admission: %s -> admitted\n", d.Spec)
+			continue
+		}
+		best := "nothing feasible"
+		if d.BestSpec != nil {
+			best = fmt.Sprintf("best feasible %s", *d.BestSpec)
+			if d.BestProbability > 0 {
+				best += fmt.Sprintf(" (or %.0f Mbps @ %.0f%%)", d.Spec.RequiredMbps, 100*d.BestProbability)
+			}
+		}
+		fmt.Printf("admission: %s -> rejected (%s); upcall: %s\n", d.Spec, d.Reason, best)
+	}
+	return tee(func(w io.Writer, csv bool) error { return experiment.RenderChurn(w, res, csv) }, csv)
 }
 
 func videoFig(cfg experiment.RunConfig, csv bool) error {

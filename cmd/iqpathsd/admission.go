@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"strconv"
+
+	"iqpaths/internal/control"
+	"iqpaths/internal/monitor"
+	"iqpaths/internal/stream"
+	"iqpaths/internal/telemetry"
+)
+
+// daemonAdmission exposes the control-plane admission test over HTTP for
+// the sink role. The sink monitors one "path" — its own ingress — whose
+// available bandwidth is the configured capacity minus the observed
+// aggregate receive rate, sampled once per reporting tick. Clients ask
+//
+//	POST /admission/admit?name=Gold&mbps=50&p=0.9
+//	POST /admission/release?name=Gold
+//	GET  /admission/streams
+//
+// and get the control.Decision (including the best-feasible-spec upcall
+// on rejection) as JSON.
+type daemonAdmission struct {
+	capacity float64
+	adm      *control.Admission
+}
+
+// admissionWindow is the ingress monitor's sample window: one sample per
+// second, so two minutes of history feed the CDF.
+const admissionWindow = 120
+
+func newDaemonAdmission(capacityMbps float64) *daemonAdmission {
+	mon := monitor.New("sink", admissionWindow, 20)
+	adm := control.NewAdmission(control.AdmissionOptions{
+		PreemptBestEffort: true,
+		OnReject: func(d control.Decision) {
+			if d.BestSpec != nil {
+				log.Printf("admission: rejected %q (%s); best feasible %.2f Mbps",
+					d.Spec.Name, d.Reason, d.BestSpec.RequiredMbps)
+			} else {
+				log.Printf("admission: rejected %q (%s)", d.Spec.Name, d.Reason)
+			}
+		},
+	}, []*monitor.PathMonitor{mon})
+	adm.SetTelemetry(telemetry.Default(), nil)
+	return &daemonAdmission{capacity: capacityMbps, adm: adm}
+}
+
+// observe feeds one aggregate receive-rate sample (Mbps): the ingress
+// path's available bandwidth is whatever the capacity leaves over.
+func (d *daemonAdmission) observe(usedMbps float64) {
+	avail := d.capacity - usedMbps
+	if avail < 0 {
+		avail = 0
+	}
+	d.adm.Observe(0, avail)
+}
+
+func (d *daemonAdmission) register(mux *http.ServeMux) {
+	mux.HandleFunc("/admission/admit", d.handleAdmit)
+	mux.HandleFunc("/admission/release", d.handleRelease)
+	mux.HandleFunc("/admission/streams", d.handleStreams)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// handleAdmit parses a spec from query parameters and runs the admission
+// test. kind=besteffort admits unconditionally; otherwise mbps (and
+// optionally p, the guarantee probability, default 0.95) describe a
+// probabilistic request.
+func (d *daemonAdmission) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	spec := stream.Spec{Name: q.Get("name")}
+	if spec.Name == "" {
+		http.Error(w, "missing name parameter", http.StatusBadRequest)
+		return
+	}
+	if q.Get("kind") == "besteffort" {
+		spec.Kind = stream.BestEffort
+		if mbps, err := strconv.ParseFloat(q.Get("mbps"), 64); err == nil {
+			spec.RequiredMbps = mbps
+		}
+	} else {
+		mbps, err := strconv.ParseFloat(q.Get("mbps"), 64)
+		if err != nil || mbps <= 0 {
+			http.Error(w, "missing or invalid mbps parameter", http.StatusBadRequest)
+			return
+		}
+		spec.Kind = stream.Probabilistic
+		spec.RequiredMbps = mbps
+		spec.Probability = 0.95
+		if ps := q.Get("p"); ps != "" {
+			p, err := strconv.ParseFloat(ps, 64)
+			if err != nil || p <= 0 || p >= 1 {
+				http.Error(w, "invalid p parameter (want 0 < p < 1)", http.StatusBadRequest)
+				return
+			}
+			spec.Probability = p
+		}
+	}
+	for _, s := range d.adm.Admitted() {
+		if s.Name == spec.Name {
+			http.Error(w, "stream name already admitted", http.StatusConflict)
+			return
+		}
+	}
+	dec := d.adm.Admit(spec)
+	status := http.StatusOK
+	if !dec.Admitted {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, dec)
+}
+
+func (d *daemonAdmission) handleRelease(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		http.Error(w, "missing name parameter", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":     name,
+		"released": d.adm.Release(name),
+	})
+}
+
+func (d *daemonAdmission) handleStreams(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.adm.Admitted())
+}

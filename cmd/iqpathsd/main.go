@@ -12,6 +12,12 @@
 // Every daemon serves its telemetry registry on -http: GET /metrics is
 // Prometheus text exposition (transport counters, RTT histograms,
 // per-stream receive totals) and /debug/pprof the standard profiles.
+// Sink daemons additionally expose CDF-based admission control under
+// /admission/ (admit, release, streams): the sink samples its ingress
+// headroom (-capacity minus the observed aggregate rate) once per second
+// and admits a stream only when the PGOS feasibility test over that
+// distribution can meet its specification, answering rejections with the
+// best currently feasible spec.
 // On SIGINT/SIGTERM the daemon shuts down gracefully, and with
 // -snapshot it writes a final JSON telemetry snapshot before exiting.
 //
@@ -49,21 +55,26 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress periodic reports")
 		httpAddr = flag.String("http", "127.0.0.1:9090", "HTTP address for /metrics and /debug/pprof (empty disables)")
 		snapPath = flag.String("snapshot", "", "write a final JSON telemetry snapshot to this file on shutdown")
+		capacity = flag.Float64("capacity", 100, "sink ingress capacity in Mbps, the ceiling of the admission test")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var adm *daemonAdmission
+	if *role == "sink" {
+		adm = newDaemonAdmission(*capacity)
+	}
 	var httpSrv *http.Server
 	if *httpAddr != "" {
-		httpSrv = startHTTP(*httpAddr)
+		httpSrv = startHTTP(*httpAddr, adm)
 	}
 
 	var err error
 	switch *role {
 	case "sink":
-		err = runSink(ctx, *rudpAddr, *tcpAddr, *quiet)
+		err = runSink(ctx, *rudpAddr, *tcpAddr, *quiet, adm)
 	case "router":
 		if *next == "" {
 			fmt.Fprintln(os.Stderr, "router role requires -next")
@@ -94,10 +105,14 @@ func main() {
 
 // startHTTP serves the process-global telemetry registry and the pprof
 // profiles on their own mux (never http.DefaultServeMux, so nothing else
-// leaks onto the port).
-func startHTTP(addr string) *http.Server {
+// leaks onto the port). Sink daemons additionally serve the admission
+// API under /admission/.
+func startHTTP(addr string, adm *daemonAdmission) *http.Server {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", telemetry.Handler(telemetry.Default()))
+	if adm != nil {
+		adm.register(mux)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -163,7 +178,7 @@ func (r *rateTable) snapshotAndReset() map[uint32]uint64 {
 	return out
 }
 
-func runSink(ctx context.Context, rudpAddr, tcpAddr string, quiet bool) error {
+func runSink(ctx context.Context, rudpAddr, tcpAddr string, quiet bool, adm *daemonAdmission) error {
 	rates := newRateTable()
 	var closers []interface{ Close() error }
 	if rudpAddr != "" {
@@ -196,6 +211,13 @@ func runSink(ctx context.Context, rudpAddr, tcpAddr string, quiet bool) error {
 			return nil
 		case <-ticker.C:
 			snap := rates.snapshotAndReset()
+			if adm != nil {
+				var total uint64
+				for _, b := range snap {
+					total += b
+				}
+				adm.observe(float64(total) * 8 / 1e6)
+			}
 			if quiet || len(snap) == 0 {
 				continue
 			}

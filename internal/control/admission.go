@@ -1,0 +1,342 @@
+package control
+
+import (
+	"math"
+	"sync"
+
+	"iqpaths/internal/monitor"
+	"iqpaths/internal/pgos"
+	"iqpaths/internal/stats"
+	"iqpaths/internal/stream"
+	"iqpaths/internal/telemetry"
+)
+
+// AdmissionOptions tunes the admission controller.
+type AdmissionOptions struct {
+	// TwSec is the scheduling window the feasibility test assumes
+	// (default 1).
+	TwSec float64
+	// PreemptBestEffort lets a guaranteed stream evict admitted
+	// best-effort streams (newest first) when that makes it feasible.
+	PreemptBestEffort bool
+	// BestEffortMbps is the per-stream load a best-effort admission is
+	// assumed to impose on each feasibility test, spread evenly across
+	// paths, when the stream's spec names no rate (default 5).
+	BestEffortMbps float64
+	// OnReject, when non-nil, receives every rejection decision — the
+	// paper's upcall carrying the best currently feasible specification.
+	OnReject func(Decision)
+	// OnPreempt, when non-nil, receives each evicted best-effort spec.
+	OnPreempt func(stream.Spec)
+}
+
+// Decision is the outcome of one admission test.
+type Decision struct {
+	// Spec is the specification that was tested.
+	Spec stream.Spec
+	// Admitted reports acceptance; the stream is then counted against
+	// path headroom in later tests until Release.
+	Admitted bool
+	// Reason explains a rejection in one phrase.
+	Reason string
+	// Preempted names best-effort streams evicted to admit this one.
+	Preempted []string
+	// BestRateMbps is the largest rate currently feasible at the spec's
+	// own guarantee level (0 when even a sliver is infeasible).
+	BestRateMbps float64
+	// BestProbability is, for probabilistic specs, the highest guarantee
+	// probability currently feasible at the requested rate (0 when none).
+	BestProbability float64
+	// BestSpec, on rejection, is the closest specification the overlay
+	// can promise right now — the requested spec with its rate lowered to
+	// BestRateMbps. Nil when nothing is feasible or the stream was
+	// admitted.
+	BestSpec *stream.Spec
+}
+
+// Admission is the CDF-based admission controller: a stream is admitted
+// only when the PGOS resource-mapping feasibility test — per-path
+// guarantee headroom after the rates already committed to admitted
+// streams — can meet its specification. Unlike the controller it is
+// mutex-guarded, because daemons call it from HTTP handlers while the
+// control loop retargets its monitor set.
+type Admission struct {
+	mu       sync.Mutex
+	opt      AdmissionOptions
+	mons     []*monitor.PathMonitor
+	admitted []stream.Spec
+	tel      admTelemetry
+}
+
+// NewAdmission returns an admission controller over the given path
+// monitors (mons may be nil when a Controller will supply them via
+// Config.Admission). Call SetTelemetry to wire metrics.
+func NewAdmission(opt AdmissionOptions, mons []*monitor.PathMonitor) *Admission {
+	if opt.TwSec <= 0 {
+		opt.TwSec = 1
+	}
+	if opt.BestEffortMbps <= 0 {
+		opt.BestEffortMbps = 5
+	}
+	return &Admission{opt: opt, mons: mons}
+}
+
+// SetTelemetry attaches iqpaths_control_* admission metrics and trace
+// events; either argument may be nil.
+func (a *Admission) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) {
+	a.mu.Lock()
+	a.tel = newAdmTelemetry(reg, tracer)
+	a.tel.streams(len(a.admitted))
+	a.mu.Unlock()
+}
+
+// SetPaths retargets the feasibility test at a new monitor set — called
+// by the Controller on every reroute. Admitted streams persist: they are
+// re-expressed against the new paths on the next test.
+func (a *Admission) SetPaths(mons []*monitor.PathMonitor) {
+	a.mu.Lock()
+	a.mons = mons
+	a.mu.Unlock()
+}
+
+// Observe feeds one bandwidth sample (Mbps) to path j's monitor under
+// the admission lock — for daemon deployments where the sampling
+// goroutine is not the one calling Admit. Out-of-range j is ignored.
+// Simulations feed monitors directly from the event loop instead.
+func (a *Admission) Observe(j int, mbps float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if j >= 0 && j < len(a.mons) {
+		a.mons[j].ObserveBandwidth(mbps)
+	}
+}
+
+// Admitted returns a copy of the admitted specifications in admission
+// order.
+func (a *Admission) Admitted() []stream.Spec {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]stream.Spec(nil), a.admitted...)
+}
+
+// Release withdraws a previously admitted stream by name, freeing its
+// committed rate. It reports whether the name was found.
+func (a *Admission) Release(name string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, s := range a.admitted {
+		if s.Name == name {
+			a.admitted = append(a.admitted[:i], a.admitted[i+1:]...)
+			a.tel.release(len(a.admitted))
+			return true
+		}
+	}
+	return false
+}
+
+// Admit runs the feasibility test for spec and, on success, records it
+// against future tests. Best-effort streams are always admitted (they
+// ride the unscheduled precedence rule and consume only leftover
+// bandwidth, though they do weigh on later tests via BestEffortMbps).
+// Rejections carry the best feasible specification and fire the OnReject
+// upcall.
+func (a *Admission) Admit(spec stream.Spec) Decision {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	if spec.Kind == stream.BestEffort {
+		a.admitted = append(a.admitted, spec)
+		d := Decision{Spec: spec, Admitted: true}
+		a.tel.admit(d, len(a.admitted))
+		return d
+	}
+	cdfs := a.cdfs()
+	if len(cdfs) == 0 {
+		return a.reject(spec, "no paths available", cdfs)
+	}
+	if a.feasible(spec, cdfs, a.admitted) {
+		a.admitted = append(a.admitted, spec)
+		d := Decision{Spec: spec, Admitted: true}
+		a.tel.admit(d, len(a.admitted))
+		return d
+	}
+	if a.opt.PreemptBestEffort {
+		if d, ok := a.tryPreempt(spec, cdfs); ok {
+			return d
+		}
+	}
+	return a.reject(spec, "insufficient guaranteed headroom", cdfs)
+}
+
+// tryPreempt evicts admitted best-effort streams newest-first until spec
+// becomes feasible. If even a best-effort-free overlay cannot host it,
+// nothing is evicted.
+func (a *Admission) tryPreempt(spec stream.Spec, cdfs []*stats.CDF) (Decision, bool) {
+	working := append([]stream.Spec(nil), a.admitted...)
+	var evicted []stream.Spec
+	for {
+		i := lastBestEffort(working)
+		if i < 0 {
+			return Decision{}, false
+		}
+		evicted = append(evicted, working[i])
+		working = append(working[:i], working[i+1:]...)
+		if a.feasible(spec, cdfs, working) {
+			break
+		}
+	}
+	a.admitted = append(working, spec)
+	d := Decision{Spec: spec, Admitted: true}
+	for _, e := range evicted {
+		d.Preempted = append(d.Preempted, e.Name)
+		a.tel.preempt(e)
+		if a.opt.OnPreempt != nil {
+			a.opt.OnPreempt(e)
+		}
+	}
+	a.tel.admit(d, len(a.admitted))
+	return d, true
+}
+
+func lastBestEffort(specs []stream.Spec) int {
+	for i := len(specs) - 1; i >= 0; i-- {
+		if specs[i].Kind == stream.BestEffort {
+			return i
+		}
+	}
+	return -1
+}
+
+// reject assembles the rejection decision: the best feasible rate at the
+// requested guarantee level, the best feasible probability at the
+// requested rate, and the resulting best spec, then fires the upcall.
+func (a *Admission) reject(spec stream.Spec, reason string, cdfs []*stats.CDF) Decision {
+	d := Decision{Spec: spec, Reason: reason}
+	if len(cdfs) > 0 {
+		d.BestRateMbps = a.bestRate(spec, cdfs)
+		if spec.Kind == stream.Probabilistic {
+			d.BestProbability = a.bestProbability(spec, cdfs)
+		}
+		if d.BestRateMbps > 0 {
+			best := spec
+			best.RequiredMbps = math.Floor(d.BestRateMbps*100) / 100
+			d.BestSpec = &best
+		}
+	}
+	a.tel.reject(d)
+	if a.opt.OnReject != nil {
+		a.opt.OnReject(d)
+	}
+	return d
+}
+
+// cdfs snapshots the monitored bandwidth distributions. Cold monitors
+// contribute their (near-empty) distribution, which the guarantee math
+// treats as zero headroom — admission is conservative until paths warm.
+func (a *Admission) cdfs() []*stats.CDF {
+	out := make([]*stats.CDF, len(a.mons))
+	for i, m := range a.mons {
+		out[i] = m.CDF()
+	}
+	return out
+}
+
+// committed computes the per-path rates already promised: the PGOS
+// mapping of the admitted guaranteed streams (in admission order), plus
+// each admitted best-effort stream's assumed load spread evenly.
+func (a *Admission) committed(cdfs []*stats.CDF, admitted []stream.Spec) []float64 {
+	var guaranteed []*stream.Stream
+	beLoad := 0.0
+	for _, s := range admitted {
+		if s.Kind == stream.BestEffort {
+			if s.RequiredMbps > 0 {
+				beLoad += s.RequiredMbps
+			} else {
+				beLoad += a.opt.BestEffortMbps
+			}
+			continue
+		}
+		guaranteed = append(guaranteed, stream.New(len(guaranteed), s))
+	}
+	m := pgos.ComputeMappingOpts(guaranteed, cdfs, a.opt.TwSec, pgos.MapOptions{})
+	out := m.Committed
+	if beLoad > 0 && len(cdfs) > 0 {
+		per := beLoad / float64(len(cdfs))
+		for j := range out {
+			out[j] += per
+		}
+	}
+	return out
+}
+
+// feasible asks whether spec fits after the commitments of admitted: the
+// candidate is mapped alone with InitialCommitted seeding each path's
+// promised rate, so its priority cannot displace already-admitted
+// streams.
+func (a *Admission) feasible(spec stream.Spec, cdfs []*stats.CDF, admitted []stream.Spec) bool {
+	committed := a.committed(cdfs, admitted)
+	cand := []*stream.Stream{stream.New(0, spec)}
+	m := pgos.ComputeMappingOpts(cand, cdfs, a.opt.TwSec, pgos.MapOptions{InitialCommitted: committed})
+	return !m.Rejected[0]
+}
+
+// bestRate binary-searches the largest feasible rate at spec's own
+// guarantee level. The iteration count is fixed, so the result is
+// deterministic for a given monitor state.
+func (a *Admission) bestRate(spec stream.Spec, cdfs []*stats.CDF) float64 {
+	hi := 0.0
+	for _, c := range cdfs {
+		if !c.IsEmpty() {
+			hi += c.Max()
+		}
+	}
+	if hi <= 0 {
+		return 0
+	}
+	at := func(r float64) bool {
+		s := spec
+		s.RequiredMbps = r
+		s.WindowX, s.WindowY = 0, 0 // rate drives the packet need
+		return a.feasible(s, cdfs, a.admitted)
+	}
+	if at(hi) {
+		return hi
+	}
+	lo := 0.0
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if at(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// bestProbability binary-searches the highest guarantee probability
+// feasible at the requested rate, for probabilistic specs.
+func (a *Admission) bestProbability(spec stream.Spec, cdfs []*stats.CDF) float64 {
+	at := func(p float64) bool {
+		s := spec
+		s.Probability = p
+		return a.feasible(s, cdfs, a.admitted)
+	}
+	const pMin, pMax = 0.01, 0.999
+	if !at(pMin) {
+		return 0
+	}
+	if at(pMax) {
+		return pMax
+	}
+	lo, hi := pMin, pMax
+	for i := 0; i < 30; i++ {
+		mid := (lo + hi) / 2
+		if at(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

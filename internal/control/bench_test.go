@@ -1,0 +1,70 @@
+package control
+
+import (
+	"testing"
+
+	"iqpaths/internal/monitor"
+	"iqpaths/internal/overlay"
+)
+
+// lineGraph builds S - R0 - R1 - ... - R(n-1) - C, the worst case for
+// gossip (diameter n+1).
+func lineGraph(n int) (g *overlay.Graph, s, c overlay.NodeID, routers []overlay.NodeID) {
+	g = overlay.NewGraph()
+	s = g.AddNode("S", overlay.Server)
+	prev := s
+	for i := 0; i < n; i++ {
+		r := g.AddNode("R", overlay.Router)
+		g.AddDuplex(prev, r)
+		routers = append(routers, r)
+		prev = r
+	}
+	c = g.AddNode("C", overlay.Client)
+	g.AddDuplex(prev, c)
+	return g, s, c, routers
+}
+
+// BenchmarkConvergence measures one full dissemination of a topology
+// change across a 16-router line overlay (gossip every tick).
+func BenchmarkConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, s, c, routers := lineGraph(16)
+		ctl, err := New(Config{
+			Graph: g, Src: s, Dst: c,
+			GossipIntervalTicks: 1,
+		}, RemoveLink(routers[len(routers)-1], c, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		now := int64(0)
+		for ; now < 1000; now++ {
+			ctl.Tick(now)
+			if now > 1 && ctl.Converged() {
+				break
+			}
+		}
+		if !ctl.Converged() {
+			b.Fatal("never converged")
+		}
+	}
+}
+
+// BenchmarkAdmission measures one rejected admission test — the worst
+// case, paying both best-rate and best-probability binary searches over
+// three warm paths.
+func BenchmarkAdmission(b *testing.B) {
+	mons := []*monitor.PathMonitor{
+		warmMon("A", 45, 50, 55),
+		warmMon("B", 25, 30, 35),
+		warmMon("C", 15, 20, 25),
+	}
+	adm := NewAdmission(AdmissionOptions{}, mons)
+	adm.Admit(probSpec("base", 40, 0.9))
+	cand := probSpec("cand", 200, 0.95)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := adm.Admit(cand); d.Admitted {
+			b.Fatal("candidate unexpectedly admitted")
+		}
+	}
+}

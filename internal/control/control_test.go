@@ -1,0 +1,350 @@
+package control
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"iqpaths/internal/monitor"
+	"iqpaths/internal/overlay"
+	"iqpaths/internal/sched"
+	"iqpaths/internal/simnet"
+	"iqpaths/internal/telemetry"
+)
+
+// fakePath is a no-op PathService for route-management tests.
+type fakePath struct {
+	id   int
+	name string
+}
+
+func (p *fakePath) ID() int                  { return p.id }
+func (p *fakePath) Name() string             { return p.name }
+func (p *fakePath) Send(*simnet.Packet) bool { return true }
+func (p *fakePath) QueuedPackets() int       { return 0 }
+
+// testFactory materializes fake paths and counts invocations.
+type testFactory struct {
+	g     *overlay.Graph
+	built int
+}
+
+func (f *testFactory) Path(route []overlay.NodeID) (sched.PathService, *monitor.PathMonitor, error) {
+	name := f.g.PathString(route)
+	p := &fakePath{id: f.built, name: name}
+	f.built++
+	return p, monitor.New(name, 100, 10), nil
+}
+
+// fanGraph builds the churn topology: S fanning to three routers that all
+// reach C. Returns the graph and the IDs in registration order.
+func fanGraph() (g *overlay.Graph, s, c overlay.NodeID, r [3]overlay.NodeID) {
+	g = overlay.NewGraph()
+	s = g.AddNode("S", overlay.Server)
+	r[0] = g.AddNode("R1", overlay.Router)
+	r[1] = g.AddNode("R2", overlay.Router)
+	r[2] = g.AddNode("R3", overlay.Router)
+	c = g.AddNode("C", overlay.Client)
+	g.AddDuplex(s, r[0])
+	g.AddDuplex(r[0], c)
+	g.AddDuplex(s, r[1])
+	g.AddDuplex(r[1], c)
+	g.AddDuplex(s, r[2])
+	g.AddDuplex(r[2], c)
+	return g, s, c, r
+}
+
+// recordingDataPlane captures SetLinkUp calls.
+type recordingDataPlane struct{ calls []string }
+
+func (d *recordingDataPlane) SetLinkUp(a, b overlay.NodeID, up bool) {
+	d.calls = append(d.calls, fmt.Sprintf("%d->%d:%v", a, b, up))
+}
+
+func routeNames(c *Controller) []string {
+	var out []string
+	for _, p := range c.Paths() {
+		out = append(out, p.Name())
+	}
+	return out
+}
+
+func TestMembershipMutatesGraphAndDataPlane(t *testing.T) {
+	g, s, c, r := fanGraph()
+	dp := &recordingDataPlane{}
+	ctl, err := New(Config{Graph: g, Src: s, Dst: c, DataPlane: dp},
+		Compose(Fail(r[1], 2), Join(r[1], 8, s, c)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := int64(0); now <= 2; now++ {
+		ctl.Tick(now)
+	}
+	if g.NodeUp(r[1]) {
+		t.Fatal("R2 should be down after NodeFail")
+	}
+	if g.HasEdge(s, r[1]) || g.HasEdge(r[1], c) {
+		t.Fatal("R2's edges should be gone after NodeFail")
+	}
+	// Both directions of both incident duplex pairs went down.
+	wantDown := []string{
+		fmt.Sprintf("%d->%d:false", r[1], s), fmt.Sprintf("%d->%d:false", s, r[1]),
+		fmt.Sprintf("%d->%d:false", r[1], c), fmt.Sprintf("%d->%d:false", c, r[1]),
+	}
+	joined := strings.Join(dp.calls, " ")
+	for _, w := range wantDown {
+		if !strings.Contains(joined, w) {
+			t.Fatalf("data plane missing %q in %q", w, joined)
+		}
+	}
+	for now := int64(3); now <= 8; now++ {
+		ctl.Tick(now)
+	}
+	if !g.NodeUp(r[1]) || !g.HasEdge(s, r[1]) || !g.HasEdge(r[1], c) {
+		t.Fatal("R2 should be reattached after NodeJoin")
+	}
+	if !ctl.Done() {
+		t.Fatal("schedule should be exhausted")
+	}
+}
+
+func TestGossipConvergenceIsBoundedAndMeasured(t *testing.T) {
+	g, s, c, r := fanGraph()
+	// X hangs off S, two hops from the witnesses of the link removal
+	// (R1, C) — it needs a second gossip round.
+	x := g.AddNode("X", overlay.Router)
+	g.AddDuplex(s, x)
+	reg := telemetry.NewRegistry()
+	ctl, err := New(Config{
+		Graph: g, Src: s, Dst: c,
+		GossipIntervalTicks: 5,
+		Telemetry:           reg,
+	}, RemoveLink(r[0], c, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	convergedAt := int64(-1)
+	for now := int64(0); now <= 20; now++ {
+		ctl.Tick(now)
+		if now >= 3 && convergedAt < 0 && ctl.Converged() {
+			convergedAt = now
+		}
+	}
+	if convergedAt < 0 {
+		t.Fatal("views never converged")
+	}
+	// Witnesses (R1, C) are seeded at tick 3; S and the routers learn at
+	// the round on tick 5, X (two hops out) at the round on tick 10.
+	if convergedAt != 10 {
+		t.Fatalf("converged at tick %d, want 10 (two gossip rounds)", convergedAt)
+	}
+	if got := ctl.LastConvergenceTicks(); got != 7 {
+		t.Fatalf("LastConvergenceTicks = %d, want 7 (tick 10 − change at 3)", got)
+	}
+	if got := ctl.MaxConvergenceTicks(); got != 7 {
+		t.Fatalf("MaxConvergenceTicks = %d, want 7 (only one convergence completed)", got)
+	}
+	if v := reg.Counter("iqpaths_control_converge_total", "").Value(); v != 1 {
+		t.Fatalf("converge counter = %d, want 1", v)
+	}
+	if n := reg.Histogram("iqpaths_control_convergence_ticks", "").Count(); n != 1 {
+		t.Fatalf("convergence histogram count = %d, want 1", n)
+	}
+}
+
+func TestRerouteWaitsForSourceView(t *testing.T) {
+	g, s, c, r := fanGraph()
+	f := &testFactory{g: g}
+	var rebinds int
+	reg := telemetry.NewRegistry()
+	ctl, err := New(Config{
+		Graph: g, Src: s, Dst: c,
+		GossipIntervalTicks: 5,
+		Factory:             f,
+		Telemetry:           reg,
+		Rebind: func(paths []sched.PathService, mons []*monitor.PathMonitor) {
+			rebinds++
+			if len(paths) != len(mons) {
+				t.Errorf("rebind: %d paths, %d monitors", len(paths), len(mons))
+			}
+		},
+	}, RemoveLink(r[0], c, 3)) // not adjacent to S: S must learn by gossip
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := routeNames(ctl); len(got) != 2 || !strings.Contains(got[0], "R1") {
+		t.Fatalf("initial routes = %v, want shortest via R1 first", got)
+	}
+	for now := int64(0); now <= 4; now++ {
+		ctl.Tick(now)
+	}
+	if ctl.Reroutes() != 0 {
+		t.Fatal("rerouted before the source's view advanced")
+	}
+	ctl.Tick(5) // gossip round: S adopts R1's version
+	if ctl.Reroutes() != 1 || rebinds != 1 {
+		t.Fatalf("reroutes=%d rebinds=%d after gossip, want 1/1", ctl.Reroutes(), rebinds)
+	}
+	for _, name := range routeNames(ctl) {
+		if strings.Contains(name, "R1") {
+			t.Fatalf("route %q still crosses R1 after its link to C vanished", name)
+		}
+	}
+	if v := reg.Counter("iqpaths_control_reroutes_total", "").Value(); v != 1 {
+		t.Fatalf("reroute counter = %d, want 1", v)
+	}
+}
+
+func TestAdjacentFailureReroutesImmediately(t *testing.T) {
+	g, s, c, r := fanGraph()
+	f := &testFactory{g: g}
+	ctl, err := New(Config{Graph: g, Src: s, Dst: c, Factory: f}, Fail(r[0], 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := int64(0); now <= 4; now++ {
+		ctl.Tick(now)
+	}
+	// S neighbors the failed router, so it witnesses the change at the
+	// fail tick — local link-down detection needs no gossip round.
+	if ctl.Reroutes() != 1 {
+		t.Fatalf("reroutes = %d at fail tick, want 1", ctl.Reroutes())
+	}
+}
+
+func TestFailureDetectionDelay(t *testing.T) {
+	g, s, c, r := fanGraph()
+	f := &testFactory{g: g}
+	ctl, err := New(Config{
+		Graph: g, Src: s, Dst: c,
+		Factory:             f,
+		GossipIntervalTicks: 1,
+		FailureDetectTicks:  6,
+	}, Fail(r[0], 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := int64(0); now <= 7; now++ {
+		ctl.Tick(now)
+	}
+	if ctl.Reroutes() != 0 {
+		t.Fatal("rerouted before the failure was detected")
+	}
+	ctl.Tick(8) // witnesses seeded at 2+6
+	if ctl.Reroutes() != 1 {
+		t.Fatalf("reroutes = %d after detection delay, want 1", ctl.Reroutes())
+	}
+}
+
+func TestStaticNeverReroutes(t *testing.T) {
+	g, s, c, r := fanGraph()
+	f := &testFactory{g: g}
+	ctl, err := New(Config{Graph: g, Src: s, Dst: c, Factory: f, Static: true},
+		Fail(r[0], 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := routeNames(ctl)
+	for now := int64(0); now <= 30; now++ {
+		ctl.Tick(now)
+	}
+	if ctl.Reroutes() != 0 {
+		t.Fatal("static controller rerouted")
+	}
+	after := routeNames(ctl)
+	if strings.Join(before, ",") != strings.Join(after, ",") {
+		t.Fatalf("static path set changed: %v -> %v", before, after)
+	}
+	if g.NodeUp(r[0]) {
+		t.Fatal("membership should still mutate the graph under Static")
+	}
+}
+
+func TestNoRouteKeepsStalePaths(t *testing.T) {
+	g, s, c, r := fanGraph()
+	f := &testFactory{g: g}
+	reg := telemetry.NewRegistry()
+	ctl, err := New(Config{Graph: g, Src: s, Dst: c, Factory: f, Telemetry: reg},
+		Compose(Fail(r[0], 1), Fail(r[1], 1), Fail(r[2], 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := routeNames(ctl)
+	for now := int64(0); now <= 20; now++ {
+		ctl.Tick(now)
+	}
+	if got := routeNames(ctl); strings.Join(got, ",") != strings.Join(before, ",") {
+		t.Fatalf("paths changed despite no feasible route: %v -> %v", before, got)
+	}
+	if v := reg.Counter("iqpaths_control_route_failures_total", "").Value(); v == 0 {
+		t.Fatal("route failure not counted")
+	}
+}
+
+func TestEventsCountedAndTraced(t *testing.T) {
+	g, s, c, r := fanGraph()
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(nil, 64)
+	ctl, err := New(Config{Graph: g, Src: s, Dst: c, Telemetry: reg, Tracer: tracer},
+		Compose(Fail(r[1], 1), Join(r[1], 5, s, c), Leave(r[2], 7),
+			RemoveLink(r[0], c, 9), AddLink(r[0], c, 11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := int64(0); now <= 12; now++ {
+		ctl.Tick(now)
+	}
+	for _, k := range []EventKind{NodeJoin, NodeLeave, NodeFail, LinkAdd, LinkRemove} {
+		if v := reg.Counter("iqpaths_control_events_total", "", "kind", k.String()).Value(); v != 1 {
+			t.Fatalf("events_total{kind=%s} = %d, want 1", k, v)
+		}
+	}
+	events, _ := tracer.Events()
+	seen := map[string]bool{}
+	for _, e := range events {
+		seen[e.Name] = true
+	}
+	for _, want := range []string{"control:fail", "control:join", "control:leave",
+		"control:link_remove", "control:link_add", "control:converge"} {
+		if !seen[want] {
+			t.Fatalf("trace missing %q (have %v)", want, seen)
+		}
+	}
+	if up := reg.Gauge("iqpaths_control_nodes_up", "").Value(); up != 4 {
+		t.Fatalf("nodes_up gauge = %v, want 4 (R3 left)", up)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() ([]int64, int64, int) {
+		g, s, c, r := fanGraph()
+		f := &testFactory{g: g}
+		ctl, err := New(Config{Graph: g, Src: s, Dst: c, Factory: f, GossipIntervalTicks: 4},
+			Compose(FailRecover(r[0], 3, 17, s, c), RemoveLink(r[1], c, 9), AddLink(r[1], c, 23)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for now := int64(0); now <= 40; now++ {
+			ctl.Tick(now)
+		}
+		return ctl.Views(), ctl.LastConvergenceTicks(), ctl.Reroutes()
+	}
+	v1, c1, r1 := run()
+	v2, c2, r2 := run()
+	if fmt.Sprint(v1) != fmt.Sprint(v2) || c1 != c2 || r1 != r2 {
+		t.Fatalf("replay diverged: %v/%d/%d vs %v/%d/%d", v1, c1, r1, v2, c2, r2)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	g, s, c, _ := fanGraph()
+	if _, err := New(Config{Src: s, Dst: c}, nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := New(Config{Graph: g, Src: 99, Dst: c}, nil); err == nil {
+		t.Fatal("bad src accepted")
+	}
+	if _, err := New(Config{Graph: g, Src: s, Dst: -1}, nil); err == nil {
+		t.Fatal("bad dst accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package control
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"iqpaths/internal/telemetry"
+)
+
+// TestChurnStress drives the controller through repeated fail/rejoin
+// cycles while other goroutines concurrently scrape metrics, drain the
+// tracer, and hammer the admission API — the surfaces that are documented
+// as concurrency-safe. Run with -race to check the locking.
+func TestChurnStress(t *testing.T) {
+	g, s, c, r := fanGraph()
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(nil, 256)
+	adm := NewAdmission(AdmissionOptions{PreemptBestEffort: true}, nil)
+	adm.SetTelemetry(reg, tracer)
+	f := &testFactory{g: g}
+
+	var schedule Schedule
+	for i := int64(0); i < 10; i++ {
+		router := r[i%3]
+		start := 10 + i*40
+		schedule = Compose(schedule, FailRecover(router, start, start+20, s, c))
+	}
+	ctl, err := New(Config{
+		Graph: g, Src: s, Dst: c,
+		GossipIntervalTicks: 3,
+		Factory:             f,
+		Admission:           adm,
+		Telemetry:           reg,
+		Tracer:              tracer,
+	}, schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			adm.Observe(i%2, 40+float64(i%20))
+			d := adm.Admit(probSpec("probe", 10+float64(i%30), 0.9))
+			if d.Admitted {
+				adm.Release("probe")
+			}
+			adm.Admitted()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := reg.WritePrometheus(io.Discard); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tracer.Events()
+		}
+	}()
+
+	for now := int64(0); now < 500; now++ {
+		ctl.Tick(now)
+	}
+	close(stop)
+	wg.Wait()
+
+	if !ctl.Done() {
+		t.Fatal("schedule not exhausted")
+	}
+	if ctl.Reroutes() == 0 {
+		t.Fatal("no reroutes under churn")
+	}
+}

@@ -1,0 +1,170 @@
+package control
+
+import (
+	"fmt"
+
+	"iqpaths/internal/overlay"
+	"iqpaths/internal/stream"
+	"iqpaths/internal/telemetry"
+)
+
+// ctrlTelemetry bundles the controller's metric handles; all methods are
+// nil-safe so the controller runs unchanged without a registry.
+type ctrlTelemetry struct {
+	events        map[EventKind]*telemetry.Counter
+	reroutes      *telemetry.Counter
+	routeFailures *telemetry.Counter
+	converges     *telemetry.Counter
+	convTicks     *telemetry.Histogram
+	nodesUp       *telemetry.Gauge
+	topoVersion   *telemetry.Gauge
+	activePaths   *telemetry.Gauge
+	tracer        *telemetry.Tracer
+}
+
+func newCtrlTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) ctrlTelemetry {
+	t := ctrlTelemetry{tracer: tracer}
+	if reg == nil {
+		return t
+	}
+	t.events = map[EventKind]*telemetry.Counter{}
+	for _, k := range []EventKind{NodeJoin, NodeLeave, NodeFail, LinkAdd, LinkRemove} {
+		t.events[k] = reg.Counter("iqpaths_control_events_total",
+			"Membership and link events applied to the overlay graph.", "kind", k.String())
+	}
+	t.reroutes = reg.Counter("iqpaths_control_reroutes_total",
+		"Times the control plane rebuilt the concurrent path set.")
+	t.routeFailures = reg.Counter("iqpaths_control_route_failures_total",
+		"Reroute attempts that found no usable path set (stale routes kept).")
+	t.converges = reg.Counter("iqpaths_control_converge_total",
+		"Topology changes fully disseminated to every up node.")
+	t.convTicks = reg.Histogram("iqpaths_control_convergence_ticks",
+		"Ticks from a topology change to every up node's view catching up.")
+	t.nodesUp = reg.Gauge("iqpaths_control_nodes_up", "Overlay nodes currently up.")
+	t.topoVersion = reg.Gauge("iqpaths_control_topology_version", "Current overlay topology version.")
+	t.activePaths = reg.Gauge("iqpaths_control_active_paths", "Paths in the active concurrent set.")
+	return t
+}
+
+func (t *ctrlTelemetry) event(e Event, g *overlay.Graph) {
+	if t.events != nil {
+		t.events[e.Kind].Inc()
+	}
+	if t.tracer != nil {
+		label := ""
+		switch e.Kind {
+		case NodeJoin, NodeLeave, NodeFail:
+			if n, err := g.Node(e.Node); err == nil {
+				label = n.Name
+			}
+		case LinkAdd, LinkRemove:
+			a, errA := g.Node(e.From)
+			b, errB := g.Node(e.To)
+			if errA == nil && errB == nil {
+				label = fmt.Sprintf("%s-%s", a.Name, b.Name)
+			}
+		}
+		t.tracer.Emit("control:"+e.Kind.String(), "", label, float64(g.Version()))
+	}
+}
+
+func (t *ctrlTelemetry) gauges(g *overlay.Graph, activePaths int) {
+	if t.nodesUp != nil {
+		t.nodesUp.Set(float64(g.UpCount()))
+		t.topoVersion.Set(float64(g.Version()))
+		t.activePaths.Set(float64(activePaths))
+	}
+}
+
+func (t *ctrlTelemetry) converge(ticks int64) {
+	if t.converges != nil {
+		t.converges.Inc()
+		t.convTicks.Observe(float64(ticks))
+	}
+	if t.tracer != nil {
+		t.tracer.Emit("control:converge", "", "", float64(ticks))
+	}
+}
+
+func (t *ctrlTelemetry) reroute(paths int) {
+	if t.reroutes != nil {
+		t.reroutes.Inc()
+	}
+	if t.tracer != nil {
+		t.tracer.Emit("control:reroute", "", "", float64(paths))
+	}
+}
+
+func (t *ctrlTelemetry) routeFailure(now int64) {
+	if t.routeFailures != nil {
+		t.routeFailures.Inc()
+	}
+	if t.tracer != nil {
+		t.tracer.Emit("control:no_route", "", "", float64(now))
+	}
+}
+
+// admTelemetry bundles the admission controller's handles; nil-safe like
+// ctrlTelemetry.
+type admTelemetry struct {
+	admitted  *telemetry.Counter
+	rejected  *telemetry.Counter
+	preempted *telemetry.Counter
+	released  *telemetry.Counter
+	current   *telemetry.Gauge
+	tracer    *telemetry.Tracer
+}
+
+func newAdmTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) admTelemetry {
+	t := admTelemetry{tracer: tracer}
+	if reg == nil {
+		return t
+	}
+	t.admitted = reg.Counter("iqpaths_control_admitted_total", "Streams admitted by admission control.")
+	t.rejected = reg.Counter("iqpaths_control_rejected_total", "Streams rejected by admission control.")
+	t.preempted = reg.Counter("iqpaths_control_preempted_total", "Best-effort streams evicted for a guaranteed admission.")
+	t.released = reg.Counter("iqpaths_control_released_total", "Admitted streams withdrawn by their owner.")
+	t.current = reg.Gauge("iqpaths_control_streams_admitted", "Streams currently admitted.")
+	return t
+}
+
+func (t *admTelemetry) streams(n int) {
+	if t.current != nil {
+		t.current.Set(float64(n))
+	}
+}
+
+func (t *admTelemetry) admit(d Decision, now int) {
+	if t.admitted != nil {
+		t.admitted.Inc()
+	}
+	t.streams(now)
+	if t.tracer != nil {
+		t.tracer.Emit("control:admit", d.Spec.Name, "", d.Spec.RequiredMbps)
+	}
+}
+
+func (t *admTelemetry) reject(d Decision) {
+	if t.rejected != nil {
+		t.rejected.Inc()
+	}
+	if t.tracer != nil {
+		t.tracer.Emit("control:reject", d.Spec.Name, "", d.BestRateMbps)
+	}
+}
+
+func (t *admTelemetry) preempt(s stream.Spec) {
+	if t.preempted != nil {
+		t.preempted.Inc()
+	}
+	if t.tracer != nil {
+		t.tracer.Emit("control:preempt", s.Name, "", 0)
+	}
+}
+
+func (t *admTelemetry) release(now int) {
+	if t.released != nil {
+		t.released.Inc()
+	}
+	t.streams(now)
+}

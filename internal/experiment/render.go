@@ -234,3 +234,36 @@ func RenderFig11(w io.Writer, rows []Fig11Row, csv bool) error {
 	}
 	return WriteTable(w, header, out)
 }
+
+// RenderChurn writes the static-vs-control churn comparison rows.
+func RenderChurn(w io.Writer, res *ChurnResult, csv bool) error {
+	header := []string{"mode", "stream", "target_mbps", "delivered_mbps",
+		"windows", "violated", "violated_frac", "mean_shortfall_pkts",
+		"reroutes", "converge_s", "remaps", "control_events"}
+	var rows [][]string
+	for _, run := range []ChurnRun{res.Static, res.Control} {
+		converge := "-"
+		if run.ConvergeTicks >= 0 {
+			converge = fmt.Sprintf("%.2f", run.ConvergeSec)
+		}
+		for _, s := range run.Streams {
+			rows = append(rows, []string{
+				run.Mode, s.Name,
+				fmt.Sprintf("%.3f", s.RequiredMbps),
+				fmt.Sprintf("%.3f", s.DeliveredMbps),
+				fmt.Sprintf("%d", s.Windows),
+				fmt.Sprintf("%d", s.ViolatedWindows),
+				fmt.Sprintf("%.4f", s.ViolatedFrac),
+				fmt.Sprintf("%.3f", s.MeanShortfall),
+				fmt.Sprintf("%d", run.Reroutes),
+				converge,
+				fmt.Sprintf("%d", run.Remaps),
+				fmt.Sprintf("%d", run.ControlEvents),
+			})
+		}
+	}
+	if csv {
+		return WriteCSV(w, header, rows)
+	}
+	return WriteTable(w, header, rows)
+}

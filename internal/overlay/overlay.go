@@ -47,10 +47,18 @@ type Node struct {
 
 // Graph is a directed overlay graph. Use AddDuplex for the common
 // bidirectional logical links.
+//
+// The graph is mutable: the control plane removes edges and marks nodes
+// down as membership changes, and every mutation bumps a monotonic
+// topology version so cached routing state can detect staleness. Down
+// nodes stay registered (IDs are stable indices) but are invisible to
+// path enumeration.
 type Graph struct {
-	nodes []Node
-	adj   map[NodeID][]NodeID
-	tel   *graphMetrics
+	nodes   []Node
+	down    []bool // down[id] marks a failed/departed node
+	adj     map[NodeID][]NodeID
+	version int64
+	tel     *graphMetrics
 }
 
 // NewGraph returns an empty graph.
@@ -58,10 +66,17 @@ func NewGraph() *Graph {
 	return &Graph{adj: make(map[NodeID][]NodeID)}
 }
 
+// Version returns the topology version: it starts at 0 and increments on
+// every mutation (node/edge add or remove, node state change). Consumers
+// holding routing state derived from an older version know it is stale.
+func (g *Graph) Version() int64 { return g.version }
+
 // AddNode registers a node and returns its ID.
 func (g *Graph) AddNode(name string, kind Kind) NodeID {
 	id := NodeID(len(g.nodes))
 	g.nodes = append(g.nodes, Node{ID: id, Name: name, Kind: kind})
+	g.down = append(g.down, false)
+	g.version++
 	return id
 }
 
@@ -76,27 +91,130 @@ func (g *Graph) Node(id NodeID) (Node, error) {
 // Len returns the number of nodes.
 func (g *Graph) Len() int { return len(g.nodes) }
 
-// AddEdge adds the directed logical link a→b. Duplicate edges are ignored.
+// checkNode panics when id is not a registered node. Edge mutations call
+// it so an out-of-range endpoint fails at the insertion site instead of
+// corrupting later path enumeration.
+func (g *Graph) checkNode(op string, id NodeID) {
+	if int(id) < 0 || int(id) >= len(g.nodes) {
+		panic(fmt.Sprintf("overlay: %s: no node %d (graph has %d nodes)", op, id, len(g.nodes)))
+	}
+}
+
+// AddEdge adds the directed logical link a→b. Duplicate edges are
+// ignored. It panics when either endpoint is not a registered node.
 func (g *Graph) AddEdge(a, b NodeID) {
+	g.checkNode("AddEdge", a)
+	g.checkNode("AddEdge", b)
 	for _, x := range g.adj[a] {
 		if x == b {
 			return
 		}
 	}
 	g.adj[a] = append(g.adj[a], b)
+	g.version++
 }
 
-// AddDuplex adds logical links in both directions.
+// AddDuplex adds logical links in both directions. Like AddEdge it panics
+// on an unregistered endpoint.
 func (g *Graph) AddDuplex(a, b NodeID) {
 	g.AddEdge(a, b)
 	g.AddEdge(b, a)
 }
 
-// Neighbors returns the out-neighbors of id in insertion order.
+// RemoveEdge deletes the directed logical link a→b. Removing an edge that
+// does not exist is a no-op (idempotent teardown). It panics when either
+// endpoint is not a registered node.
+func (g *Graph) RemoveEdge(a, b NodeID) {
+	g.checkNode("RemoveEdge", a)
+	g.checkNode("RemoveEdge", b)
+	adj := g.adj[a]
+	for i, x := range adj {
+		if x == b {
+			g.adj[a] = append(adj[:i], adj[i+1:]...)
+			g.version++
+			return
+		}
+	}
+}
+
+// RemoveDuplex deletes the logical links in both directions.
+func (g *Graph) RemoveDuplex(a, b NodeID) {
+	g.RemoveEdge(a, b)
+	g.RemoveEdge(b, a)
+}
+
+// SetNodeState marks a node up (true) or down (false). A down node keeps
+// its ID and edges but is skipped by every path query, so routes through
+// it disappear until it comes back. Setting the current state is a no-op
+// (no version bump).
+func (g *Graph) SetNodeState(id NodeID, up bool) {
+	g.checkNode("SetNodeState", id)
+	if g.down[id] == !up {
+		return
+	}
+	g.down[id] = !up
+	g.version++
+}
+
+// NodeUp reports whether id is registered and currently up.
+func (g *Graph) NodeUp(id NodeID) bool {
+	return int(id) >= 0 && int(id) < len(g.nodes) && !g.down[id]
+}
+
+// UpCount returns the number of nodes currently up.
+func (g *Graph) UpCount() int {
+	n := 0
+	for _, d := range g.down {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// RemoveNode fails a node hard: it is marked down and every incident edge
+// (in both directions) is deleted. The ID remains registered — a later
+// join re-adds edges and flips the state back up. It panics when id is
+// not a registered node.
+func (g *Graph) RemoveNode(id NodeID) {
+	g.checkNode("RemoveNode", id)
+	if len(g.adj[id]) > 0 {
+		delete(g.adj, id)
+		g.version++
+	}
+	for from, adj := range g.adj {
+		for i := 0; i < len(adj); {
+			if adj[i] == id {
+				adj = append(adj[:i], adj[i+1:]...)
+				g.version++
+			} else {
+				i++
+			}
+		}
+		g.adj[from] = adj
+	}
+	if !g.down[id] {
+		g.down[id] = true
+		g.version++
+	}
+}
+
+// Neighbors returns the out-neighbors of id in insertion order, including
+// those currently down (the physical adjacency; path queries filter).
 func (g *Graph) Neighbors(id NodeID) []NodeID {
 	out := make([]NodeID, len(g.adj[id]))
 	copy(out, g.adj[id])
 	return out
+}
+
+// HasEdge reports whether the directed edge a→b exists.
+func (g *Graph) HasEdge(a, b NodeID) bool {
+	for _, x := range g.adj[a] {
+		if x == b {
+			return true
+		}
+	}
+	return false
 }
 
 // ErrNoPath reports that no path exists between the queried endpoints.
@@ -108,6 +226,10 @@ var ErrNoPath = errors.New("overlay: no path")
 // overlays this middleware manages are small (tens of nodes).
 func (g *Graph) SimplePaths(src, dst NodeID, maxPaths int) [][]NodeID {
 	var out [][]NodeID
+	if !g.NodeUp(src) || !g.NodeUp(dst) {
+		g.observeQuery("simple", 0)
+		return nil
+	}
 	visited := make(map[NodeID]bool)
 	var path []NodeID
 	var dfs func(n NodeID) bool // returns true when the cap is reached
@@ -125,7 +247,7 @@ func (g *Graph) SimplePaths(src, dst NodeID, maxPaths int) [][]NodeID {
 			return maxPaths > 0 && len(out) >= maxPaths
 		}
 		for _, nb := range g.adj[n] {
-			if !visited[nb] {
+			if !visited[nb] && g.NodeUp(nb) {
 				if dfs(nb) {
 					return true
 				}
@@ -145,6 +267,16 @@ func (g *Graph) SimplePaths(src, dst NodeID, maxPaths int) [][]NodeID {
 // edge-disjointness is the "no shared bottleneck" placement assumption the
 // paper shares with OverQoS.
 func (g *Graph) DisjointPaths(src, dst NodeID) [][]NodeID {
+	if !g.NodeUp(src) || !g.NodeUp(dst) {
+		g.observeQuery("disjoint", 0)
+		return nil
+	}
+	if src == dst {
+		// The trivial path consumes no edges; without this guard the
+		// augmentation loop below would find it forever.
+		g.observeQuery("disjoint", 1)
+		return [][]NodeID{{src}}
+	}
 	used := make(map[[2]NodeID]bool)
 	var out [][]NodeID
 	for {
@@ -161,6 +293,9 @@ func (g *Graph) DisjointPaths(src, dst NodeID) [][]NodeID {
 }
 
 func (g *Graph) bfs(src, dst NodeID, used map[[2]NodeID]bool) []NodeID {
+	if !g.NodeUp(src) || !g.NodeUp(dst) {
+		return nil
+	}
 	prev := map[NodeID]NodeID{src: src}
 	queue := []NodeID{src}
 	for len(queue) > 0 {
@@ -181,7 +316,7 @@ func (g *Graph) bfs(src, dst NodeID, used map[[2]NodeID]bool) []NodeID {
 			return out
 		}
 		for _, nb := range g.adj[n] {
-			if used[[2]NodeID{n, nb}] {
+			if used[[2]NodeID{n, nb}] || !g.NodeUp(nb) {
 				continue
 			}
 			if _, seen := prev[nb]; seen {

@@ -237,6 +237,188 @@ func TestKShortestPathsEdgeCases(t *testing.T) {
 	}
 }
 
+// mustPanic asserts fn panics; the regression guard for edge mutations
+// naming nonexistent nodes.
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestEdgeEndpointValidation is the regression test for the silent
+// out-of-range endpoint bug: AddEdge/AddDuplex used to accept any NodeID,
+// creating edges to nonexistent nodes that later broke path enumeration.
+func TestEdgeEndpointValidation(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode("a", Server)
+	b := g.AddNode("b", Client)
+	mustPanic(t, "AddEdge out-of-range dst", func() { g.AddEdge(a, 7) })
+	mustPanic(t, "AddEdge negative src", func() { g.AddEdge(-1, b) })
+	mustPanic(t, "AddDuplex out-of-range", func() { g.AddDuplex(9, a) })
+	mustPanic(t, "RemoveEdge out-of-range", func() { g.RemoveEdge(a, 7) })
+	mustPanic(t, "SetNodeState out-of-range", func() { g.SetNodeState(5, false) })
+	mustPanic(t, "RemoveNode out-of-range", func() { g.RemoveNode(5) })
+	// Valid mutations still work after the failed ones.
+	g.AddEdge(a, b)
+	if !g.HasEdge(a, b) {
+		t.Fatal("valid edge lost")
+	}
+}
+
+func TestVersionBumpsOnMutation(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode("a", Server)
+	b := g.AddNode("b", Client)
+	v := g.Version()
+	g.AddEdge(a, b)
+	if g.Version() != v+1 {
+		t.Fatalf("AddEdge: version %d, want %d", g.Version(), v+1)
+	}
+	g.AddEdge(a, b) // duplicate: no change
+	if g.Version() != v+1 {
+		t.Fatal("duplicate AddEdge bumped version")
+	}
+	g.RemoveEdge(a, b)
+	if g.Version() != v+2 {
+		t.Fatal("RemoveEdge did not bump version")
+	}
+	g.RemoveEdge(a, b) // absent: no change
+	if g.Version() != v+2 {
+		t.Fatal("no-op RemoveEdge bumped version")
+	}
+	g.SetNodeState(b, false)
+	if g.Version() != v+3 {
+		t.Fatal("SetNodeState did not bump version")
+	}
+	g.SetNodeState(b, false) // same state: no change
+	if g.Version() != v+3 {
+		t.Fatal("no-op SetNodeState bumped version")
+	}
+}
+
+func TestPathsSrcEqualsDst(t *testing.T) {
+	g, src, _ := fig8()
+	if got := g.SimplePaths(src, src, 0); len(got) != 1 || len(got[0]) != 1 || got[0][0] != src {
+		t.Fatalf("SimplePaths(src,src) = %v, want the trivial path", got)
+	}
+	if got := g.DisjointPaths(src, src); len(got) != 1 || len(got[0]) != 1 {
+		t.Fatalf("DisjointPaths(src,src) = %v, want the trivial path", got)
+	}
+	if got := g.KShortestPaths(src, src, 3); len(got) != 1 || len(got[0]) != 1 {
+		t.Fatalf("KShortestPaths(src,src) = %v, want the trivial path", got)
+	}
+}
+
+func TestDisconnectedQueries(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode("a", Server)
+	g.AddNode("island", Router)
+	b := g.AddNode("b", Client)
+	if got := g.DisjointPaths(a, b); len(got) != 0 {
+		t.Fatalf("disjoint on disconnected = %v", got)
+	}
+	if got := g.SimplePaths(a, b, 0); len(got) != 0 {
+		t.Fatalf("simple on disconnected = %v", got)
+	}
+	if got := g.KShortestPaths(a, b, 2); got != nil {
+		t.Fatalf("k-shortest on disconnected = %v", got)
+	}
+}
+
+// TestSimplePathsTruncationOrder checks that maxPaths truncation keeps
+// the returned prefix sorted shortest-first even though DFS discovery
+// order is arbitrary.
+func TestSimplePathsTruncationOrder(t *testing.T) {
+	// src→a→b→dst (long) inserted before src→dst (short).
+	g := NewGraph()
+	src := g.AddNode("s", Server)
+	a := g.AddNode("a", Router)
+	b := g.AddNode("b", Router)
+	dst := g.AddNode("d", Client)
+	g.AddEdge(src, a)
+	g.AddEdge(a, b)
+	g.AddEdge(b, dst)
+	g.AddEdge(src, dst)
+	all := g.SimplePaths(src, dst, 0)
+	if len(all) != 2 || len(all[0]) != 2 {
+		t.Fatalf("uncapped enumeration: %v", all)
+	}
+	for i := 1; i < len(all); i++ {
+		if len(all[i]) < len(all[i-1]) {
+			t.Fatalf("not sorted shortest-first: %v", all)
+		}
+	}
+	// Capped at 1 the result is the first *discovered* path, re-sorted:
+	// still exactly one valid path with correct endpoints.
+	capped := g.SimplePaths(src, dst, 1)
+	if len(capped) != 1 || capped[0][0] != src || capped[0][len(capped[0])-1] != dst {
+		t.Fatalf("capped enumeration: %v", capped)
+	}
+}
+
+// TestRemovalInvalidatesPaths covers enumeration behavior after edge and
+// node removal — the churn operations the control plane performs.
+func TestRemovalInvalidatesPaths(t *testing.T) {
+	g, src, dst := fig8()
+	n3, _ := g.Node(2) // "N-3"
+	if n3.Name != "N-3" {
+		t.Fatalf("unexpected node layout: %+v", n3)
+	}
+	if got := g.DisjointPaths(src, dst); len(got) != 2 {
+		t.Fatalf("baseline disjoint = %d", len(got))
+	}
+
+	// Fail router N-3: only the N-2/N-4 route survives every query kind.
+	g.SetNodeState(n3.ID, false)
+	if got := g.DisjointPaths(src, dst); len(got) != 1 {
+		t.Fatalf("disjoint after node down = %v", got)
+	}
+	if got := g.SimplePaths(src, dst, 0); len(got) != 1 {
+		t.Fatalf("simple after node down = %v", got)
+	}
+	if got := g.KShortestPaths(src, dst, 4); len(got) != 1 {
+		t.Fatalf("k-shortest after node down = %v", got)
+	}
+
+	// Recovery restores both routes.
+	g.SetNodeState(n3.ID, true)
+	if got := g.DisjointPaths(src, dst); len(got) != 2 {
+		t.Fatalf("disjoint after recovery = %v", got)
+	}
+
+	// Removing one directed edge of the surviving duplex severs forward
+	// routes through it but leaves the reverse direction.
+	n2, _ := g.Node(1)
+	g.RemoveEdge(src, n2.ID)
+	if got := g.SimplePaths(src, dst, 0); len(got) != 1 {
+		t.Fatalf("simple after edge removal = %v", got)
+	}
+	if !g.HasEdge(n2.ID, src) {
+		t.Fatal("reverse direction should survive RemoveEdge")
+	}
+
+	// RemoveNode hard-fails N-3 (the remaining route's router): no
+	// incident edges remain, the node is down, and no forward route is
+	// left at all.
+	g.RemoveNode(n3.ID)
+	if g.NodeUp(n3.ID) {
+		t.Fatal("removed node still up")
+	}
+	if len(g.Neighbors(n3.ID)) != 0 {
+		t.Fatal("removed node kept out-edges")
+	}
+	if got := g.SimplePaths(src, dst, 0); len(got) != 0 {
+		t.Fatalf("paths survive RemoveNode: %v", got)
+	}
+	if g.UpCount() != g.Len()-1 {
+		t.Fatalf("UpCount = %d, want %d", g.UpCount(), g.Len()-1)
+	}
+}
+
 // Property: every k-shortest path is loopless, valid, and distinct.
 func TestKShortestPathsValidProperty(t *testing.T) {
 	f := func(seed int64) bool {

@@ -78,6 +78,12 @@ type MapOptions struct {
 	// Metrics, when non-nil (parallel to the CDFs), lets streams with
 	// MaxLossRate/MaxRTT objectives exclude unacceptable paths.
 	Metrics []PathMetrics
+	// InitialCommitted, when non-nil (parallel to the CDFs), seeds each
+	// path's committed rate in Mbps before any stream is mapped. The
+	// control plane's admission test uses it to ask "does this candidate
+	// fit *after* the rates already promised to admitted streams" without
+	// letting the candidate's priority displace them.
+	InitialCommitted []float64
 }
 
 // ComputeMapping runs the resource-mapping step of Fig. 7 (line 3): for
@@ -104,6 +110,11 @@ func ComputeMappingOpts(streams []*stream.Stream, cdfs []*stats.CDF, twSec float
 	for i := range m.Packets {
 		m.Packets[i] = make([]int, l)
 		m.SinglePath[i] = -1
+	}
+	for j, c := range opt.InitialCommitted {
+		if j < l && c > 0 {
+			m.Committed[j] = c
+		}
 	}
 	for _, i := range mapOrder(streams) {
 		s := streams[i]

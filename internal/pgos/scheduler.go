@@ -1,6 +1,7 @@
 package pgos
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -218,10 +219,47 @@ func (s *Scheduler) Mapping() Mapping { return s.mapping }
 
 // AddStream registers a new stream; the next window boundary remaps
 // (paper: "when a new stream joins"). The stream's ID must equal its
-// index.
+// index; a mismatch panics, because StreamStats, the accountant, and the
+// mapping all address streams by index and a skewed ID silently
+// mis-attributes every per-stream counter.
 func (s *Scheduler) AddStream(st *stream.Stream) {
+	if st.ID != len(s.streams) {
+		panic(fmt.Sprintf("pgos: AddStream: stream %q has ID %d, want index %d",
+			st.Name, st.ID, len(s.streams)))
+	}
 	s.streams = append(s.streams, st)
 	s.dirty = true
+}
+
+// SetPaths rebinds the scheduler to a new path set after the control
+// plane reroutes (mons[j] must watch paths[j], warm enough to map as soon
+// as possible). Every path-indexed structure — scheduling vectors, window
+// quotas, blocked-path backoff — is reset; the active mapping is
+// discarded, so the next window boundary recomputes it against the new
+// paths' distributions exactly as an Invalidate would.
+func (s *Scheduler) SetPaths(paths []sched.PathService, mons []*monitor.PathMonitor) {
+	if len(paths) == 0 {
+		panic("pgos: SetPaths needs at least one path")
+	}
+	if len(mons) != len(paths) {
+		panic("pgos: SetPaths needs one monitor per path")
+	}
+	s.paths = paths
+	s.mons = mons
+	s.mapping = Mapping{}
+	s.haveMap = false
+	s.dirty = true
+	s.vp = nil
+	s.vpCur = 0
+	s.vs = nil
+	s.vsCur = nil
+	s.remaining = nil
+	s.fallbackCur = 0
+	s.blockedUntil = make([]int64, len(paths))
+	s.backoffTicks = make([]int64, len(paths))
+	// Per-path metric handles follow the new path set; the registry
+	// get-or-creates, so a path that returns keeps its counters.
+	s.tel = newSchedTelemetry(s.cfg.Telemetry, paths)
 }
 
 // Invalidate forces a resource remap at the next window boundary. Call it

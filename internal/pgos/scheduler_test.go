@@ -6,6 +6,7 @@ import (
 	"iqpaths/internal/monitor"
 	"iqpaths/internal/sched"
 	"iqpaths/internal/simnet"
+	"iqpaths/internal/stats"
 	"iqpaths/internal/stream"
 )
 
@@ -415,5 +416,104 @@ func TestPerStreamStats(t *testing.T) {
 		st.PerStream[1].Scheduled + st.PerStream[1].OtherPath + st.PerStream[1].Unscheduled
 	if total != st.ScheduledSent+st.OtherPathSent+st.UnscheduledSent {
 		t.Fatal("per-stream counters do not sum to totals")
+	}
+}
+
+// TestAddStreamIDMismatchPanics is the regression test for silent
+// per-stream mis-accounting: AddStream documents that the stream's ID
+// must equal its index, and now enforces it.
+func TestAddStreamIDMismatchPanics(t *testing.T) {
+	st := stream.New(0, stream.Spec{Name: "a", Kind: stream.Probabilistic, RequiredMbps: 5, Probability: 0.95})
+	pA := &fakePath{id: 0, name: "A"}
+	s := New(Config{TickSeconds: 0.01}, []*stream.Stream{st},
+		[]sched.PathService{pA}, []*monitor.PathMonitor{warmMonitor("A", 50)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddStream with ID != index must panic")
+		}
+	}()
+	s.AddStream(stream.New(7, stream.Spec{Name: "skewed"}))
+}
+
+// TestSetPathsRebindsAndRemaps drives the control-plane reroute contract:
+// after SetPaths the scheduler forgets the old mapping, remaps against
+// the new path set at the next window boundary, and dispatches onto the
+// new paths only.
+func TestSetPathsRebindsAndRemaps(t *testing.T) {
+	st := stream.New(0, stream.Spec{Name: "g", Kind: stream.Probabilistic, RequiredMbps: 5, Probability: 0.95})
+	pA := &fakePath{id: 0, name: "A"}
+	pB := &fakePath{id: 1, name: "B"}
+	mk := pktFactory()
+	s := New(Config{TickSeconds: 0.01, TwSec: 0.1}, []*stream.Stream{st},
+		[]sched.PathService{pA}, []*monitor.PathMonitor{warmMonitor("A", 50)})
+	for i := 0; i < 10; i++ {
+		st.Push(mk(0, 12000))
+	}
+	s.Tick(0)
+	if len(pA.sent) == 0 {
+		t.Fatal("nothing dispatched on the original path")
+	}
+	remaps := s.Stats().Remaps
+
+	// Reroute: path A is gone, path B replaces it.
+	s.SetPaths([]sched.PathService{pB}, []*monitor.PathMonitor{warmMonitor("B", 50)})
+	if s.Mapping().Packets != nil {
+		t.Fatal("stale mapping survived SetPaths")
+	}
+	sentA := len(pA.sent)
+	for i := 0; i < 10; i++ {
+		st.Push(mk(0, 12000))
+	}
+	s.Tick(10) // next window boundary: remap against the new set
+	if s.Stats().Remaps != remaps+1 {
+		t.Fatalf("remaps = %d, want %d after SetPaths", s.Stats().Remaps, remaps+1)
+	}
+	if len(pA.sent) != sentA {
+		t.Fatal("dispatched onto a path that was rebound away")
+	}
+	if len(pB.sent) == 0 {
+		t.Fatal("nothing dispatched on the new path")
+	}
+	if got := len(s.Mapping().Packets[0]); got != 1 {
+		t.Fatalf("mapping width %d, want 1 (new path count)", got)
+	}
+}
+
+// TestSetPathsValidation checks the rebinding guard rails.
+func TestSetPathsValidation(t *testing.T) {
+	st := stream.New(0, stream.Spec{Name: "g", Kind: stream.Probabilistic, RequiredMbps: 5, Probability: 0.95})
+	s := New(Config{TickSeconds: 0.01}, []*stream.Stream{st},
+		[]sched.PathService{&fakePath{id: 0, name: "A"}}, []*monitor.PathMonitor{warmMonitor("A", 50)})
+	for name, fn := range map[string]func(){
+		"empty":            func() { s.SetPaths(nil, nil) },
+		"monitor mismatch": func() { s.SetPaths([]sched.PathService{&fakePath{}}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SetPaths %s must panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestInitialCommittedReservesHeadroom: seeding committed rate shrinks
+// what a later stream can claim, without any stream consuming it.
+func TestInitialCommittedReservesHeadroom(t *testing.T) {
+	st := stream.New(0, stream.Spec{Name: "g", Kind: stream.Probabilistic, RequiredMbps: 30, Probability: 0.9})
+	cdf := warmMonitor("A", 50).CDF()
+	free := ComputeMappingOpts([]*stream.Stream{st}, []*stats.CDF{cdf}, 1, MapOptions{})
+	if free.Rejected[0] {
+		t.Fatal("30 Mbps must fit a 50 Mbps path with no prior commitments")
+	}
+	seeded := ComputeMappingOpts([]*stream.Stream{st}, []*stats.CDF{cdf}, 1,
+		MapOptions{InitialCommitted: []float64{35}})
+	if !seeded.Rejected[0] {
+		t.Fatal("30 Mbps must not fit after 35 Mbps is already committed")
+	}
+	if seeded.Committed[0] < 35 {
+		t.Fatalf("committed %v lost the seed", seeded.Committed)
 	}
 }
