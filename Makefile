@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench figures ablations html fuzz clean
+.PHONY: all build vet test race cover bench e2e figures ablations html fuzz clean
 
 all: build vet test
 
@@ -22,12 +22,18 @@ cover:
 	$(GO) test -cover ./internal/...
 
 # Runs every benchmark and records the ns/op + allocs baseline as JSON
-# (BENCH_PR3.json) for regression comparison across PRs — now including the
-# control-plane convergence and admission benchmarks. Override BENCHTIME
+# (BENCH_PR4.json) for regression comparison across PRs — now including the
+# live driver-pacing and probe-train benchmarks. Override BENCHTIME
 # (e.g. BENCHTIME=1x) for a quick smoke pass.
 BENCHTIME ?= 1s
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_PR3.json
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_PR4.json
+
+# Live end-to-end smoke: the Fig. 8 overlay as shaped relay subprocesses
+# on 127.0.0.1 with real UDP sockets and wall-clock pacing. Takes ~40 s;
+# plain `go test ./...` skips it (gated on IQPATHS_E2E=1).
+e2e:
+	IQPATHS_E2E=1 $(GO) test -count=1 -timeout 180s -v -run TestLiveFig8 ./internal/live/e2e/
 
 # Regenerate every paper table/figure into ./figures as CSV + stdout tables.
 figures:

@@ -1,0 +1,325 @@
+// Live node-agent roles: the pieces that turn iqpathsd into the Fig. 8
+// localhost deployment. A `-role relay` daemon is one shaped link; a
+// `-role source` daemon runs the live PGOS driver over RUDP paths with
+// probe-train monitoring; the sink role (main.go) gains wire-deadline
+// accounting, probe responders, and the /control/linkstate exchange.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"iqpaths/internal/live"
+	"iqpaths/internal/live/testbed"
+	"iqpaths/internal/monitor"
+	"iqpaths/internal/sched"
+	"iqpaths/internal/stream"
+	"iqpaths/internal/transport"
+)
+
+// liveSink is the sink-side live state: on-time accounting keyed by wire
+// deadlines, probe-train responders per connection, and the node's
+// link-state view.
+type liveSink struct {
+	clock live.Clock
+	acct  *live.Account
+	links *live.LinkStateTable
+}
+
+func newLiveSink() *liveSink {
+	return &liveSink{
+		clock: live.NewWallClock(),
+		acct:  live.NewAccount(nil),
+		links: live.NewLinkStateTable(),
+	}
+}
+
+// bindConn attaches a probe-train responder to RUDP connections (TCP
+// connections carry no trains).
+func (s *liveSink) bindConn(conn transport.Conn) {
+	if rc, ok := conn.(*transport.RUDPConn); ok {
+		live.Bind(rc, nil, live.NewResponder(s.clock, rc))
+	}
+}
+
+// observeData judges one data arrival against its wire deadline.
+func (s *liveSink) observeData(m *transport.Message) {
+	if s.acct.Registered(m.Stream) && m.Frame != 0 {
+		s.acct.Observe(m.Stream, int64(m.Frame), s.clock.Stamp())
+	}
+}
+
+// handleControl consumes one control frame: Hello registers a contract,
+// LinkState merges into the table.
+func (s *liveSink) handleControl(m *transport.Message) {
+	v, err := live.ParseFrame(m.Payload)
+	if err != nil {
+		return // not a live control frame; other subsystems own it
+	}
+	switch f := v.(type) {
+	case *live.Hello:
+		log.Printf("live: contract for stream %d (%s): %d pkts / %s window",
+			f.Stream, f.Name, f.QuotaPackets, time.Duration(f.WindowNanos))
+		s.acct.Register(live.Contract{
+			Stream:       f.Stream,
+			Name:         f.Name,
+			QuotaPackets: int(f.QuotaPackets),
+			WindowNanos:  f.WindowNanos,
+			GraceNanos:   f.GraceNanos,
+			SkipWindows:  int(f.SkipWindows),
+		})
+	case *live.LinkState:
+		s.links.Apply(*f)
+	}
+}
+
+// register serves the live endpoints: GET /live/accounts returns the
+// per-stream on-time reports; /control/linkstate accepts POSTed
+// length-prefixed LinkState frames and answers GET with the JSON table.
+func (s *liveSink) register(mux *http.ServeMux) {
+	mux.HandleFunc("/live/accounts", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.acct.Reports(s.clock.Stamp()))
+	})
+	mux.HandleFunc("/control/linkstate", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			applied := 0
+			for {
+				frame, err := live.ReadFrame(r.Body)
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				v, err := live.ParseFrame(frame)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				if u, ok := v.(*live.LinkState); ok && s.links.Apply(*u) {
+					applied++
+				}
+			}
+			fmt.Fprintf(w, "applied %d\n", applied)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(s.links.Snapshot())
+		}
+	})
+}
+
+// runRelay is `-role relay`: one testbed link as its own process.
+func runRelay(ctx context.Context, listen, target, shapeJSON string, seed int64) error {
+	var shape testbed.LinkShape
+	if shapeJSON != "" {
+		if err := json.Unmarshal([]byte(shapeJSON), &shape); err != nil {
+			return fmt.Errorf("relay: bad -shape: %w", err)
+		}
+	}
+	if shape.CapacityMbps <= 0 {
+		return fmt.Errorf("relay: -shape must set CapacityMbps")
+	}
+	r, err := testbed.NewRelay(listen, target, shape, seed)
+	if err != nil {
+		return err
+	}
+	log.Printf("relay: %s → %s at %.1f Mbps capacity (cross %.1f±%.1f, loss %.3f)",
+		r.Addr(), target, shape.CapacityMbps, shape.CrossMbps, shape.CrossAmpMbps, shape.LossProb)
+	ticker := time.NewTicker(5 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			log.Print("relay: shutting down")
+			return r.Close()
+		case <-ticker.C:
+			st := r.Stats()
+			log.Printf("relay: forwarded=%d returned=%d dropped=%d lost=%d",
+				st.Forwarded, st.Returned, st.Dropped, st.Lost)
+		}
+	}
+}
+
+// sourceConfig is the `-role source` parameterization.
+type sourceConfig struct {
+	node      string  // node name in link-state advertisements
+	paths     string  // "name=addr,name=addr" overlay paths (via relays)
+	rateMbps  float64 // stream offered load
+	prob      float64 // guarantee probability; 0 runs best-effort
+	windowSec float64
+	tickSec   float64
+	probeSec  float64
+	report    string // sink HTTP base URL for link-state POSTs (optional)
+	duration  time.Duration
+}
+
+// runSource is `-role source`: dial every overlay path, warm the CDF
+// predictors from live probes, then drive a CBR stream through PGOS.
+func runSource(ctx context.Context, cfg sourceConfig) error {
+	type pathSpec struct{ name, addr string }
+	var specs []pathSpec
+	for _, part := range strings.Split(cfg.paths, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || addr == "" {
+			return fmt.Errorf("source: -paths entry %q is not name=addr", part)
+		}
+		specs = append(specs, pathSpec{name, addr})
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("source: -paths is required")
+	}
+
+	clock := live.NewWallClock()
+	conns := make([]*transport.RUDPConn, len(specs))
+	paths := make([]sched.PathService, len(specs))
+	mons := make([]*monitor.PathMonitor, len(specs))
+	names := make([]string, len(specs))
+	for j, ps := range specs {
+		names[j] = ps.name
+		conn, err := transport.DialRUDP(ps.addr, 5*time.Second)
+		if err != nil {
+			return fmt.Errorf("source: dial %s (%s): %w", ps.name, ps.addr, err)
+		}
+		defer conn.Close()
+		conns[j] = conn
+		p := transport.NewPath(j, ps.name, conn, 0)
+		defer p.Close()
+		paths[j] = p
+		mons[j] = monitor.New(ps.name, 64, 8)
+		log.Printf("source: path %s via %s", ps.name, ps.addr)
+	}
+
+	const packetBits = 12000
+	kind := stream.BestEffort
+	spec := stream.Spec{Name: "live", Kind: kind, PacketBits: packetBits}
+	if cfg.prob > 0 {
+		spec.Kind = stream.Probabilistic
+		spec.RequiredMbps = cfg.rateMbps
+		spec.Probability = cfg.prob
+	}
+
+	var warm atomic.Bool
+	cbr := &live.CBR{Mbps: cfg.rateMbps, PacketBits: packetBits}
+	var d *live.Driver
+	dcfg := live.Config{
+		TickSeconds: cfg.tickSec,
+		TwSec:       cfg.windowSec,
+		Clock:       clock,
+		OnTick: func(int64) {
+			if !warm.Load() {
+				return
+			}
+			n := cbr.Packets(cfg.tickSec)
+			for i := 0; i < n; i++ {
+				d.Offer(0, packetBits)
+			}
+		},
+	}
+	d = live.NewDriver(dcfg, []stream.Spec{spec}, paths, mons)
+
+	quota := int(cfg.rateMbps * 1e6 * cfg.windowSec / packetBits)
+	hello := live.MarshalHello(live.Hello{
+		Stream:       0,
+		Name:         spec.Name,
+		QuotaPackets: uint32(quota),
+		WindowNanos:  int64(cfg.windowSec * 1e9),
+		GraceNanos:   int64(150 * time.Millisecond),
+		SkipWindows:  3,
+	})
+	if err := conns[0].Send(&transport.Message{Kind: transport.KindControl, Seq: 1, Payload: hello}); err != nil {
+		return fmt.Errorf("source: hello: %w", err)
+	}
+
+	runCtx := ctx
+	if cfg.duration > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, cfg.duration)
+		defer cancel()
+	}
+	for j, conn := range conns {
+		p := live.NewProber(live.ProbeConfig{IntervalSec: cfg.probeSec}, clock, conn)
+		j := j
+		p.OnBandwidth = func(mbps float64) { d.ObserveBandwidth(j, mbps) }
+		p.OnRTT = func(sec float64) { d.ObserveRTT(j, sec) }
+		p.OnLoss = func(rate float64) { d.ObserveLoss(j, rate) }
+		live.Bind(conn, p, nil)
+		go p.Run(runCtx)
+	}
+	go d.Run(runCtx)
+	if cfg.report != "" {
+		go reportLinkState(runCtx, cfg, d, names)
+	}
+
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-runCtx.Done():
+			st := d.SchedStats()
+			log.Printf("source: done; scheduled=%d other-path=%d unscheduled=%d lag-resyncs=%d",
+				st.ScheduledSent, st.OtherPathSent, st.UnscheduledSent, d.LagResyncs())
+			return nil
+		case <-ticker.C:
+			if !warm.Load() {
+				if d.Warm() {
+					warm.Store(true)
+					log.Printf("source: predictors warm (%s): starting %0.1f Mbps stream",
+						monSummary(d, names), cfg.rateMbps)
+				}
+				continue
+			}
+			log.Printf("source: tick=%d backlog=%d mapping=%v", d.Tick(), d.Backlog(0), d.Mapping().Packets)
+		}
+	}
+}
+
+func monSummary(d *live.Driver, names []string) string {
+	parts := make([]string, len(names))
+	for j, n := range names {
+		parts[j] = fmt.Sprintf("%s≈%.1fMbps", n, d.MeanBandwidth(j))
+	}
+	return strings.Join(parts, " ")
+}
+
+// reportLinkState POSTs this node's measured per-path availability to the
+// sink's /control/linkstate as length-prefixed frames, once per second
+// with monotonically increasing versions.
+func reportLinkState(ctx context.Context, cfg sourceConfig, d *live.Driver, names []string) {
+	url := strings.TrimSuffix(cfg.report, "/") + "/control/linkstate"
+	version := uint64(0)
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		version++
+		var body bytes.Buffer
+		for j, name := range names {
+			u := live.LinkState{Node: cfg.node, Link: name, Version: version, Up: true, AvailMbps: d.MeanBandwidth(j)}
+			if err := live.WriteFrame(&body, live.MarshalLinkState(u)); err != nil {
+				return
+			}
+		}
+		resp, err := http.Post(url, "application/octet-stream", &body)
+		if err != nil {
+			continue // sink HTTP not up yet; try again next tick
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}

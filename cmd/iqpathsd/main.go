@@ -48,7 +48,7 @@ import (
 
 func main() {
 	var (
-		role     = flag.String("role", "sink", "sink | router")
+		role     = flag.String("role", "sink", "sink | router | relay | source")
 		rudpAddr = flag.String("rudp", "127.0.0.1:9001", "RUDP listen address")
 		tcpAddr  = flag.String("tcp", "", "TCP listen address (optional)")
 		next     = flag.String("next", "", "next hop (router role, RUDP)")
@@ -56,6 +56,23 @@ func main() {
 		httpAddr = flag.String("http", "127.0.0.1:9090", "HTTP address for /metrics and /debug/pprof (empty disables)")
 		snapPath = flag.String("snapshot", "", "write a final JSON telemetry snapshot to this file on shutdown")
 		capacity = flag.Float64("capacity", 100, "sink ingress capacity in Mbps, the ceiling of the admission test")
+
+		// relay role: one shaped testbed link as its own process.
+		udpAddr = flag.String("udp", "127.0.0.1:0", "relay: UDP listen address")
+		target  = flag.String("target", "", "relay: forward datagrams to this host:port")
+		shape   = flag.String("shape", "", `relay: link shape JSON, e.g. {"CapacityMbps":40,"CrossMbps":8}`)
+		seed    = flag.Int64("seed", 1, "relay: loss-process seed")
+
+		// source role: live PGOS driver over overlay paths.
+		node      = flag.String("node", "source", "source: node name in link-state advertisements")
+		pathsFlag = flag.String("paths", "", "source: comma-separated name=addr overlay paths")
+		rate      = flag.Float64("rate", 12, "source: stream offered load in Mbps")
+		prob      = flag.Float64("prob", 0.9, "source: guarantee probability (0 runs best-effort)")
+		window    = flag.Float64("window", 0.5, "source: scheduling window in seconds")
+		tick      = flag.Float64("tick", 0.005, "source: scheduling tick in seconds")
+		probe     = flag.Float64("probe", 0.25, "source: probe-train interval in seconds")
+		report    = flag.String("report", "", "source: sink HTTP base URL for link-state reports (optional)")
+		duration  = flag.Duration("duration", 0, "source: stop after this long (0 runs until signal)")
 	)
 	flag.Parse()
 
@@ -63,24 +80,44 @@ func main() {
 	defer stop()
 
 	var adm *daemonAdmission
+	var ls *liveSink
 	if *role == "sink" {
 		adm = newDaemonAdmission(*capacity)
+		ls = newLiveSink()
 	}
 	var httpSrv *http.Server
 	if *httpAddr != "" {
-		httpSrv = startHTTP(*httpAddr, adm)
+		httpSrv = startHTTP(*httpAddr, adm, ls)
 	}
 
 	var err error
 	switch *role {
 	case "sink":
-		err = runSink(ctx, *rudpAddr, *tcpAddr, *quiet, adm)
+		err = runSink(ctx, *rudpAddr, *tcpAddr, *quiet, adm, ls)
 	case "router":
 		if *next == "" {
 			fmt.Fprintln(os.Stderr, "router role requires -next")
 			os.Exit(2)
 		}
 		err = runRouter(ctx, *rudpAddr, *next)
+	case "relay":
+		if *target == "" {
+			fmt.Fprintln(os.Stderr, "relay role requires -target")
+			os.Exit(2)
+		}
+		err = runRelay(ctx, *udpAddr, *target, *shape, *seed)
+	case "source":
+		err = runSource(ctx, sourceConfig{
+			node:      *node,
+			paths:     *pathsFlag,
+			rateMbps:  *rate,
+			prob:      *prob,
+			windowSec: *window,
+			tickSec:   *tick,
+			probeSec:  *probe,
+			report:    *report,
+			duration:  *duration,
+		})
 	default:
 		fmt.Fprintf(os.Stderr, "unknown role %q\n", *role)
 		os.Exit(2)
@@ -106,12 +143,16 @@ func main() {
 // startHTTP serves the process-global telemetry registry and the pprof
 // profiles on their own mux (never http.DefaultServeMux, so nothing else
 // leaks onto the port). Sink daemons additionally serve the admission
-// API under /admission/.
-func startHTTP(addr string, adm *daemonAdmission) *http.Server {
+// API under /admission/ plus the live accounting and link-state
+// endpoints (/live/accounts, /control/linkstate).
+func startHTTP(addr string, adm *daemonAdmission, ls *liveSink) *http.Server {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", telemetry.Handler(telemetry.Default()))
 	if adm != nil {
 		adm.register(mux)
+	}
+	if ls != nil {
+		ls.register(mux)
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -178,7 +219,7 @@ func (r *rateTable) snapshotAndReset() map[uint32]uint64 {
 	return out
 }
 
-func runSink(ctx context.Context, rudpAddr, tcpAddr string, quiet bool, adm *daemonAdmission) error {
+func runSink(ctx context.Context, rudpAddr, tcpAddr string, quiet bool, adm *daemonAdmission, ls *liveSink) error {
 	rates := newRateTable()
 	var closers []interface{ Close() error }
 	if rudpAddr != "" {
@@ -188,7 +229,7 @@ func runSink(ctx context.Context, rudpAddr, tcpAddr string, quiet bool, adm *dae
 		}
 		log.Printf("sink: RUDP on %s", l.Addr())
 		closers = append(closers, l)
-		go acceptLoop(func() (transport.Conn, error) { return l.Accept() }, rates)
+		go acceptLoop(func() (transport.Conn, error) { return l.Accept() }, rates, ls)
 	}
 	if tcpAddr != "" {
 		l, err := transport.ListenTCP(tcpAddr)
@@ -197,7 +238,7 @@ func runSink(ctx context.Context, rudpAddr, tcpAddr string, quiet bool, adm *dae
 		}
 		log.Printf("sink: TCP on %s", l.Addr())
 		closers = append(closers, l)
-		go acceptLoop(func() (transport.Conn, error) { return l.Accept() }, rates)
+		go acceptLoop(func() (transport.Conn, error) { return l.Accept() }, rates, ls)
 	}
 	ticker := time.NewTicker(time.Second)
 	defer ticker.Stop()
@@ -230,11 +271,14 @@ func runSink(ctx context.Context, rudpAddr, tcpAddr string, quiet bool, adm *dae
 	}
 }
 
-func acceptLoop(accept func() (transport.Conn, error), rates *rateTable) {
+func acceptLoop(accept func() (transport.Conn, error), rates *rateTable, ls *liveSink) {
 	for {
 		conn, err := accept()
 		if err != nil {
 			return
+		}
+		if ls != nil {
+			ls.bindConn(conn)
 		}
 		go func() {
 			defer conn.Close()
@@ -243,8 +287,16 @@ func acceptLoop(accept func() (transport.Conn, error), rates *rateTable) {
 				if err != nil {
 					return
 				}
-				if m.Kind == transport.KindData {
+				switch m.Kind {
+				case transport.KindData:
 					rates.add(m.Stream, len(m.Payload))
+					if ls != nil {
+						ls.observeData(m)
+					}
+				case transport.KindControl:
+					if ls != nil {
+						ls.handleControl(m)
+					}
 				}
 			}
 		}()

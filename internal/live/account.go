@@ -1,0 +1,202 @@
+package live
+
+import (
+	"sort"
+	"sync"
+
+	"iqpaths/internal/telemetry"
+)
+
+// Contract is the sink-side service contract for one live stream: how
+// many packets must arrive on time per scheduling window for the window
+// to count as satisfied. Contracts travel from source to sink in a Hello
+// frame (see wire.go).
+type Contract struct {
+	// Stream is the wire stream ID the contract covers.
+	Stream uint32
+	// Name labels the stream in reports.
+	Name string
+	// QuotaPackets is the per-window on-time packet quota (x in the
+	// paper's window semantics). <= 0 tallies deliveries without ever
+	// counting violations (pure best-effort accounting).
+	QuotaPackets int
+	// WindowNanos is the scheduling-window length.
+	WindowNanos int64
+	// GraceNanos extends each deadline before an arrival counts as late
+	// (absorbs clock jitter between processes; default 0).
+	GraceNanos int64
+	// SkipWindows excludes the first k closed windows from the violation
+	// tally — the live warmup the experiments also discard.
+	SkipWindows int
+}
+
+// Report is the realised on-time record for one stream.
+type Report struct {
+	Contract
+	// Windows and Violated count closed, accounted windows.
+	Windows  int `json:"windows"`
+	Violated int `json:"violated"`
+	// OnTime, Late, Total count delivered packets.
+	OnTime uint64 `json:"on_time"`
+	Late   uint64 `json:"late"`
+	Total  uint64 `json:"total"`
+	// ViolatedFraction is Violated/Windows (0 when no windows closed).
+	ViolatedFraction float64 `json:"violated_fraction"`
+}
+
+// Account tallies on-time deliveries per scheduling window at the sink.
+// Every data packet carries its window's deadline Stamp in the wire Frame
+// field; a packet is on time when it arrives by deadline+grace, and a
+// window is violated when fewer than QuotaPackets packets made it on
+// time. This is the live counterpart of telemetry.Accountant's
+// virtual-time window shortfall rule, measured from real arrivals.
+//
+// Safe for concurrent use (transport demux goroutines call Observe).
+type Account struct {
+	mu      sync.Mutex
+	streams map[uint32]*acctStream
+
+	reg *telemetry.Registry
+}
+
+type acctStream struct {
+	contract Contract
+	windows  map[int64]*acctWindow // open windows keyed by deadline stamp
+	onTime   uint64
+	late     uint64
+
+	// Closed-window totals; closed windows are pruned from the map so a
+	// long-running sink stays bounded.
+	skipLeft       int
+	closedWindows  int
+	closedViolated int
+
+	mOnTime, mLate, mViolated, mWindows *telemetry.Counter
+}
+
+type acctWindow struct {
+	onTime int
+}
+
+// NewAccount builds an empty accountant. reg (optional) receives
+// iqpaths_live_ontime_* counters per registered stream.
+func NewAccount(reg *telemetry.Registry) *Account {
+	return &Account{streams: map[uint32]*acctStream{}, reg: reg}
+}
+
+// Register installs (or replaces) the contract for one stream.
+func (a *Account) Register(c Contract) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := &acctStream{contract: c, windows: map[int64]*acctWindow{}, skipLeft: c.SkipWindows}
+	if a.reg != nil {
+		lbl := []string{"stream", c.Name}
+		s.mOnTime = a.reg.Counter("iqpaths_live_ontime_packets_total", "Packets arriving by their window deadline.", lbl...)
+		s.mLate = a.reg.Counter("iqpaths_live_late_packets_total", "Packets arriving after their window deadline plus grace.", lbl...)
+		s.mWindows = a.reg.Counter("iqpaths_live_windows_total", "Closed accounted windows.", lbl...)
+		s.mViolated = a.reg.Counter("iqpaths_live_violated_windows_total", "Windows short of their on-time quota.", lbl...)
+	}
+	a.streams[c.Stream] = s
+}
+
+// Registered reports whether stream id has a contract.
+func (a *Account) Registered(id uint32) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, ok := a.streams[id]
+	return ok
+}
+
+// Observe records one data-packet arrival for stream id: deadline is the
+// packet's wire deadline Stamp, arrival the sink clock's Stamp at
+// delivery. Unregistered streams are ignored.
+func (a *Account) Observe(id uint32, deadline, arrival int64) {
+	a.mu.Lock()
+	s, ok := a.streams[id]
+	if !ok {
+		a.mu.Unlock()
+		return
+	}
+	onTime := arrival <= deadline+s.contract.GraceNanos
+	if onTime {
+		s.onTime++
+		w := s.windows[deadline]
+		if w == nil {
+			w = &acctWindow{}
+			s.windows[deadline] = w
+		}
+		w.onTime++
+	} else {
+		s.late++
+		// A late packet still opens its window: a window all of whose
+		// packets are late must exist to be counted violated.
+		if s.windows[deadline] == nil {
+			s.windows[deadline] = &acctWindow{}
+		}
+	}
+	mOnTime, mLate := s.mOnTime, s.mLate
+	a.mu.Unlock()
+	if onTime && mOnTime != nil {
+		mOnTime.Inc()
+	}
+	if !onTime && mLate != nil {
+		mLate.Inc()
+	}
+}
+
+// Reports closes every window whose deadline (plus grace) has passed by
+// now and returns the per-stream records, ordered by stream ID. Windows
+// still open (deadline in the future) stay pending for the next call;
+// SkipWindows earliest closed windows per stream are discarded as warmup.
+func (a *Account) Reports(now int64) []Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ids := make([]uint32, 0, len(a.streams))
+	for id := range a.streams {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]Report, 0, len(ids))
+	for _, id := range ids {
+		s := a.streams[id]
+		deadlines := make([]int64, 0, len(s.windows))
+		for dl := range s.windows {
+			if dl+s.contract.GraceNanos < now {
+				deadlines = append(deadlines, dl)
+			}
+		}
+		sort.Slice(deadlines, func(i, j int) bool { return deadlines[i] < deadlines[j] })
+		var newW, newV int
+		for _, dl := range deadlines {
+			w := s.windows[dl]
+			delete(s.windows, dl)
+			if s.skipLeft > 0 {
+				s.skipLeft--
+				continue
+			}
+			newW++
+			if s.contract.QuotaPackets > 0 && w.onTime < s.contract.QuotaPackets {
+				newV++
+			}
+		}
+		s.closedWindows += newW
+		s.closedViolated += newV
+		if s.mWindows != nil {
+			s.mWindows.Add(uint64(newW))
+			s.mViolated.Add(uint64(newV))
+		}
+		r := Report{
+			Contract: s.contract,
+			Windows:  s.closedWindows,
+			Violated: s.closedViolated,
+			OnTime:   s.onTime,
+			Late:     s.late,
+			Total:    s.onTime + s.late,
+		}
+		if r.Windows > 0 {
+			r.ViolatedFraction = float64(r.Violated) / float64(r.Windows)
+		}
+		out = append(out, r)
+	}
+	return out
+}

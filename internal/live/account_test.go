@@ -1,0 +1,99 @@
+package live
+
+import (
+	"testing"
+
+	"iqpaths/internal/telemetry"
+)
+
+func TestAccountOnTimeAndViolations(t *testing.T) {
+	a := NewAccount(telemetry.NewRegistry())
+	a.Register(Contract{Stream: 1, Name: "g", QuotaPackets: 3, WindowNanos: 100, GraceNanos: 5})
+
+	// Window at deadline 100: all three on time (grace covers 105).
+	a.Observe(1, 100, 90)
+	a.Observe(1, 100, 100)
+	a.Observe(1, 100, 105)
+	// Window at deadline 200: one on time, two late.
+	a.Observe(1, 200, 150)
+	a.Observe(1, 200, 300)
+	a.Observe(1, 200, 400)
+	// Window at deadline 300: every packet late — still a violated window.
+	a.Observe(1, 300, 500)
+
+	reports := a.Reports(1000)
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reports))
+	}
+	r := reports[0]
+	if r.Windows != 3 || r.Violated != 2 {
+		t.Fatalf("windows=%d violated=%d, want 3/2", r.Windows, r.Violated)
+	}
+	if r.OnTime != 4 || r.Late != 3 || r.Total != 7 {
+		t.Fatalf("on_time=%d late=%d total=%d, want 4/3/7", r.OnTime, r.Late, r.Total)
+	}
+	if want := 2.0 / 3.0; r.ViolatedFraction != want {
+		t.Fatalf("violated fraction %v, want %v", r.ViolatedFraction, want)
+	}
+}
+
+func TestAccountOpenWindowsStayPending(t *testing.T) {
+	a := NewAccount(nil)
+	a.Register(Contract{Stream: 1, QuotaPackets: 1, WindowNanos: 100})
+	a.Observe(1, 100, 50)
+	a.Observe(1, 200, 60)
+	r := a.Reports(150)[0] // only the first window's deadline has passed
+	if r.Windows != 1 {
+		t.Fatalf("windows=%d at t=150, want 1", r.Windows)
+	}
+	r = a.Reports(250)[0]
+	if r.Windows != 2 || r.Violated != 0 {
+		t.Fatalf("windows=%d violated=%d at t=250, want 2/0", r.Windows, r.Violated)
+	}
+	// Closed windows are pruned; re-reporting must not double count.
+	r = a.Reports(9999)[0]
+	if r.Windows != 2 {
+		t.Fatalf("windows=%d after re-report, want 2", r.Windows)
+	}
+}
+
+func TestAccountSkipWindows(t *testing.T) {
+	a := NewAccount(nil)
+	a.Register(Contract{Stream: 1, QuotaPackets: 1, WindowNanos: 100, SkipWindows: 2})
+	// Two violated warmup windows, then a satisfied one.
+	a.Observe(1, 100, 500)
+	a.Observe(1, 200, 500)
+	a.Observe(1, 300, 250)
+	r := a.Reports(1000)[0]
+	if r.Windows != 1 || r.Violated != 0 {
+		t.Fatalf("windows=%d violated=%d after skip, want 1/0", r.Windows, r.Violated)
+	}
+}
+
+func TestAccountBestEffortNeverViolated(t *testing.T) {
+	a := NewAccount(nil)
+	a.Register(Contract{Stream: 2, QuotaPackets: 0, WindowNanos: 100})
+	a.Observe(2, 100, 999) // late, but no quota to violate
+	r := a.Reports(1000)[0]
+	if r.Windows != 1 || r.Violated != 0 {
+		t.Fatalf("windows=%d violated=%d, want 1/0", r.Windows, r.Violated)
+	}
+	if r.Late != 1 {
+		t.Fatalf("late=%d, want 1", r.Late)
+	}
+}
+
+func TestAccountIgnoresUnregistered(t *testing.T) {
+	a := NewAccount(nil)
+	a.Observe(9, 100, 50)
+	if got := a.Reports(1000); len(got) != 0 {
+		t.Fatalf("got %d reports for unregistered stream", len(got))
+	}
+	if a.Registered(9) {
+		t.Fatal("Registered(9) true without contract")
+	}
+	a.Register(Contract{Stream: 9})
+	if !a.Registered(9) {
+		t.Fatal("Registered(9) false after Register")
+	}
+}

@@ -1,0 +1,71 @@
+package live
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeClockAdvanceFiresTimersInOrder(t *testing.T) {
+	c := NewFakeClock()
+	ch2 := c.After(20 * time.Millisecond)
+	ch1 := c.After(10 * time.Millisecond)
+	ch3 := c.After(30 * time.Millisecond)
+
+	c.Advance(25 * time.Millisecond)
+	at1 := (<-ch1).UnixNano()
+	at2 := (<-ch2).UnixNano()
+	if at1 != int64(10*time.Millisecond) || at2 != int64(20*time.Millisecond) {
+		t.Fatalf("fire times %d, %d", at1, at2)
+	}
+	select {
+	case <-ch3:
+		t.Fatal("30ms timer fired at 25ms")
+	default:
+	}
+	c.Advance(10 * time.Millisecond)
+	<-ch3
+	if got := c.Now(); got != 35*time.Millisecond {
+		t.Fatalf("Now = %v, want 35ms", got)
+	}
+	if got := c.Stamp(); got != int64(35*time.Millisecond) {
+		t.Fatalf("Stamp = %d, want %d", got, int64(35*time.Millisecond))
+	}
+}
+
+func TestFakeClockImmediateTimer(t *testing.T) {
+	c := NewFakeClock()
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+	select {
+	case <-c.After(-time.Second):
+	default:
+		t.Fatal("After(<0) did not fire immediately")
+	}
+}
+
+func TestFakeClockBlockUntilTimers(t *testing.T) {
+	c := NewFakeClock()
+	done := make(chan struct{})
+	go func() {
+		<-c.After(time.Second)
+		close(done)
+	}()
+	c.BlockUntilTimers(1) // returns only once the goroutine is parked
+	c.Advance(time.Second)
+	<-done
+}
+
+func TestWallClock(t *testing.T) {
+	c := NewWallClock()
+	if c.Now() < 0 {
+		t.Fatal("negative elapsed time")
+	}
+	stamp := c.Stamp()
+	wall := time.Now().UnixNano()
+	if diff := wall - stamp; diff < 0 || diff > int64(time.Minute) {
+		t.Fatalf("Stamp %d implausibly far from UnixNano %d", stamp, wall)
+	}
+}

@@ -1,0 +1,372 @@
+package live
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"iqpaths/internal/monitor"
+	"iqpaths/internal/pgos"
+	"iqpaths/internal/sched"
+	"iqpaths/internal/simnet"
+	"iqpaths/internal/stream"
+	"iqpaths/internal/telemetry"
+)
+
+// Config parameterizes a live Driver.
+type Config struct {
+	// TickSeconds is the scheduling tick (default 0.005). Each tick the
+	// driver runs one PGOS dispatch round against the paths' pacing state.
+	TickSeconds float64
+	// TwSec is the scheduling-window length in seconds (default 0.5).
+	TwSec float64
+	// KSThreshold, FeasibilitySlack, PaceLimit, MeanPrediction pass
+	// through to pgos.Config (zero values select PGOS defaults).
+	KSThreshold      float64
+	FeasibilitySlack float64
+	PaceLimit        int
+	MeanPrediction   bool
+	// Clock paces the driver; nil selects a new wall clock. Tests inject
+	// a FakeClock.
+	Clock Clock
+	// Telemetry receives iqpaths_live_* metrics and the scheduler's
+	// iqpaths_pgos_* metrics (nil keeps them private).
+	Telemetry *telemetry.Registry
+	// OnTick, when set, is invoked once per tick before dispatch — the
+	// hook traffic generators use to Offer packets. It runs on the driver
+	// goroutine without the driver lock held, so it may call Offer.
+	OnTick func(tick int64)
+	// OnWindow, when set, is invoked after the last tick of each
+	// scheduling window with the window's index.
+	OnWindow func(window int64)
+	// MaxCatchUp bounds the ticks processed per wake when the driver has
+	// fallen behind wall time (default 50); beyond it the driver resyncs
+	// and counts the lag instead of spiraling.
+	MaxCatchUp int
+}
+
+func (c *Config) fillDefaults() {
+	if c.TickSeconds <= 0 {
+		c.TickSeconds = 0.005
+	}
+	if c.TwSec <= 0 {
+		c.TwSec = 0.5
+	}
+	if c.Clock == nil {
+		c.Clock = NewWallClock()
+	}
+	if c.MaxCatchUp <= 0 {
+		c.MaxCatchUp = 50
+	}
+}
+
+// Driver runs the unchanged PGOS engine in wall-clock time: applications
+// Offer packets into stream backlogs, probers feed the path monitors via
+// Observe*, and each tick the driver runs one PGOS dispatch round, which
+// paces every admitted stream's packets onto the live paths per the
+// scheduler's per-window rate decisions and re-runs the resource mapping
+// whenever the monitored CDFs drift (the scheduler's own KS trigger).
+//
+// All methods are safe for concurrent use; Step and Run must be called
+// from a single goroutine.
+type Driver struct {
+	cfg   Config
+	clock Clock
+
+	// mu guards every mutable field below: the pgos scheduler and the
+	// stream backlogs are single-owner structures, and the monitors are
+	// read by the scheduler mid-Tick, so probe callbacks must serialize
+	// with dispatch.
+	mu      sync.Mutex
+	sched   *pgos.Scheduler
+	streams []*stream.Stream
+	paths   []sched.PathService
+	mons    []*monitor.PathMonitor
+
+	tick        int64
+	windowTicks int64
+	// nextWindowTick is the first tick of the next scheduling window;
+	// crossing it refreshes deadlineStamp.
+	nextWindowTick int64
+	// deadlineStamp is the wire deadline (Clock.Stamp nanoseconds) shared
+	// by every packet offered in the current window: the window's end.
+	deadlineStamp int64
+	nextPktID     uint64
+	lagResyncs    uint64
+
+	mTicks   *telemetry.Counter
+	mOffered *telemetry.Counter
+	mDropped *telemetry.Counter
+	mLag     *telemetry.Counter
+}
+
+// NewDriver builds a live driver over parallel slices of paths and their
+// monitors (mons[j] watches paths[j]); specs[i] becomes stream i.
+func NewDriver(cfg Config, specs []stream.Spec, paths []sched.PathService, mons []*monitor.PathMonitor) *Driver {
+	cfg.fillDefaults()
+	streams := make([]*stream.Stream, len(specs))
+	for i, sp := range specs {
+		streams[i] = stream.New(i, sp)
+	}
+	d := &Driver{
+		cfg:     cfg,
+		clock:   cfg.Clock,
+		streams: streams,
+		paths:   paths,
+		mons:    mons,
+	}
+	d.sched = pgos.New(pgos.Config{
+		TwSec:            cfg.TwSec,
+		TickSeconds:      cfg.TickSeconds,
+		KSThreshold:      cfg.KSThreshold,
+		FeasibilitySlack: cfg.FeasibilitySlack,
+		PaceLimit:        cfg.PaceLimit,
+		MeanPrediction:   cfg.MeanPrediction,
+		Telemetry:        cfg.Telemetry,
+	}, streams, paths, mons)
+	d.windowTicks = int64(cfg.TwSec/cfg.TickSeconds + 0.5)
+	if d.windowTicks < 1 {
+		d.windowTicks = 1
+	}
+	d.nextWindowTick = 0 // first Step opens the first window
+	d.deadlineStamp = d.clock.Stamp() + int64(cfg.TwSec*1e9)
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	d.mTicks = reg.Counter("iqpaths_live_ticks_total", "Driver scheduling ticks executed.")
+	d.mOffered = reg.Counter("iqpaths_live_offered_packets_total", "Packets offered into stream backlogs.")
+	d.mDropped = reg.Counter("iqpaths_live_offer_drops_total", "Offers refused because a stream backlog was full.")
+	d.mLag = reg.Counter("iqpaths_live_lag_resyncs_total", "Times the driver resynced after falling behind wall time.")
+	return d
+}
+
+// Offer enqueues one packet of the given wire size for stream i. The
+// packet's deadline is the end of the current scheduling window, both in
+// driver ticks (for PGOS) and as a wire Stamp carried in the packet's
+// Frame field (for the sink's on-time accounting). It reports false when
+// the stream's backlog refused the packet.
+func (d *Driver) Offer(i int, bits float64) bool {
+	d.mu.Lock()
+	if i < 0 || i >= len(d.streams) {
+		d.mu.Unlock()
+		return false
+	}
+	d.maybeEnterWindow()
+	d.nextPktID++
+	p := &simnet.Packet{
+		ID:       d.nextPktID,
+		Stream:   i,
+		Bits:     bits,
+		Created:  d.tick,
+		Deadline: d.windowEndTick(),
+		Frame:    uint64(d.deadlineStamp),
+	}
+	ok := d.streams[i].Push(p)
+	d.mu.Unlock()
+	if ok {
+		d.mOffered.Inc()
+	} else {
+		d.mDropped.Inc()
+	}
+	return ok
+}
+
+// windowEndTick returns the last-tick-exclusive bound of the current
+// window. Callers hold d.mu.
+func (d *Driver) windowEndTick() int64 {
+	return (d.tick/d.windowTicks + 1) * d.windowTicks
+}
+
+// maybeEnterWindow refreshes the window bookkeeping when the tick counter
+// has crossed into a new scheduling window: the new window's wire deadline
+// is TwSec from the wall time of its first event — whichever of Offer or
+// Step touches it first — so every packet offered inside the window
+// carries one consistent stamp. Callers hold d.mu.
+func (d *Driver) maybeEnterWindow() {
+	if d.tick >= d.nextWindowTick {
+		d.deadlineStamp = d.clock.Stamp() + int64(d.cfg.TwSec*1e9)
+		d.nextWindowTick = d.windowEndTick()
+	}
+}
+
+// ObserveBandwidth feeds one available-bandwidth sample (Mbps) to path
+// j's monitor — the prober's delivery callback.
+func (d *Driver) ObserveBandwidth(j int, mbps float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if j >= 0 && j < len(d.mons) {
+		d.mons[j].ObserveBandwidth(mbps)
+	}
+}
+
+// ObserveRTT feeds one RTT sample (seconds) to path j's monitor.
+func (d *Driver) ObserveRTT(j int, sec float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if j >= 0 && j < len(d.mons) {
+		d.mons[j].ObserveRTT(sec)
+	}
+}
+
+// ObserveLoss feeds one loss-rate sample ([0,1]) to path j's monitor.
+func (d *Driver) ObserveLoss(j int, rate float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if j >= 0 && j < len(d.mons) {
+		d.mons[j].ObserveLoss(rate)
+	}
+}
+
+// Step executes one scheduling tick: the OnTick hook (traffic ingest),
+// window bookkeeping, then one PGOS dispatch round.
+func (d *Driver) Step() {
+	d.mu.Lock()
+	t := d.tick
+	d.maybeEnterWindow()
+	d.mu.Unlock()
+	if d.cfg.OnTick != nil {
+		d.cfg.OnTick(t)
+	}
+	d.mu.Lock()
+	d.sched.Tick(d.tick)
+	d.tick++
+	windowDone := d.tick == d.nextWindowTick
+	window := d.tick/d.windowTicks - 1
+	d.mu.Unlock()
+	d.mTicks.Inc()
+	if windowDone && d.cfg.OnWindow != nil {
+		d.cfg.OnWindow(window)
+	}
+}
+
+// Run paces Step at TickSeconds on the configured clock until ctx is
+// done. When the process falls behind (GC pause, noisy neighbor) it
+// catches up at most MaxCatchUp ticks per wake, then resyncs — stretching
+// virtual time rather than bursting unbounded dispatch rounds.
+func (d *Driver) Run(ctx context.Context) {
+	tickDur := time.Duration(d.cfg.TickSeconds * float64(time.Second))
+	next := d.clock.Now() + tickDur
+	for {
+		wait := next - d.clock.Now()
+		select {
+		case <-ctx.Done():
+			return
+		case <-d.clock.After(wait):
+		}
+		now := d.clock.Now()
+		steps := 0
+		for next <= now && steps < d.cfg.MaxCatchUp {
+			d.Step()
+			next += tickDur
+			steps++
+		}
+		if next <= now {
+			next = now + tickDur
+			d.mu.Lock()
+			d.lagResyncs++
+			d.mu.Unlock()
+			d.mLag.Inc()
+		}
+	}
+}
+
+// Tick returns the driver's current tick count.
+func (d *Driver) Tick() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tick
+}
+
+// DeadlineStamp returns the wire deadline of the current window.
+func (d *Driver) DeadlineStamp() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.deadlineStamp
+}
+
+// LagResyncs returns how many times Run resynced after falling behind.
+func (d *Driver) LagResyncs() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lagResyncs
+}
+
+// Mapping returns the scheduler's active resource mapping.
+func (d *Driver) Mapping() pgos.Mapping {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sched.Mapping()
+}
+
+// SchedStats returns a copy of the scheduler's counters.
+func (d *Driver) SchedStats() pgos.Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sched.Stats()
+}
+
+// Invalidate forces a resource remap at the next window boundary (e.g.
+// after a spec change).
+func (d *Driver) Invalidate() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.sched.Invalidate()
+}
+
+// Backlog returns stream i's queued packet count.
+func (d *Driver) Backlog(i int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if i < 0 || i >= len(d.streams) {
+		return 0
+	}
+	return d.streams[i].Len()
+}
+
+// MeanBandwidth returns path j's windowed mean available-bandwidth
+// estimate in Mbps (0 for out-of-range j) — what link-state
+// advertisements report.
+func (d *Driver) MeanBandwidth(j int) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if j < 0 || j >= len(d.mons) {
+		return 0
+	}
+	return d.mons[j].MeanBandwidth()
+}
+
+// Warm reports whether every path monitor has enough samples for PGOS to
+// map — live CDF predictors warmed up from real measurements.
+func (d *Driver) Warm() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, m := range d.mons {
+		if !m.Warm() {
+			return false
+		}
+	}
+	return true
+}
+
+// CBR generates constant-bit-rate traffic in whole packets: each call
+// accumulates dtSec worth of bits and returns how many full packets are
+// due. Carry keeps long-run rate exact regardless of tick size.
+type CBR struct {
+	Mbps       float64
+	PacketBits float64
+	carry      float64
+}
+
+// Packets returns the number of whole packets due after dtSec elapsed.
+// Each call advances the generator by dtSec, so call it exactly once per
+// tick and reuse the result (not in a loop condition, which re-evaluates).
+func (c *CBR) Packets(dtSec float64) int {
+	if c.PacketBits <= 0 {
+		c.PacketBits = 12000
+	}
+	c.carry += c.Mbps * 1e6 * dtSec
+	n := int(c.carry / c.PacketBits)
+	c.carry -= float64(n) * c.PacketBits
+	return n
+}

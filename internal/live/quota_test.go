@@ -1,0 +1,57 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"iqpaths/internal/monitor"
+	"iqpaths/internal/sched"
+	"iqpaths/internal/stream"
+)
+
+// TestDriverStampGroupsMeetQuota replays the daemon source parameters
+// (5 Mbps, 0.5 s windows, 5 ms ticks) and checks every full stamp group
+// dispatched to the path meets the contract quota — the invariant the
+// sink's violation accounting rests on.
+func TestDriverStampGroupsMeetQuota(t *testing.T) {
+	clock := NewFakeClock()
+	p := &fakePath{id: 0, name: "p0"}
+	mon := monitor.New("p0", 64, 8)
+	for i := 0; i < 16; i++ {
+		mon.ObserveBandwidth(30)
+	}
+	cbr := &CBR{Mbps: 5, PacketBits: 12000}
+	var d *Driver
+	cfg := Config{TickSeconds: 0.005, TwSec: 0.5, Clock: clock, OnTick: func(int64) {
+		n := cbr.Packets(0.005)
+		for i := 0; i < n; i++ {
+			d.Offer(0, 12000)
+		}
+	}}
+	spec := stream.Spec{Name: "g", Kind: stream.Probabilistic, RequiredMbps: 5, Probability: 0.9, PacketBits: 12000}
+	d = NewDriver(cfg, []stream.Spec{spec}, []sched.PathService{p}, []*monitor.PathMonitor{mon})
+
+	const windows = 10
+	for i := 0; i < windows*100; i++ {
+		d.Step()
+		clock.Advance(5 * time.Millisecond)
+	}
+	counts := map[uint64]int{}
+	for _, pkt := range p.packets() {
+		counts[pkt.Frame]++
+	}
+	bitsPerWindow := 5e6 * 0.5
+	quota := int(bitsPerWindow / 12000) // 208
+	t.Logf("stamp groups: %d, total %d", len(counts), len(p.packets()))
+	short := 0
+	for stamp, n := range counts {
+		t.Logf("stamp %d: %d packets", stamp, n)
+		if n < quota {
+			short++
+		}
+	}
+	// The last group may be cut off mid-window; no other group may be short.
+	if short > 1 {
+		t.Fatalf("%d of %d stamp groups below quota %d", short, len(counts), quota)
+	}
+}

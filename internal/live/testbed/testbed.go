@@ -1,0 +1,329 @@
+// Package testbed emulates per-link capacity, cross traffic, and loss on
+// 127.0.0.1: each overlay link of an experiment topology becomes one UDP
+// relay process that forwards datagrams to its next hop through a
+// token-bucket (fluid) pacer whose rate is the link's available bandwidth
+// — capacity minus a sinusoidally varying cross-traffic load, the same
+// shape internal/simnet uses in virtual time. Running the Fig. 8 topology
+// live is then N relay processes plus the source and sink daemons, all on
+// localhost.
+//
+// Shaping is applied to the forward (client → target) direction only; the
+// reverse direction (acks, probe replies) is forwarded unshaped, matching
+// the experiments where the bottleneck is the data direction.
+package testbed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// LinkShape describes one emulated link.
+type LinkShape struct {
+	// CapacityMbps is the link's raw capacity.
+	CapacityMbps float64
+	// CrossMbps is the mean competing cross-traffic load; the forwarding
+	// rate is CapacityMbps minus the instantaneous cross load.
+	CrossMbps float64
+	// CrossAmpMbps modulates the cross load sinusoidally:
+	// cross(t) = CrossMbps + CrossAmpMbps·sin(2πt/CrossPeriodSec).
+	CrossAmpMbps   float64
+	CrossPeriodSec float64
+	// LossProb drops each forwarded datagram independently.
+	LossProb float64
+	// QueuePackets bounds the shaping queue (default 256); arrivals
+	// beyond it are dropped, like a router buffer overflowing.
+	QueuePackets int
+	// DelayMs adds fixed one-way propagation delay to every departure.
+	DelayMs float64
+}
+
+// CrossAt returns the instantaneous cross-traffic load at time t (seconds
+// since the relay started), floored at zero.
+func (s LinkShape) CrossAt(tSec float64) float64 {
+	cross := s.CrossMbps
+	if s.CrossAmpMbps != 0 && s.CrossPeriodSec > 0 {
+		cross += s.CrossAmpMbps * math.Sin(2*math.Pi*tSec/s.CrossPeriodSec)
+	}
+	if cross < 0 {
+		return 0
+	}
+	return cross
+}
+
+// AvailMbps returns the bandwidth left for forwarded traffic at time t.
+func (s LinkShape) AvailMbps(tSec float64) float64 {
+	avail := s.CapacityMbps - s.CrossAt(tSec)
+	if avail < 0 {
+		return 0
+	}
+	return avail
+}
+
+// minRateMbps keeps a fully-crossed link draining (slowly) instead of
+// stalling the pacer forever.
+const minRateMbps = 0.01
+
+// departure computes the fluid-pacer departure time (seconds) for a
+// packet of the given size arriving at arrival, and the pacer's new
+// next-free time: transmission starts when both the packet has arrived
+// and the previous one has finished, and takes bits/avail seconds.
+func departure(arrival, nextFree, bits, availMbps float64) (dep, newNextFree float64) {
+	if availMbps < minRateMbps {
+		availMbps = minRateMbps
+	}
+	start := arrival
+	if nextFree > start {
+		start = nextFree
+	}
+	dep = start + bits/(availMbps*1e6)
+	return dep, dep
+}
+
+// Fig8Shapes returns the two overlay-path link shapes of the localhost
+// Fig. 8 reproduction: path A carries light cross traffic (~32 Mbps
+// available), path B heavy oscillating cross traffic plus loss (~6 Mbps
+// available) — the asymmetry that makes CDF-guided mapping matter.
+func Fig8Shapes() (a, b LinkShape) {
+	a = LinkShape{CapacityMbps: 40, CrossMbps: 8, CrossAmpMbps: 2, CrossPeriodSec: 5}
+	b = LinkShape{CapacityMbps: 40, CrossMbps: 34, CrossAmpMbps: 3, CrossPeriodSec: 7, LossProb: 0.01}
+	return a, b
+}
+
+// Stats counts a relay's forwarding decisions.
+type Stats struct {
+	// Forwarded datagrams left the pacer toward the target.
+	Forwarded uint64
+	// Dropped datagrams found the shaping queue full.
+	Dropped uint64
+	// Lost datagrams were discarded by the loss process.
+	Lost uint64
+	// Returned datagrams flowed target → client (unshaped).
+	Returned uint64
+}
+
+// Relay is one emulated link: a UDP forwarder shaping client → target
+// traffic through a LinkShape. Each distinct client address gets its own
+// outbound socket so return traffic finds its way back (NAT-style).
+type Relay struct {
+	shape  LinkShape
+	in     *net.UDPConn
+	target *net.UDPAddr
+	start  time.Time
+
+	mu     sync.Mutex
+	flows  map[string]*relayFlow
+	stats  Stats
+	rng    *rand.Rand
+	closed bool
+
+	queue chan queuedDatagram
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+type relayFlow struct {
+	client *net.UDPAddr
+	out    *net.UDPConn
+}
+
+type queuedDatagram struct {
+	data    []byte
+	flow    *relayFlow
+	arrival float64 // seconds since relay start
+}
+
+// NewRelay listens on listenAddr (e.g. "127.0.0.1:0") and forwards to
+// target through shape. seed fixes the loss process for reproducibility.
+func NewRelay(listenAddr, target string, shape LinkShape, seed int64) (*Relay, error) {
+	if shape.QueuePackets <= 0 {
+		shape.QueuePackets = 256
+	}
+	laddr, err := net.ResolveUDPAddr("udp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: listen addr: %w", err)
+	}
+	taddr, err := net.ResolveUDPAddr("udp", target)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: target addr: %w", err)
+	}
+	in, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, err
+	}
+	r := &Relay{
+		shape:  shape,
+		in:     in,
+		target: taddr,
+		start:  time.Now(),
+		flows:  map[string]*relayFlow{},
+		rng:    rand.New(rand.NewSource(seed)),
+		queue:  make(chan queuedDatagram, shape.QueuePackets),
+		done:   make(chan struct{}),
+	}
+	r.wg.Add(2)
+	go r.readLoop()
+	go r.paceLoop()
+	return r, nil
+}
+
+// Addr returns the relay's client-facing address (for "127.0.0.1:0"
+// listeners, the kernel-assigned port).
+func (r *Relay) Addr() string { return r.in.LocalAddr().String() }
+
+// Stats returns a snapshot of the forwarding counters.
+func (r *Relay) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Close stops the relay and its per-flow sockets.
+func (r *Relay) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	flows := make([]*relayFlow, 0, len(r.flows))
+	for _, f := range r.flows {
+		flows = append(flows, f)
+	}
+	r.mu.Unlock()
+	close(r.done)
+	err := r.in.Close()
+	for _, f := range flows {
+		f.out.Close()
+	}
+	r.wg.Wait()
+	return err
+}
+
+// now returns seconds since the relay started.
+func (r *Relay) now() float64 { return time.Since(r.start).Seconds() }
+
+// readLoop receives client datagrams, applies loss and queue admission,
+// and hands survivors to the pacer.
+func (r *Relay) readLoop() {
+	defer r.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := r.in.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		flow, err := r.flowFor(from)
+		if err != nil {
+			continue
+		}
+		r.mu.Lock()
+		lost := r.shape.LossProb > 0 && r.rng.Float64() < r.shape.LossProb
+		if lost {
+			r.stats.Lost++
+		}
+		r.mu.Unlock()
+		if lost {
+			continue
+		}
+		data := make([]byte, n)
+		copy(data, buf[:n])
+		select {
+		case r.queue <- queuedDatagram{data: data, flow: flow, arrival: r.now()}:
+		default:
+			r.mu.Lock()
+			r.stats.Dropped++
+			r.mu.Unlock()
+		}
+	}
+}
+
+// paceLoop drains the shaping queue at the link's available rate.
+func (r *Relay) paceLoop() {
+	defer r.wg.Done()
+	nextFree := 0.0
+	for {
+		select {
+		case <-r.done:
+			return
+		case q := <-r.queue:
+			bits := float64(len(q.data)+datagramIPOverhead) * 8
+			var dep float64
+			dep, nextFree = departure(q.arrival, nextFree, bits, r.shape.AvailMbps(q.arrival))
+			dep += r.shape.DelayMs / 1e3
+			if wait := dep - r.now(); wait > 0 {
+				select {
+				case <-r.done:
+					return
+				case <-time.After(time.Duration(wait * float64(time.Second))):
+				}
+			}
+			if _, err := q.flow.out.Write(q.data); err == nil {
+				r.mu.Lock()
+				r.stats.Forwarded++
+				r.mu.Unlock()
+			}
+		}
+	}
+}
+
+// datagramIPOverhead charges each datagram the IP+UDP header cost a real
+// link would carry (20 + 8 bytes).
+const datagramIPOverhead = 28
+
+// flowFor returns (creating if needed) the per-client flow, whose
+// outbound socket also carries the unshaped reverse direction.
+func (r *Relay) flowFor(from *net.UDPAddr) (*relayFlow, error) {
+	key := from.String()
+	r.mu.Lock()
+	if f, ok := r.flows[key]; ok {
+		r.mu.Unlock()
+		return f, nil
+	}
+	r.mu.Unlock()
+
+	out, err := net.DialUDP("udp", nil, r.target)
+	if err != nil {
+		return nil, err
+	}
+	f := &relayFlow{client: from, out: out}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		out.Close()
+		return nil, net.ErrClosed
+	}
+	if existing, ok := r.flows[key]; ok { // lost the race
+		r.mu.Unlock()
+		out.Close()
+		return existing, nil
+	}
+	r.flows[key] = f
+	r.mu.Unlock()
+
+	r.wg.Add(1)
+	go r.reverseLoop(f)
+	return f, nil
+}
+
+// reverseLoop forwards target → client traffic unshaped.
+func (r *Relay) reverseLoop(f *relayFlow) {
+	defer r.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := f.out.Read(buf)
+		if err != nil {
+			return // flow socket closed
+		}
+		if _, err := r.in.WriteToUDP(buf[:n], f.client); err != nil {
+			return
+		}
+		r.mu.Lock()
+		r.stats.Returned++
+		r.mu.Unlock()
+	}
+}

@@ -1,0 +1,230 @@
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Control-plane wire frames. Frames ride either as KindControl payloads
+// on an RUDP session (reliable, ordered — the data plane's own control
+// channel) or length-prefixed in an HTTP body (the /control/linkstate
+// endpoints), so node agents can exchange link-state regardless of which
+// plane connects them. Layout: 1 type byte, then little-endian fields;
+// strings are uint16-length-prefixed.
+const (
+	frameHello     = byte(1)
+	frameLinkState = byte(2)
+)
+
+// ErrBadWire reports a malformed control frame.
+var errBadWire = fmt.Errorf("live: malformed control frame")
+
+// Hello registers a stream's service contract with the sink: the
+// source's first control message on a session, carrying everything the
+// sink's Account needs to judge on-time windows.
+type Hello struct {
+	Stream       uint32
+	Name         string
+	QuotaPackets uint32
+	WindowNanos  int64
+	GraceNanos   int64
+	SkipWindows  uint32
+}
+
+// LinkState is one versioned link-state advertisement — the wire form of
+// the control plane's link mirror entries (internal/control): a node
+// reports a link (here: an overlay path it measures) up or down with its
+// current available-bandwidth estimate. Versions make application
+// staleness-honoring: receivers apply an update only when its version
+// advances the link's view, exactly the rule the virtual-time gossip
+// uses.
+type LinkState struct {
+	Node      string  `json:"node"`
+	Link      string  `json:"link"`
+	Version   uint64  `json:"version"`
+	Up        bool    `json:"up"`
+	AvailMbps float64 `json:"avail_mbps"`
+}
+
+func putString(b []byte, s string) []byte {
+	var l [2]byte
+	binary.LittleEndian.PutUint16(l[:], uint16(len(s)))
+	return append(append(b, l[:]...), s...)
+}
+
+func getString(b []byte) (string, []byte, bool) {
+	if len(b) < 2 {
+		return "", nil, false
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	if len(b) < 2+n {
+		return "", nil, false
+	}
+	return string(b[2 : 2+n]), b[2+n:], true
+}
+
+// MarshalHello renders h as a control frame.
+func MarshalHello(h Hello) []byte {
+	b := []byte{frameHello}
+	var u32 [4]byte
+	var u64 [8]byte
+	binary.LittleEndian.PutUint32(u32[:], h.Stream)
+	b = append(b, u32[:]...)
+	b = putString(b, h.Name)
+	binary.LittleEndian.PutUint32(u32[:], h.QuotaPackets)
+	b = append(b, u32[:]...)
+	binary.LittleEndian.PutUint64(u64[:], uint64(h.WindowNanos))
+	b = append(b, u64[:]...)
+	binary.LittleEndian.PutUint64(u64[:], uint64(h.GraceNanos))
+	b = append(b, u64[:]...)
+	binary.LittleEndian.PutUint32(u32[:], h.SkipWindows)
+	b = append(b, u32[:]...)
+	return b
+}
+
+// MarshalLinkState renders u as a control frame.
+func MarshalLinkState(u LinkState) []byte {
+	b := []byte{frameLinkState}
+	b = putString(b, u.Node)
+	b = putString(b, u.Link)
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], u.Version)
+	b = append(b, u64[:]...)
+	if u.Up {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	binary.LittleEndian.PutUint64(u64[:], math.Float64bits(u.AvailMbps))
+	b = append(b, u64[:]...)
+	return b
+}
+
+// ParseFrame decodes one control frame into *Hello or *LinkState.
+// Unknown frame types and truncated frames return an error (callers skip
+// them — control channels also carry application payloads).
+func ParseFrame(b []byte) (any, error) {
+	if len(b) == 0 {
+		return nil, errBadWire
+	}
+	switch b[0] {
+	case frameHello:
+		p := b[1:]
+		if len(p) < 4 {
+			return nil, errBadWire
+		}
+		var h Hello
+		h.Stream = binary.LittleEndian.Uint32(p)
+		p = p[4:]
+		var ok bool
+		h.Name, p, ok = getString(p)
+		if !ok || len(p) < 4+8+8+4 {
+			return nil, errBadWire
+		}
+		h.QuotaPackets = binary.LittleEndian.Uint32(p)
+		h.WindowNanos = int64(binary.LittleEndian.Uint64(p[4:]))
+		h.GraceNanos = int64(binary.LittleEndian.Uint64(p[12:]))
+		h.SkipWindows = binary.LittleEndian.Uint32(p[20:])
+		return &h, nil
+	case frameLinkState:
+		p := b[1:]
+		var u LinkState
+		var ok bool
+		u.Node, p, ok = getString(p)
+		if !ok {
+			return nil, errBadWire
+		}
+		u.Link, p, ok = getString(p)
+		if !ok || len(p) < 8+1+8 {
+			return nil, errBadWire
+		}
+		u.Version = binary.LittleEndian.Uint64(p)
+		u.Up = p[8] == 1
+		u.AvailMbps = math.Float64frombits(binary.LittleEndian.Uint64(p[9:]))
+		return &u, nil
+	}
+	return nil, fmt.Errorf("%w: unknown type %d", errBadWire, b[0])
+}
+
+// maxWireFrame bounds one length-prefixed frame (sanity limit).
+const maxWireFrame = 1 << 16
+
+// WriteFrame writes one length-prefixed frame to w (for HTTP bodies and
+// other byte streams; RUDP control messages are already delimited).
+func WriteFrame(w io.Writer, frame []byte) error {
+	if len(frame) > maxWireFrame {
+		return fmt.Errorf("live: frame %d exceeds max %d", len(frame), maxWireFrame)
+	}
+	var l [4]byte
+	binary.LittleEndian.PutUint32(l[:], uint32(len(frame)))
+	if _, err := w.Write(l[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame; io.EOF cleanly ends a
+// stream between frames.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var l [4]byte
+	if _, err := io.ReadFull(r, l[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(l[:])
+	if n > maxWireFrame {
+		return nil, fmt.Errorf("live: frame length %d exceeds max %d", n, maxWireFrame)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+// LinkStateTable is a node's versioned view of remote link state,
+// mirroring the control plane's staleness rule: an update applies only
+// when its version advances the entry's. Safe for concurrent use.
+type LinkStateTable struct {
+	mu      sync.Mutex
+	entries map[string]LinkState // keyed by Node+"/"+Link
+}
+
+// NewLinkStateTable returns an empty table.
+func NewLinkStateTable() *LinkStateTable {
+	return &LinkStateTable{entries: map[string]LinkState{}}
+}
+
+// Apply merges one update; it reports false for stale updates (version
+// not newer than the stored one).
+func (t *LinkStateTable) Apply(u LinkState) bool {
+	key := u.Node + "/" + u.Link
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur, ok := t.entries[key]; ok && u.Version <= cur.Version {
+		return false
+	}
+	t.entries[key] = u
+	return true
+}
+
+// Snapshot returns the current entries sorted by node then link.
+func (t *LinkStateTable) Snapshot() []LinkState {
+	t.mu.Lock()
+	out := make([]LinkState, 0, len(t.entries))
+	for _, u := range t.entries {
+		out = append(out, u)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Link < out[j].Link
+	})
+	return out
+}

@@ -1,0 +1,71 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestLinkLookup(t *testing.T) {
+	n := New(0.01, rand.New(rand.NewSource(1)))
+	a := n.AddLink(LinkConfig{Name: "a", CapacityMbps: 10})
+	b := n.AddLink(LinkConfig{Name: "b", CapacityMbps: 10})
+	if n.Link("a") != a || n.Link("b") != b {
+		t.Fatal("Link returned the wrong link")
+	}
+	if n.Link("missing") != nil {
+		t.Fatal("Link on a missing name must return nil")
+	}
+	// Duplicate names: the first registration wins, matching the documented
+	// linear-scan behavior the map replaced.
+	a2 := n.AddLink(LinkConfig{Name: "a", CapacityMbps: 20})
+	if a2 == a {
+		t.Fatal("sanity: AddLink returned the same link")
+	}
+	if n.Link("a") != a {
+		t.Fatal("duplicate name must resolve to the first registered link")
+	}
+}
+
+// buildLinks registers n uniquely named links.
+func buildLinks(n int) *Network {
+	net := New(0.01, rand.New(rand.NewSource(1)))
+	for i := 0; i < n; i++ {
+		net.AddLink(LinkConfig{Name: fmt.Sprintf("L-%04d", i), CapacityMbps: 100})
+	}
+	return net
+}
+
+// BenchmarkLinkLookup1k measures the map-backed Network.Link at 1k+ links.
+func BenchmarkLinkLookup1k(b *testing.B) {
+	net := buildLinks(1024)
+	name := "L-1023" // worst case for the old linear scan
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if net.Link(name) == nil {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+// BenchmarkLinkLookupLinear1k is the pre-change behavior (an O(n) scan over
+// the link slice) benchmarked for comparison, so the win is visible in one
+// bench run: map lookup is O(1) versus ~n slice probes here.
+func BenchmarkLinkLookupLinear1k(b *testing.B) {
+	net := buildLinks(1024)
+	name := "L-1023"
+	linear := func(name string) *Link {
+		for _, l := range net.links {
+			if l.cfg.Name == name {
+				return l
+			}
+		}
+		return nil
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if linear(name) == nil {
+			b.Fatal("lookup failed")
+		}
+	}
+}

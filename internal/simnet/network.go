@@ -12,6 +12,7 @@ type Network struct {
 	tickSeconds float64
 	tick        int64
 	links       []*Link
+	linkByName  map[string]*Link
 	paths       []*Path
 	rng         *rand.Rand
 	nextPktID   uint64
@@ -59,6 +60,12 @@ func (n *Network) AddLink(cfg LinkConfig) *Link {
 	}
 	l.initTelemetry(n.tel)
 	n.links = append(n.links, l)
+	if n.linkByName == nil {
+		n.linkByName = make(map[string]*Link)
+	}
+	if _, dup := n.linkByName[cfg.Name]; !dup {
+		n.linkByName[cfg.Name] = l // first registration wins, as Link documents
+	}
 	return l
 }
 
@@ -81,14 +88,12 @@ func (n *Network) Links() []*Link { return n.links }
 
 // Link returns the link with the given configured name, or nil when no
 // such link exists. Names are assumed unique per network (the topology
-// builders guarantee it); with duplicates the first match wins.
+// builders guarantee it); with duplicates the first registered wins.
+// Lookup is O(1) via a map maintained by AddLink — fault scripts and the
+// control plane resolve links by name on every event, which at thousands
+// of links made the previous linear scan a hot spot.
 func (n *Network) Link(name string) *Link {
-	for _, l := range n.links {
-		if l.cfg.Name == name {
-			return l
-		}
-	}
-	return nil
+	return n.linkByName[name]
 }
 
 // NewPacket allocates a packet of the given size tagged with a stream.

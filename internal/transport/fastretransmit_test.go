@@ -6,12 +6,47 @@ import (
 	"time"
 )
 
+// orderedDelivery returns an enqueue function that hands messages to h
+// asynchronously but strictly in FIFO order — a goroutine per message
+// would let the scheduler reorder deliveries, and reordered data
+// produces duplicate acks that legitimately fast-retransmit.
+func orderedDelivery(h func(*Message)) func(*Message) {
+	var mu sync.Mutex
+	var q []*Message
+	busy := false
+	drain := func() {
+		mu.Lock()
+		for len(q) > 0 {
+			m := q[0]
+			q = q[1:]
+			mu.Unlock()
+			h(m)
+			mu.Lock()
+		}
+		busy = false
+		mu.Unlock()
+	}
+	return func(m *Message) {
+		mu.Lock()
+		q = append(q, m)
+		start := !busy
+		busy = true
+		mu.Unlock()
+		if start {
+			go drain()
+		}
+	}
+}
+
 // memPair wires two RUDP endpoints directly, with an injectable drop
-// filter on the a→b direction — no sockets, deterministic loss.
+// filter on the a→b direction — no sockets, deterministic loss, and
+// in-order delivery both ways.
 func memPair(drop func(m *Message) bool) (a, b *RUDPConn) {
 	var mu sync.Mutex
 	a = newRUDPConn("b", nil, nil)
 	b = newRUDPConn("a", nil, nil)
+	toB := orderedDelivery(func(m *Message) { b.handle(m) })
+	toA := orderedDelivery(func(m *Message) { a.handle(m) })
 	a.write = func(data []byte) error {
 		m, err := Unmarshal(data)
 		if err != nil {
@@ -21,7 +56,7 @@ func memPair(drop func(m *Message) bool) (a, b *RUDPConn) {
 		d := drop != nil && drop(m)
 		mu.Unlock()
 		if !d {
-			go b.handle(m)
+			toB(m)
 		}
 		return nil
 	}
@@ -30,7 +65,7 @@ func memPair(drop func(m *Message) bool) (a, b *RUDPConn) {
 		if err != nil {
 			return err
 		}
-		go a.handle(m)
+		toA(m)
 		return nil
 	}
 	return a, b

@@ -25,6 +25,10 @@ const (
 	KindProbe
 	// KindControl carries small control-plane payloads.
 	KindControl
+	// KindTrain carries unreliable probe-train packets (bandwidth
+	// dispersion measurement): never acked, never retransmitted, delivered
+	// to the connection's raw handler instead of Recv.
+	KindTrain
 )
 
 // MaxPayload bounds a message payload (sanity limit on the wire).
@@ -49,6 +53,11 @@ type Message struct {
 
 // wire layout: magic(2) kind(1) pad(1) stream(4) frame(8) seq(8) len(4) payload.
 const headerLen = 2 + 1 + 1 + 4 + 8 + 8 + 4
+
+// DatagramOverhead is the framing overhead per datagram in bytes — what a
+// shaping relay sees on top of the payload. Live bandwidth estimators add
+// it to payload sizes when converting dispersions to rates.
+const DatagramOverhead = headerLen
 
 var magic = [2]byte{'I', 'Q'}
 

@@ -76,6 +76,13 @@ type RUDPConn struct {
 
 	probeEcho chan uint64
 
+	// rawHandler (if set) receives KindTrain messages — the unreliable
+	// probe-train substrate of the live runtime. Guarded by rawMu, not mu:
+	// the handler runs on the demux goroutine and must not contend with
+	// the send path.
+	rawMu      sync.RWMutex
+	rawHandler func(*Message)
+
 	closeOnce sync.Once
 	closeFn   func()
 	done      chan struct{}
@@ -129,6 +136,41 @@ func (c *RUDPConn) AckedBits() float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ackedBits
+}
+
+// SentSeq returns the highest data/control sequence number consumed by
+// Send so far — the sender-side packet count live monitors pair with
+// Retransmits to estimate a loss rate.
+func (c *RUDPConn) SentSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nextSeq - 1
+}
+
+// SetRawHandler installs fn as the receiver of KindTrain messages.
+// fn runs on the connection's demux goroutine and must be fast and
+// non-blocking; nil uninstalls. Raw messages bypass sequencing, acks, and
+// Recv entirely.
+func (c *RUDPConn) SetRawHandler(fn func(*Message)) {
+	c.rawMu.Lock()
+	c.rawHandler = fn
+	c.rawMu.Unlock()
+}
+
+// WriteRaw marshals and transmits m exactly once, with no reliability:
+// no sequence number, no ack, no retransmission. Probe trains use it so
+// their wire timing reflects the path, not the ARQ machinery.
+func (c *RUDPConn) WriteRaw(m *Message) error {
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	data, err := m.Marshal()
+	if err != nil {
+		return err
+	}
+	return c.write(data)
 }
 
 // InFlight returns the number of unacknowledged packets.
@@ -226,6 +268,13 @@ func (c *RUDPConn) handle(m *Message) {
 		select {
 		case c.probeEcho <- m.Seq:
 		default:
+		}
+	case KindTrain:
+		c.rawMu.RLock()
+		fn := c.rawHandler
+		c.rawMu.RUnlock()
+		if fn != nil {
+			fn(m)
 		}
 	case KindControl:
 		if string(m.Payload) == string(ctlFin) {

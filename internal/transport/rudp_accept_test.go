@@ -1,0 +1,116 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestListenerAcceptFlood is the regression test for the demux orphaning
+// bug: with a bounded accept queue, a burst of concurrent dials overflowed
+// the queue's default: branch, which dropped the accept notification while
+// leaving the conn registered in l.sessions — the peer completed its
+// handshake against a session no one would ever Accept, and its data
+// vanished. Every dialed session must now be delivered to Accept.
+func TestListenerAcceptFlood(t *testing.T) {
+	const dialers = 64 // well past the old queue capacity of 16
+
+	l, err := ListenRUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// Dial everything first, before any Accept runs, so the burst hits the
+	// listener's pending queue all at once.
+	var wg sync.WaitGroup
+	conns := make([]*RUDPConn, dialers)
+	errs := make([]error, dialers)
+	for i := 0; i < dialers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conns[i], errs[i] = DialRUDP(l.Addr(), 5*time.Second)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+	}
+
+	// Every session must surface via Accept; receive one message on each
+	// to prove the sessions are live end to end.
+	received := make(chan string, dialers)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < dialers; i++ {
+			c, err := l.Accept()
+			if err != nil {
+				t.Errorf("accept %d: %v", i, err)
+				close(done)
+				return
+			}
+			go func() {
+				m, err := c.Recv()
+				if err != nil {
+					return
+				}
+				received <- string(m.Payload)
+			}()
+		}
+		close(done)
+	}()
+
+	for i, c := range conns {
+		if err := c.Send(&Message{Kind: KindData, Payload: []byte(fmt.Sprintf("hello-%d", i))}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for Accept to deliver all sessions")
+	}
+	got := map[string]bool{}
+	deadline := time.After(10 * time.Second)
+	for len(got) < dialers {
+		select {
+		case p := <-received:
+			got[p] = true
+		case <-deadline:
+			t.Fatalf("received %d/%d messages; orphaned sessions remain", len(got), dialers)
+		}
+	}
+
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// TestListenerAcceptAfterClose checks Accept returns ErrClosed once the
+// listener closes and no pending session remains.
+func TestListenerAcceptAfterClose(t *testing.T) {
+	l, err := ListenRUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	l.Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Fatalf("Accept after Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Accept did not return after Close")
+	}
+}

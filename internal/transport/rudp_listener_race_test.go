@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestListenerRaceStress exercises the RUDPListener under -race: several
+// goroutines Accept concurrently while dialers churn sessions, a raw UDP
+// socket sprays garbage and valid-looking frames at the listener port, and
+// the listener is closed mid-flight. It complements rudp_race_test.go,
+// which stresses a single established conn pair. The assertions are
+// minimal — the value of the test is the race detector observing the
+// listener's demux/accept/close interleavings.
+func TestListenerRaceStress(t *testing.T) {
+	for iter := 0; iter < 4; iter++ {
+		l, err := ListenRUDP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+
+		// Acceptors: drain sessions until the listener dies.
+		for a := 0; a < 3; a++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					c, err := l.Accept()
+					if err != nil {
+						return
+					}
+					go func() {
+						for {
+							if _, err := c.Recv(); err != nil {
+								return
+							}
+						}
+					}()
+				}
+			}()
+		}
+
+		// Dialers: open sessions, push a few messages, close.
+		for d := 0; d < 8; d++ {
+			wg.Add(1)
+			go func(d int) {
+				defer wg.Done()
+				c, err := DialRUDP(l.Addr(), 500*time.Millisecond)
+				if err != nil {
+					return // listener may already be closing
+				}
+				for k := 0; k < 20; k++ {
+					if err := c.Send(&Message{Kind: KindData, Payload: []byte{byte(d), byte(k)}}); err != nil {
+						break
+					}
+				}
+				c.Close()
+			}(d)
+		}
+
+		// Garbage source: raw datagrams (malformed and well-formed) from a
+		// socket that never completes a handshake, racing session creation
+		// in demux against Close.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			raw, err := net.Dial("udp", l.Addr())
+			if err != nil {
+				return
+			}
+			defer raw.Close()
+			rng := rand.New(rand.NewSource(int64(iter)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if rng.Intn(2) == 0 {
+					buf := make([]byte, rng.Intn(64))
+					rng.Read(buf)
+					raw.Write(buf)
+				} else {
+					m := &Message{Kind: uint8(rng.Intn(5)), Seq: uint64(rng.Intn(100))}
+					if data, err := m.Marshal(); err == nil {
+						raw.Write(data)
+					}
+				}
+			}
+		}()
+
+		time.Sleep(30 * time.Millisecond)
+		l.Close()
+		close(stop)
+		wg.Wait()
+	}
+}

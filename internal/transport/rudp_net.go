@@ -13,9 +13,14 @@ type RUDPListener struct {
 	sock *net.UDPConn
 
 	mu       sync.Mutex
+	accepted *sync.Cond // signaled when pending grows or the listener closes
 	sessions map[string]*RUDPConn
-	acceptQ  chan *RUDPConn
-	closed   bool
+	// pending holds sessions awaiting Accept. It is unbounded: a session
+	// registered in sessions MUST be delivered (or torn down) — a bounded
+	// queue that silently dropped the notification left the peer with a
+	// completed handshake against a session no one would ever Accept.
+	pending []*RUDPConn
+	closed  bool
 }
 
 // ListenRUDP binds a UDP socket (e.g. "127.0.0.1:0") and starts the demux.
@@ -35,8 +40,8 @@ func ListenRUDP(addr string) (*RUDPListener, error) {
 	l := &RUDPListener{
 		sock:     sock,
 		sessions: map[string]*RUDPConn{},
-		acceptQ:  make(chan *RUDPConn, 16),
 	}
+	l.accepted = sync.NewCond(&l.mu)
 	go l.demux()
 	return l, nil
 }
@@ -44,12 +49,19 @@ func ListenRUDP(addr string) (*RUDPListener, error) {
 // Addr returns the bound address.
 func (l *RUDPListener) Addr() string { return l.sock.LocalAddr().String() }
 
-// Accept returns the next new session (created on its first SYN).
+// Accept returns the next new session (created on its first SYN). Sessions
+// already pending when the listener closes are still delivered.
 func (l *RUDPListener) Accept() (*RUDPConn, error) {
-	c, ok := <-l.acceptQ
-	if !ok {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.pending) == 0 && !l.closed {
+		l.accepted.Wait()
+	}
+	if len(l.pending) == 0 {
 		return nil, ErrClosed
 	}
+	c := l.pending[0]
+	l.pending = l.pending[1:]
 	return c, nil
 }
 
@@ -61,15 +73,16 @@ func (l *RUDPListener) Close() error {
 		return nil
 	}
 	l.closed = true
+	l.pending = nil
 	sessions := make([]*RUDPConn, 0, len(l.sessions))
 	for _, c := range l.sessions {
 		sessions = append(sessions, c)
 	}
+	l.accepted.Broadcast()
 	l.mu.Unlock()
 	for _, c := range sessions {
 		_ = c.Close()
 	}
-	close(l.acceptQ)
 	return l.sock.Close()
 }
 
@@ -102,10 +115,8 @@ func (l *RUDPListener) demux() {
 				l.mu.Unlock()
 			})
 			l.sessions[key] = conn
-			select {
-			case l.acceptQ <- conn:
-			default:
-			}
+			l.pending = append(l.pending, conn)
+			l.accepted.Signal()
 		}
 		l.mu.Unlock()
 		if m.Kind == KindControl && string(m.Payload) == string(ctlSyn) {
