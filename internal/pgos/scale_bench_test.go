@@ -1,0 +1,172 @@
+package pgos_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"iqpaths/internal/monitor"
+	"iqpaths/internal/pgos"
+	"iqpaths/internal/sched"
+	"iqpaths/internal/simnet"
+	"iqpaths/internal/stream"
+)
+
+// BenchmarkScale sweeps the PGOS core over streams × paths through simnet,
+// measuring one full steady-state scheduler tick: traffic injection, PGOS
+// dispatch, network step, and delivery drain. Windows roll every 100 ticks
+// with warm, stable monitors, so the per-op figure includes the amortized
+// window-boundary bookkeeping (CDF-change check, mapping revalidation,
+// quota reset) but no remaps — the paper's steady state.
+//
+// Scale constants: every guaranteed stream asks 0.25 Mbps at 95 %; one in
+// five streams is best-effort at a 0.1 Mbps offered load. Link capacity is
+// provisioned at 2× aggregate demand so admission accepts everything and
+// the tick cost measures scheduling, not overload behavior.
+
+const (
+	benchTickSec = 0.01
+	benchTwSec   = 1.0
+	benchBits    = 12000.0
+	benchGRate   = 0.25 // Mbps per guaranteed stream
+	benchBERate  = 0.1  // Mbps offered per best-effort stream
+)
+
+type scaleBench struct {
+	net        *simnet.Network
+	paths      []*simnet.Path
+	mons       []*monitor.PathMonitor
+	streams    []*stream.Stream
+	sched      *pgos.Scheduler
+	rates      []float64 // offered Mbps per stream
+	debt       []float64
+	noise      *rand.Rand
+	capMbps    float64
+	tick       int64
+	windowTick int64
+}
+
+func newScaleBench(nStreams, nPaths int) *scaleBench {
+	rng := rand.New(rand.NewSource(1))
+	net := simnet.New(benchTickSec, rng)
+
+	specs := make([]stream.Spec, nStreams)
+	rates := make([]float64, nStreams)
+	totalMbps := 0.0
+	for i := range specs {
+		if i%5 == 4 {
+			specs[i] = stream.Spec{Name: fmt.Sprintf("be%d", i), Kind: stream.BestEffort}
+			rates[i] = benchBERate
+			totalMbps += benchBERate
+		} else {
+			specs[i] = stream.Spec{
+				Name:         fmt.Sprintf("g%d", i),
+				Kind:         stream.Probabilistic,
+				RequiredMbps: benchGRate,
+				Probability:  0.95,
+			}
+			rates[i] = benchGRate
+			totalMbps += benchGRate
+		}
+	}
+	capMbps := totalMbps*2/float64(nPaths) + 10
+
+	// Pace limit must scale with per-tick link throughput or deep demand
+	// stalls behind the default 170-packet bound sized for 100 Mbps links.
+	capPktsPerTick := capMbps * benchTickSec * 1e6 / benchBits
+	paceLimit := int(2 * capPktsPerTick)
+	if paceLimit < 170 {
+		paceLimit = 170
+	}
+
+	sb := &scaleBench{
+		net:     net,
+		rates:   rates,
+		debt:    make([]float64, nStreams),
+		noise:   rand.New(rand.NewSource(7)),
+		capMbps: capMbps,
+	}
+	svcs := make([]sched.PathService, 0, nPaths)
+	for j := 0; j < nPaths; j++ {
+		l := net.AddLink(simnet.LinkConfig{
+			Name:         fmt.Sprintf("l%d", j),
+			CapacityMbps: capMbps,
+			DelayTicks:   1,
+			QueueLimit:   2*paceLimit + 100,
+		})
+		p := net.AddPath(fmt.Sprintf("p%d", j), l)
+		sb.paths = append(sb.paths, p)
+		svcs = append(svcs, p)
+		sb.mons = append(sb.mons, monitor.New(fmt.Sprintf("p%d", j), 500, 100))
+	}
+	sb.streams = make([]*stream.Stream, nStreams)
+	for i, sp := range specs {
+		sb.streams[i] = stream.New(i, sp)
+	}
+	sb.sched = pgos.New(pgos.Config{
+		TwSec:       benchTwSec,
+		TickSeconds: benchTickSec,
+		PaceLimit:   paceLimit,
+	}, sb.streams, svcs, sb.mons)
+	twSec := float64(benchTwSec)
+	sb.windowTick = int64(twSec/benchTickSec + 0.5)
+
+	// Warm every monitor with a full window of samples so the first window
+	// boundary maps, then run two windows to reach steady state.
+	for k := 0; k < 500; k++ {
+		sb.sampleMonitors()
+	}
+	for t := 0; t < int(2*sb.windowTick); t++ {
+		sb.tickOnce()
+	}
+	return sb
+}
+
+// sampleMonitors feeds each path monitor one bandwidth sample: the link's
+// capacity with ±3 % deterministic noise — enough spread to exercise the
+// sliding CDF, too little to trip the KS remap trigger.
+func (sb *scaleBench) sampleMonitors() {
+	for _, m := range sb.mons {
+		m.ObserveBandwidth(sb.capMbps * (1 + 0.03*sb.noise.NormFloat64()))
+	}
+}
+
+// tickOnce runs one full virtual tick: monitor samples (every 10 ticks,
+// the experiment runner's cadence), per-stream CBR injection, one PGOS
+// dispatch round, one network step, and the delivery drain.
+func (sb *scaleBench) tickOnce() {
+	t := sb.tick
+	if t%10 == 0 {
+		sb.sampleMonitors()
+	}
+	for i, r := range sb.rates {
+		sb.debt[i] += r * 1e6 * benchTickSec / benchBits
+		for sb.debt[i] >= 1 {
+			sb.debt[i]--
+			p := sb.net.NewPacket(i, benchBits)
+			p.Deadline = t + sb.windowTick
+			sb.streams[i].Push(p)
+		}
+	}
+	sb.sched.Tick(t)
+	sb.net.Step()
+	for _, p := range sb.paths {
+		p.TakeDelivered()
+	}
+	sb.tick++
+}
+
+func BenchmarkScale(b *testing.B) {
+	for _, nStreams := range []int{10, 100, 1000, 5000} {
+		for _, nPaths := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("streams=%d/paths=%d", nStreams, nPaths), func(b *testing.B) {
+				sb := newScaleBench(nStreams, nPaths)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sb.tickOnce()
+				}
+			})
+		}
+	}
+}
