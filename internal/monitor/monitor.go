@@ -119,6 +119,11 @@ func (m *PathMonitor) ExpectedViolations(x int, sBits, twSec float64) float64 {
 // CDF returns an immutable snapshot of the current bandwidth distribution.
 func (m *PathMonitor) CDF() *stats.CDF { return m.bw.Snapshot() }
 
+// Dist returns a live, allocation-free Distribution view of the bandwidth
+// window. Answers match CDF() exactly but track the window as samples
+// arrive; callers needing an immutable baseline must use CDF().
+func (m *PathMonitor) Dist() stats.Distribution { return m.bw.Dist() }
+
 // MeanRTT returns the windowed mean RTT in seconds.
 func (m *PathMonitor) MeanRTT() float64 { return m.rtt.Mean() }
 
@@ -155,7 +160,10 @@ func (m *PathMonitor) DramaticChange(ksThreshold float64) bool {
 	if m.baseline == nil {
 		return true
 	}
-	return m.bw.Snapshot().Distance(m.baseline) > ksThreshold
+	// Window.Distance walks the live multiset against the baseline without
+	// snapshotting (or re-sorting) either side, comparison-for-comparison
+	// identical to Snapshot().Distance(baseline).
+	return m.bw.Distance(m.baseline) > ksThreshold
 }
 
 // Sampler couples a simnet path to a monitor: each Sample call reads the

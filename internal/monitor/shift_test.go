@@ -1,0 +1,100 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// shiftSeries is the recorded bandwidth series the shift-detection pin
+// runs over: 700 samples of a stable ~100 Mbps path, then 900 samples
+// after an abrupt capacity drop to ~70 Mbps — the Fig. 7 "CDF changes
+// dramatically" scenario. Deterministic under the fixed seed.
+func shiftSeries() []float64 {
+	r := rand.New(rand.NewSource(11))
+	s := make([]float64, 0, 1600)
+	for i := 0; i < 700; i++ {
+		s = append(s, 100*(1+0.03*r.NormFloat64()))
+	}
+	for i := 0; i < 900; i++ {
+		s = append(s, 70*(1+0.05*r.NormFloat64()))
+	}
+	return s
+}
+
+// TestDramaticChangeMatchesSnapshotOracle pins that the incremental
+// KS walk (Window.Distance over the live multiset) makes the *identical*
+// shift decision, sample by sample, as re-snapshotting and re-sorting
+// both windows did — on a series that crosses the threshold mid-run.
+func TestDramaticChangeMatchesSnapshotOracle(t *testing.T) {
+	const ks = 0.15
+	m := New("p", 500, 100)
+	series := shiftSeries()
+	for _, bw := range series[:500] {
+		m.ObserveBandwidth(bw)
+	}
+	m.MarkBaseline()
+	for i, bw := range series[500:] {
+		m.ObserveBandwidth(bw)
+		got := m.DramaticChange(ks)
+		oracleD := m.bw.Snapshot().Distance(m.baseline)
+		if want := oracleD > ks; got != want {
+			t.Fatalf("sample %d: DramaticChange = %v, snapshot oracle %v (D = %v)",
+				500+i, got, want, oracleD)
+		}
+		if d := m.bw.Distance(m.baseline); d != oracleD {
+			t.Fatalf("sample %d: incremental KS distance %v != snapshot %v", 500+i, d, oracleD)
+		}
+	}
+}
+
+// TestDramaticChangeDecisionsPinned pins the decision sequence itself:
+// where the detector first fires on the recorded series, and that it
+// stays latched once the post-shift samples dominate the window. A
+// refactor of the distance computation that moves these indices changed
+// remap behavior, not just performance.
+func TestDramaticChangeDecisionsPinned(t *testing.T) {
+	const ks = 0.15
+	m := New("p", 500, 100)
+	series := shiftSeries()
+	for _, bw := range series[:500] {
+		m.ObserveBandwidth(bw)
+	}
+	m.MarkBaseline()
+	first := -1
+	for i, bw := range series[500:] {
+		m.ObserveBandwidth(bw)
+		if m.DramaticChange(ks) {
+			if first < 0 {
+				first = 500 + i
+			}
+		} else if first >= 0 {
+			t.Fatalf("detector unlatched at sample %d after firing at %d", 500+i, first)
+		}
+	}
+	// The shift lands at sample 700; KS crosses 0.15 once ~15 % of the
+	// 500-sample window is post-shift mass.
+	const wantFirst = 773
+	if first != wantFirst {
+		t.Fatalf("first shift decision at sample %d, pinned %d", first, wantFirst)
+	}
+}
+
+// TestDramaticChangeZeroAlloc pins the steady-state detection path
+// allocation-free: one KS walk per window boundary must not snapshot.
+func TestDramaticChangeZeroAlloc(t *testing.T) {
+	m := New("p", 500, 100)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		m.ObserveBandwidth(100 * (1 + 0.03*r.NormFloat64()))
+	}
+	m.MarkBaseline()
+	allocs := testing.AllocsPerRun(500, func() {
+		m.ObserveBandwidth(100 * (1 + 0.03*r.NormFloat64()))
+		if m.DramaticChange(0.15) {
+			t.Fatal("stable series tripped the detector")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DramaticChange allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,34 @@
+package stats
+
+// Distribution is the read-only view of an empirical bandwidth
+// distribution that guarantee evaluation (Lemma 1, Lemma 2, mapping
+// feasibility) consumes. Both the immutable *CDF snapshot and the live
+// *WindowDist view satisfy it with bit-identical answers over the same
+// samples, so PGOS can revalidate a window's guarantees directly against
+// the monitors' live windows — no per-window snapshot copies — and remap
+// only when the decision actually requires an immutable baseline.
+type Distribution interface {
+	// IsEmpty reports whether no samples are present.
+	IsEmpty() bool
+	// N returns the sample count.
+	N() int
+	// F returns the empirical probability P{X ≤ x}.
+	F(x float64) float64
+	// Quantile returns the nearest-rank q-quantile.
+	Quantile(q float64) float64
+	// Mean returns the sample mean, folded in ascending value order.
+	Mean() float64
+	// StdDev returns the sample standard deviation.
+	StdDev() float64
+	// TailMean returns the mean of samples ≤ b0 (Lemma 2's M[b0]).
+	TailMean(b0 float64) float64
+	// Min returns the smallest sample (0 when empty).
+	Min() float64
+	// Max returns the largest sample (0 when empty).
+	Max() float64
+}
+
+var (
+	_ Distribution = (*CDF)(nil)
+	_ Distribution = (*WindowDist)(nil)
+)
