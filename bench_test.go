@@ -226,7 +226,7 @@ func BenchmarkComputeMapping(b *testing.B) {
 		}
 		return stats.BuildCDF(xs)
 	}
-	cdfs := []*stats.CDF{mk(60), mk(40)}
+	cdfs := []stats.Distribution{mk(60), mk(40)}
 	streams := []*stream.Stream{
 		stream.New(0, stream.Spec{Name: "a", Kind: stream.Probabilistic, RequiredMbps: 3.249, Probability: 0.95}),
 		stream.New(1, stream.Spec{Name: "b", Kind: stream.Probabilistic, RequiredMbps: 22.148, Probability: 0.95}),

@@ -171,7 +171,7 @@ func (a *Admission) Admit(spec stream.Spec) Decision {
 // tryPreempt evicts admitted best-effort streams newest-first until spec
 // becomes feasible. If even a best-effort-free overlay cannot host it,
 // nothing is evicted.
-func (a *Admission) tryPreempt(spec stream.Spec, cdfs []*stats.CDF) (Decision, bool) {
+func (a *Admission) tryPreempt(spec stream.Spec, cdfs []stats.Distribution) (Decision, bool) {
 	working := append([]stream.Spec(nil), a.admitted...)
 	var evicted []stream.Spec
 	for {
@@ -210,7 +210,7 @@ func lastBestEffort(specs []stream.Spec) int {
 // reject assembles the rejection decision: the best feasible rate at the
 // requested guarantee level, the best feasible probability at the
 // requested rate, and the resulting best spec, then fires the upcall.
-func (a *Admission) reject(spec stream.Spec, reason string, cdfs []*stats.CDF) Decision {
+func (a *Admission) reject(spec stream.Spec, reason string, cdfs []stats.Distribution) Decision {
 	d := Decision{Spec: spec, Reason: reason}
 	if len(cdfs) > 0 {
 		d.BestRateMbps = a.bestRate(spec, cdfs)
@@ -233,8 +233,8 @@ func (a *Admission) reject(spec stream.Spec, reason string, cdfs []*stats.CDF) D
 // cdfs snapshots the monitored bandwidth distributions. Cold monitors
 // contribute their (near-empty) distribution, which the guarantee math
 // treats as zero headroom — admission is conservative until paths warm.
-func (a *Admission) cdfs() []*stats.CDF {
-	out := make([]*stats.CDF, len(a.mons))
+func (a *Admission) cdfs() []stats.Distribution {
+	out := make([]stats.Distribution, len(a.mons))
 	for i, m := range a.mons {
 		out[i] = m.CDF()
 	}
@@ -244,7 +244,7 @@ func (a *Admission) cdfs() []*stats.CDF {
 // committed computes the per-path rates already promised: the PGOS
 // mapping of the admitted guaranteed streams (in admission order), plus
 // each admitted best-effort stream's assumed load spread evenly.
-func (a *Admission) committed(cdfs []*stats.CDF, admitted []stream.Spec) []float64 {
+func (a *Admission) committed(cdfs []stats.Distribution, admitted []stream.Spec) []float64 {
 	var guaranteed []*stream.Stream
 	beLoad := 0.0
 	for _, s := range admitted {
@@ -273,7 +273,7 @@ func (a *Admission) committed(cdfs []*stats.CDF, admitted []stream.Spec) []float
 // candidate is mapped alone with InitialCommitted seeding each path's
 // promised rate, so its priority cannot displace already-admitted
 // streams.
-func (a *Admission) feasible(spec stream.Spec, cdfs []*stats.CDF, admitted []stream.Spec) bool {
+func (a *Admission) feasible(spec stream.Spec, cdfs []stats.Distribution, admitted []stream.Spec) bool {
 	committed := a.committed(cdfs, admitted)
 	cand := []*stream.Stream{stream.New(0, spec)}
 	m := pgos.ComputeMappingOpts(cand, cdfs, a.opt.TwSec, pgos.MapOptions{InitialCommitted: committed})
@@ -283,7 +283,7 @@ func (a *Admission) feasible(spec stream.Spec, cdfs []*stats.CDF, admitted []str
 // bestRate binary-searches the largest feasible rate at spec's own
 // guarantee level. The iteration count is fixed, so the result is
 // deterministic for a given monitor state.
-func (a *Admission) bestRate(spec stream.Spec, cdfs []*stats.CDF) float64 {
+func (a *Admission) bestRate(spec stream.Spec, cdfs []stats.Distribution) float64 {
 	hi := 0.0
 	for _, c := range cdfs {
 		if !c.IsEmpty() {
@@ -316,7 +316,7 @@ func (a *Admission) bestRate(spec stream.Spec, cdfs []*stats.CDF) float64 {
 
 // bestProbability binary-searches the highest guarantee probability
 // feasible at the requested rate, for probabilistic specs.
-func (a *Admission) bestProbability(spec stream.Spec, cdfs []*stats.CDF) float64 {
+func (a *Admission) bestProbability(spec stream.Spec, cdfs []stats.Distribution) float64 {
 	at := func(p float64) bool {
 		s := spec
 		s.Probability = p

@@ -14,7 +14,7 @@ import "iqpaths/internal/stats"
 // The companion technical report's buffer analysis is the motivation:
 // sizing buffers from the *distribution* covers the dips that sizing
 // from the mean (which reports zero buffer whenever mean ≥ rate) misses.
-func BufferBound(cdf *stats.CDF, rateMbps, twSec, p float64) float64 {
+func BufferBound(cdf stats.Distribution, rateMbps, twSec, p float64) float64 {
 	if cdf.IsEmpty() || rateMbps <= 0 || twSec <= 0 {
 		return 0
 	}
@@ -29,7 +29,7 @@ func BufferBound(cdf *stats.CDF, rateMbps, twSec, p float64) float64 {
 // MeanBufferBound is the mean-prediction sizing of the same buffer —
 // zero whenever the mean covers the rate — included for the ablation
 // contrasting the two (it under-provisions on any noisy path).
-func MeanBufferBound(cdf *stats.CDF, rateMbps, twSec float64) float64 {
+func MeanBufferBound(cdf stats.Distribution, rateMbps, twSec float64) float64 {
 	if cdf.IsEmpty() || rateMbps <= 0 || twSec <= 0 {
 		return 0
 	}

@@ -24,7 +24,7 @@ import "iqpaths/internal/stats"
 //	max{r ≥ 0 : P{bw ≥ committed + r} ≥ p} = Quantile(1−p) − committed
 //
 // clamped at zero. This is Lemma 1 solved for the rate.
-func FeasibleRate(cdf *stats.CDF, p, committedMbps float64) float64 {
+func FeasibleRate(cdf stats.Distribution, p, committedMbps float64) float64 {
 	if cdf.IsEmpty() {
 		return 0
 	}
@@ -39,7 +39,7 @@ func FeasibleRate(cdf *stats.CDF, p, committedMbps float64) float64 {
 // sBits each are serviced within a window of twSec seconds on a path with
 // the given bandwidth distribution, after subtracting the rate already
 // committed to higher-priority streams: 1 − F(committed + x·s/tw).
-func GuaranteeProbability(cdf *stats.CDF, x int, sBits, twSec, committedMbps float64) float64 {
+func GuaranteeProbability(cdf stats.Distribution, x int, sBits, twSec, committedMbps float64) float64 {
 	if cdf.IsEmpty() || x <= 0 {
 		return 0
 	}
@@ -57,7 +57,7 @@ func GuaranteeProbability(cdf *stats.CDF, x int, sBits, twSec, committedMbps flo
 //
 // where F₀ and M₀ are the shortfall probability and conditional mean of
 // the leftover bandwidth. Clamped at 0.
-func ExpectedViolations(cdf *stats.CDF, x int, sBits, twSec, committedMbps float64) float64 {
+func ExpectedViolations(cdf stats.Distribution, x int, sBits, twSec, committedMbps float64) float64 {
 	if cdf.IsEmpty() || x <= 0 {
 		return 0
 	}

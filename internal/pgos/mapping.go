@@ -1,6 +1,7 @@
 package pgos
 
 import (
+	"slices"
 	"sort"
 
 	"iqpaths/internal/stats"
@@ -37,26 +38,51 @@ type Mapping struct {
 // violation-bound (tightest bound first). Best-effort streams are not
 // mapped — they ride the unscheduled precedence rule.
 func mapOrder(streams []*stream.Stream) []int {
-	var prob, viol []int
+	return appendMapOrder(nil, streams)
+}
+
+// appendMapOrder is mapOrder into a caller-provided buffer, so the
+// per-window mapping-validity check can order streams without
+// allocating. The returned slice aliases dst's storage when it has
+// capacity.
+func appendMapOrder(dst []int, streams []*stream.Stream) []int {
+	dst = dst[:0]
 	for i, s := range streams {
-		switch s.Kind {
-		case stream.Probabilistic:
-			prob = append(prob, i)
-		case stream.ViolationBound:
-			viol = append(viol, i)
+		if s.Kind == stream.Probabilistic {
+			dst = append(dst, i)
 		}
 	}
-	sort.SliceStable(prob, func(a, b int) bool {
-		sa, sb := streams[prob[a]], streams[prob[b]]
-		if sa.Probability != sb.Probability {
-			return sa.Probability > sb.Probability
+	nProb := len(dst)
+	for i, s := range streams {
+		if s.Kind == stream.ViolationBound {
+			dst = append(dst, i)
 		}
-		return sa.RequiredMbps > sb.RequiredMbps
+	}
+	slices.SortStableFunc(dst[:nProb], func(a, b int) int {
+		sa, sb := streams[a], streams[b]
+		switch {
+		case sa.Probability > sb.Probability:
+			return -1
+		case sa.Probability < sb.Probability:
+			return 1
+		case sa.RequiredMbps > sb.RequiredMbps:
+			return -1
+		case sa.RequiredMbps < sb.RequiredMbps:
+			return 1
+		}
+		return 0
 	})
-	sort.SliceStable(viol, func(a, b int) bool {
-		return streams[viol[a]].MaxViolations < streams[viol[b]].MaxViolations
+	slices.SortStableFunc(dst[nProb:], func(a, b int) int {
+		va, vb := streams[a].MaxViolations, streams[b].MaxViolations
+		switch {
+		case va < vb:
+			return -1
+		case va > vb:
+			return 1
+		}
+		return 0
 	})
-	return append(prob, viol...)
+	return dst
 }
 
 // PathMetrics carries a path's non-bandwidth quality measures into the
@@ -91,12 +117,12 @@ type MapOptions struct {
 // satisfying its guarantee; failing that it divides the stream across
 // paths; failing that it rejects the stream (the caller surfaces the
 // upcall). cdfs[j] is path j's current bandwidth distribution.
-func ComputeMapping(streams []*stream.Stream, cdfs []*stats.CDF, twSec float64) Mapping {
+func ComputeMapping(streams []*stream.Stream, cdfs []stats.Distribution, twSec float64) Mapping {
 	return ComputeMappingOpts(streams, cdfs, twSec, MapOptions{})
 }
 
 // ComputeMappingOpts is ComputeMapping with explicit options.
-func ComputeMappingOpts(streams []*stream.Stream, cdfs []*stats.CDF, twSec float64, opt MapOptions) Mapping {
+func ComputeMappingOpts(streams []*stream.Stream, cdfs []stats.Distribution, twSec float64, opt MapOptions) Mapping {
 	n, l := len(streams), len(cdfs)
 	m := Mapping{
 		Packets:        make([][]int, n),
@@ -132,7 +158,7 @@ func ComputeMappingOpts(streams []*stream.Stream, cdfs []*stats.CDF, twSec float
 	return m
 }
 
-func mapProbabilistic(m *Mapping, s *stream.Stream, i, x int, cdfs []*stats.CDF, twSec float64) {
+func mapProbabilistic(m *Mapping, s *stream.Stream, i, x int, cdfs []stats.Distribution, twSec float64) {
 	b0 := s.RequiredMbps
 	// Single path: among paths meeting the guarantee, take the one with
 	// the highest guarantee probability; probabilities within 2 % are
@@ -215,7 +241,7 @@ func mapProbabilistic(m *Mapping, s *stream.Stream, i, x int, cdfs []*stats.CDF,
 	}
 }
 
-func mapViolationBound(m *Mapping, s *stream.Stream, i, x int, cdfs []*stats.CDF, twSec float64) {
+func mapViolationBound(m *Mapping, s *stream.Stream, i, x int, cdfs []stats.Distribution, twSec float64) {
 	// Single path: the one with the smallest E[Z], if within bound.
 	best, bestEZ := -1, 0.0
 	for j, cdf := range cdfs {
@@ -283,22 +309,41 @@ func mapViolationBound(m *Mapping, s *stream.Stream, i, x int, cdfs []*stats.CDF
 // accepted guaranteed stream must still clear its guarantee on its
 // allocation. This is the "previous scheduling vectors don't satisfy
 // current CDF" remap trigger of Fig. 7 line 2.
-func (m *Mapping) Satisfied(streams []*stream.Stream, cdfs []*stats.CDF, slack float64) bool {
+func (m *Mapping) Satisfied(streams []*stream.Stream, cdfs []stats.Distribution, slack float64) bool {
 	return m.SatisfiedWith(streams, cdfs, m.Metrics, slack)
 }
 
 // SatisfiedWith is Satisfied with fresh path metrics: a mapped path whose
 // loss rate or RTT has drifted past a stream's ceiling also invalidates
 // the mapping.
-func (m *Mapping) SatisfiedWith(streams []*stream.Stream, cdfs []*stats.CDF, metrics []PathMetrics, slack float64) bool {
+func (m *Mapping) SatisfiedWith(streams []*stream.Stream, cdfs []stats.Distribution, metrics []PathMetrics, slack float64) bool {
+	var sc satisfyScratch
+	return m.satisfiedWith(streams, cdfs, metrics, slack, &sc)
+}
+
+// satisfyScratch carries SatisfiedWith's working buffers so a caller
+// re-checking every window (the PGOS scheduler) allocates nothing.
+type satisfyScratch struct {
+	order     []int
+	committed []float64
+}
+
+func (m *Mapping) satisfiedWith(streams []*stream.Stream, cdfs []stats.Distribution, metrics []PathMetrics, slack float64, sc *satisfyScratch) bool {
 	if len(m.Packets) != len(streams) {
 		return false
 	}
 	probe := Mapping{Metrics: metrics}
 	// Rebuild committed-below bookkeeping in mapping priority order so each
 	// stream is checked against the load of streams mapped before it.
-	committed := make([]float64, len(cdfs))
-	for _, i := range mapOrder(streams) {
+	sc.order = appendMapOrder(sc.order[:0], streams)
+	if cap(sc.committed) < len(cdfs) {
+		sc.committed = make([]float64, len(cdfs))
+	}
+	committed := sc.committed[:len(cdfs)]
+	for j := range committed {
+		committed[j] = 0
+	}
+	for _, i := range sc.order {
 		s := streams[i]
 		if m.Rejected[i] || s.Kind == stream.BestEffort {
 			continue
@@ -366,7 +411,7 @@ func (m *Mapping) anyAcceptable(s *stream.Stream, l int) bool {
 // guaranteeProb evaluates Lemma 1, or its degenerate mean-prediction form
 // (probability 1 when the mean covers the need, 0 otherwise) when the
 // mapping runs in the ablation's MeanPrediction mode.
-func (m *Mapping) guaranteeProb(cdf *stats.CDF, x int, sBits, twSec, committed float64) float64 {
+func (m *Mapping) guaranteeProb(cdf stats.Distribution, x int, sBits, twSec, committed float64) float64 {
 	if !m.MeanPrediction {
 		return GuaranteeProbability(cdf, x, sBits, twSec, committed)
 	}
@@ -382,7 +427,7 @@ func (m *Mapping) guaranteeProb(cdf *stats.CDF, x int, sBits, twSec, committed f
 
 // feasibleRate mirrors FeasibleRate, reading the mean instead of the
 // (1−p) quantile in MeanPrediction mode.
-func (m *Mapping) feasibleRate(cdf *stats.CDF, p, committed float64) float64 {
+func (m *Mapping) feasibleRate(cdf stats.Distribution, p, committed float64) float64 {
 	if !m.MeanPrediction {
 		return FeasibleRate(cdf, p, committed)
 	}

@@ -22,7 +22,7 @@ func TestMappingInvariantsProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		nPaths := 1 + rng.Intn(4)
-		cdfs := make([]*stats.CDF, nPaths)
+		cdfs := make([]stats.Distribution, nPaths)
 		metrics := make([]PathMetrics, nPaths)
 		for j := range cdfs {
 			xs := make([]float64, 50+rng.Intn(200))

@@ -53,7 +53,7 @@ func TestMappingSinglePathPreferred(t *testing.T) {
 		stream.New(1, stream.Spec{Name: "bond1", Kind: stream.Probabilistic, RequiredMbps: 22.148, Probability: 0.95}),
 		stream.New(2, stream.Spec{Name: "bond2", Kind: stream.BestEffort}),
 	}
-	cdfs := []*stats.CDF{noisyCDF(60, 10, 500, 1), noisyCDF(30, 15, 500, 2)}
+	cdfs := []stats.Distribution{noisyCDF(60, 10, 500, 1), noisyCDF(30, 15, 500, 2)}
 	m := ComputeMapping(streams, cdfs, 1)
 	if m.SinglePath[0] != 0 || m.SinglePath[1] != 0 {
 		t.Fatalf("both critical streams should map whole to path A: %v", m.SinglePath)
@@ -78,7 +78,7 @@ func TestMappingSplitsWhenNoSinglePathFits(t *testing.T) {
 	streams := []*stream.Stream{
 		stream.New(0, stream.Spec{Name: "big", Kind: stream.Probabilistic, RequiredMbps: 30, Probability: 0.95}),
 	}
-	cdfs := []*stats.CDF{constCDF(20, 100), constCDF(20, 100)}
+	cdfs := []stats.Distribution{constCDF(20, 100), constCDF(20, 100)}
 	m := ComputeMapping(streams, cdfs, 1)
 	if m.Rejected[0] {
 		t.Fatal("stream should be admitted via splitting")
@@ -99,7 +99,7 @@ func TestMappingRejectsInfeasible(t *testing.T) {
 	streams := []*stream.Stream{
 		stream.New(0, stream.Spec{Name: "huge", Kind: stream.Probabilistic, RequiredMbps: 200, Probability: 0.95}),
 	}
-	cdfs := []*stats.CDF{constCDF(20, 100), constCDF(20, 100)}
+	cdfs := []stats.Distribution{constCDF(20, 100), constCDF(20, 100)}
 	m := ComputeMapping(streams, cdfs, 1)
 	if !m.Rejected[0] {
 		t.Fatal("infeasible stream must be rejected")
@@ -113,7 +113,7 @@ func TestMappingPriorityConsumesHeadroom(t *testing.T) {
 		stream.New(0, stream.Spec{Name: "a", Kind: stream.Probabilistic, RequiredMbps: 25, Probability: 0.99}),
 		stream.New(1, stream.Spec{Name: "b", Kind: stream.Probabilistic, RequiredMbps: 18, Probability: 0.95}),
 	}
-	cdfs := []*stats.CDF{constCDF(30, 100), constCDF(20, 100)}
+	cdfs := []stats.Distribution{constCDF(30, 100), constCDF(20, 100)}
 	m := ComputeMapping(streams, cdfs, 1)
 	if m.SinglePath[0] != 0 {
 		t.Fatalf("high-priority stream should take path A: %v", m.SinglePath)
@@ -127,7 +127,7 @@ func TestMappingViolationBoundSinglePath(t *testing.T) {
 	streams := []*stream.Stream{
 		stream.New(0, stream.Spec{Name: "vb", Kind: stream.ViolationBound, RequiredMbps: 10, MaxViolations: 5}),
 	}
-	cdfs := []*stats.CDF{constCDF(50, 100), constCDF(5, 100)}
+	cdfs := []stats.Distribution{constCDF(50, 100), constCDF(5, 100)}
 	m := ComputeMapping(streams, cdfs, 1)
 	if m.Rejected[0] {
 		t.Fatal("should admit on the wide path")
@@ -143,7 +143,7 @@ func TestMappingViolationBoundSplit(t *testing.T) {
 	streams := []*stream.Stream{
 		stream.New(0, stream.Spec{Name: "vb", Kind: stream.ViolationBound, RequiredMbps: 30, MaxViolations: 10}),
 	}
-	cdfs := []*stats.CDF{constCDF(20, 100), constCDF(20, 100)}
+	cdfs := []stats.Distribution{constCDF(20, 100), constCDF(20, 100)}
 	m := ComputeMapping(streams, cdfs, 1)
 	if m.Rejected[0] {
 		t.Fatal("split should satisfy the bound")
@@ -158,7 +158,7 @@ func TestMappingViolationBoundReject(t *testing.T) {
 	streams := []*stream.Stream{
 		stream.New(0, stream.Spec{Name: "vb", Kind: stream.ViolationBound, RequiredMbps: 100, MaxViolations: 0.001}),
 	}
-	cdfs := []*stats.CDF{constCDF(10, 100), constCDF(10, 100)}
+	cdfs := []stats.Distribution{constCDF(10, 100), constCDF(10, 100)}
 	m := ComputeMapping(streams, cdfs, 1)
 	if !m.Rejected[0] {
 		t.Fatal("unattainable violation bound must be rejected")
@@ -169,13 +169,13 @@ func TestMappingSatisfied(t *testing.T) {
 	streams := []*stream.Stream{
 		stream.New(0, stream.Spec{Name: "a", Kind: stream.Probabilistic, RequiredMbps: 20, Probability: 0.95}),
 	}
-	good := []*stats.CDF{constCDF(40, 100), constCDF(10, 100)}
+	good := []stats.Distribution{constCDF(40, 100), constCDF(10, 100)}
 	m := ComputeMapping(streams, good, 1)
 	if !m.Satisfied(streams, good, 0.02) {
 		t.Fatal("fresh mapping should satisfy its own CDFs")
 	}
 	// Path A collapses to 12 Mbps: the 20-Mbps guarantee no longer holds.
-	bad := []*stats.CDF{constCDF(12, 100), constCDF(10, 100)}
+	bad := []stats.Distribution{constCDF(12, 100), constCDF(10, 100)}
 	if m.Satisfied(streams, bad, 0.02) {
 		t.Fatal("collapsed path should invalidate the mapping")
 	}
@@ -183,11 +183,11 @@ func TestMappingSatisfied(t *testing.T) {
 
 func TestMappingBestEffortOnly(t *testing.T) {
 	streams := []*stream.Stream{stream.New(0, stream.Spec{Name: "be"})}
-	m := ComputeMapping(streams, []*stats.CDF{constCDF(10, 10)}, 1)
+	m := ComputeMapping(streams, []stats.Distribution{constCDF(10, 10)}, 1)
 	if m.Rejected[0] || m.SinglePath[0] != -1 {
 		t.Fatalf("best-effort mapping wrong: %+v", m)
 	}
-	if !m.Satisfied(streams, []*stats.CDF{constCDF(1, 10)}, 0.02) {
+	if !m.Satisfied(streams, []stats.Distribution{constCDF(1, 10)}, 0.02) {
 		t.Fatal("best-effort-only mapping is always satisfied")
 	}
 }

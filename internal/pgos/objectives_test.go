@@ -26,8 +26,8 @@ func TestLossObjectiveExcludesLossyPath(t *testing.T) {
 }
 
 // twoCDFs builds two constant CDFs (helper shared by objective tests).
-func twoCDFs(a, b float64) []*stats.CDF {
-	return []*stats.CDF{constCDF(a, 100), constCDF(b, 100)}
+func twoCDFs(a, b float64) []stats.Distribution {
+	return []stats.Distribution{constCDF(a, 100), constCDF(b, 100)}
 }
 
 func TestRTTObjectiveExcludesSlowPath(t *testing.T) {

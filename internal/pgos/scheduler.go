@@ -90,6 +90,18 @@ type StreamStats struct {
 }
 
 // Scheduler is the PGOS routing/scheduling engine.
+//
+// Dispatch decisions that historically scanned every stream × path pair
+// per tick run on incremental structures sized to the *active* work:
+// rule 2 consults a global virtual-deadline min-heap over scheduled
+// slots (stale keys are lower bounds, corrected lazily, so a not-due top
+// answers the common no-op consult in O(1)); rule 3 consults a
+// persistent packet-deadline heap maintained event-wise from stream
+// queue activity; and the V^P walk binary-searches per-path occurrence
+// lists instead of scanning the (possibly 10⁵-entry) vector. Every
+// decision remains bit-identical to the reference linear scans, which
+// are retained in scheduler_scan.go and cross-checked by differential
+// tests.
 type Scheduler struct {
 	cfg     Config
 	streams []*stream.Stream
@@ -100,6 +112,7 @@ type Scheduler struct {
 	haveMap     bool
 	vp          []int
 	vpCur       int
+	vpPos       [][]int32 // per path: ascending positions of j in vp
 	vs          [][]int
 	vsCur       []int
 	remaining   [][]int // [stream][path] scheduled packets left this window
@@ -118,6 +131,21 @@ type Scheduler struct {
 	blockedUntil []int64
 	backoffTicks []int64
 	now          int64
+
+	// Incremental dispatch state (scheduler_heaps.go).
+	r2 r2State
+	r3 r3State
+
+	// Reusable window-boundary scratch: live Distribution views, path
+	// metrics, and the mapping-validity check's ordering buffers. These
+	// make a steady-state window boundary allocation-free.
+	dists         []stats.Distribution
+	metricsBuf    []PathMetrics
+	satScratch    satisfyScratch
+
+	// debugCheck makes every dispatch decision run both the incremental
+	// structure and the reference scan and panic on divergence (tests).
+	debugCheck bool
 
 	tel schedTelemetry
 }
@@ -161,7 +189,10 @@ func newSchedTelemetry(reg *telemetry.Registry, paths []sched.PathService) sched
 }
 
 // New builds a PGOS scheduler over parallel slices of paths and their
-// monitors (mons[j] watches paths[j]).
+// monitors (mons[j] watches paths[j]). The scheduler installs itself as
+// each stream's queue observer (stream.SetObserver) to keep its
+// unscheduled-traffic heap current; a stream must not be shared with a
+// second observer-installing scheduler.
 func New(cfg Config, streams []*stream.Stream, paths []sched.PathService, mons []*monitor.PathMonitor) *Scheduler {
 	cfg.fillDefaults()
 	if len(streams) == 0 || len(paths) == 0 {
@@ -194,8 +225,23 @@ func New(cfg Config, streams []*stream.Stream, paths []sched.PathService, mons [
 	}
 	s.blockedUntil = make([]int64, len(paths))
 	s.backoffTicks = make([]int64, len(paths))
+	s.r2.reset(len(streams), len(paths))
+	s.r3.reset(len(streams))
+	for _, st := range streams {
+		st.SetObserver(s.onStreamEvent)
+	}
 	s.tel = newSchedTelemetry(cfg.Telemetry, paths)
 	return s
+}
+
+// onStreamEvent is the stream-queue observer: any push/pop/push-front
+// invalidates the stream's unscheduled-heap entry and queues it for
+// re-evaluation at the next rule-3 consult.
+func (s *Scheduler) onStreamEvent(id int) {
+	if id >= len(s.r3.ver) {
+		return // stream added without AddStream; picked up at next remap
+	}
+	s.r3.touch(id)
 }
 
 // maxBackoffTicks caps the blocked-path backoff at roughly one scheduling
@@ -228,6 +274,9 @@ func (s *Scheduler) AddStream(st *stream.Stream) {
 			st.Name, st.ID, len(s.streams)))
 	}
 	s.streams = append(s.streams, st)
+	s.r3.grow(len(s.streams))
+	s.r3.touch(st.ID)
+	st.SetObserver(s.onStreamEvent)
 	s.dirty = true
 }
 
@@ -251,12 +300,15 @@ func (s *Scheduler) SetPaths(paths []sched.PathService, mons []*monitor.PathMoni
 	s.dirty = true
 	s.vp = nil
 	s.vpCur = 0
+	s.vpPos = nil
 	s.vs = nil
 	s.vsCur = nil
 	s.remaining = nil
 	s.fallbackCur = 0
 	s.blockedUntil = make([]int64, len(paths))
 	s.backoffTicks = make([]int64, len(paths))
+	s.r2.reset(len(s.streams), len(paths))
+	s.r3.markAllDirty()
 	// Per-path metric handles follow the new path set; the registry
 	// get-or-creates, so a path that returns keeps its counters.
 	s.tel = newSchedTelemetry(s.cfg.Telemetry, paths)
@@ -266,8 +318,14 @@ func (s *Scheduler) SetPaths(paths []sched.PathService, mons []*monitor.PathMoni
 // after changing a stream's utility specification in place — e.g. the
 // SmartPointer client promoting its out-of-view stream when the observer
 // swings the viewing angle, or an application lowering a requirement
-// after a rejection upcall.
-func (s *Scheduler) Invalidate() { s.dirty = true }
+// after a rejection upcall. The dispatch heaps re-key immediately so the
+// changed window-constraint ratios take effect this window, exactly as
+// the reference scans (which read the spec live) would.
+func (s *Scheduler) Invalidate() {
+	s.dirty = true
+	s.rebuildR2()
+	s.r3.markAllDirty()
+}
 
 // Tick implements sched.Scheduler: window bookkeeping then the Fig. 7
 // dispatch loop.
@@ -281,9 +339,37 @@ func (s *Scheduler) Tick(now int64) {
 	s.dispatch(now)
 }
 
+// liveDists refreshes the scratch slice of per-path Distribution views.
+// The views answer exactly as snapshots taken this tick would, without
+// copying a window.
+func (s *Scheduler) liveDists() []stats.Distribution {
+	if cap(s.dists) < len(s.mons) {
+		s.dists = make([]stats.Distribution, len(s.mons))
+	}
+	s.dists = s.dists[:len(s.mons)]
+	for j, m := range s.mons {
+		s.dists[j] = m.Dist()
+	}
+	return s.dists
+}
+
+// liveMetrics refreshes the scratch slice of per-path loss/RTT metrics.
+func (s *Scheduler) liveMetrics() []PathMetrics {
+	if cap(s.metricsBuf) < len(s.mons) {
+		s.metricsBuf = make([]PathMetrics, len(s.mons))
+	}
+	s.metricsBuf = s.metricsBuf[:len(s.mons)]
+	for j, m := range s.mons {
+		s.metricsBuf[j] = PathMetrics{MeanLoss: m.MeanLoss(), MeanRTT: m.MeanRTT()}
+	}
+	return s.metricsBuf
+}
+
 // beginWindow runs Fig. 7 lines 1–11: updateCDF happens continuously in
 // the monitors; here the scheduler decides whether the active scheduling
-// vectors still satisfy the current CDFs and rebuilds them if not.
+// vectors still satisfy the current CDFs and rebuilds them if not. The
+// Lemma 1/Lemma 2 revalidation runs against the monitors' live windows
+// (no snapshots); only an actual remap materializes baselines.
 func (s *Scheduler) beginWindow(now int64) {
 	s.windowStart = now
 	s.windowEnd = now + s.windowTick
@@ -295,7 +381,6 @@ func (s *Scheduler) beginWindow(now int64) {
 		}
 	}
 	if warm {
-		cdfs := s.snapshotCDFs()
 		need := s.dirty || !s.haveMap
 		if !need {
 			for _, m := range s.mons {
@@ -306,16 +391,13 @@ func (s *Scheduler) beginWindow(now int64) {
 			}
 		}
 		if !need {
-			metrics := make([]PathMetrics, len(s.mons))
-			for j, m := range s.mons {
-				metrics[j] = PathMetrics{MeanLoss: m.MeanLoss(), MeanRTT: m.MeanRTT()}
-			}
-			if !s.mapping.SatisfiedWith(s.streams, cdfs, metrics, s.cfg.FeasibilitySlack) {
+			if !s.mapping.satisfiedWith(s.streams, s.liveDists(), s.liveMetrics(),
+				s.cfg.FeasibilitySlack, &s.satScratch) {
 				need = true
 			}
 		}
 		if need {
-			s.remap(cdfs)
+			s.remap()
 		}
 	}
 	// Reset per-window quotas and cursors from the active mapping.
@@ -343,27 +425,23 @@ func (s *Scheduler) beginWindow(now int64) {
 			s.vsCur[j] = 0
 		}
 	}
+	// Fresh quotas mean fresh slot deadlines and surplus figures: rebuild
+	// the rule-2 heap from the reset quota matrix and re-key every rule-3
+	// candidate.
+	s.rebuildR2()
+	s.r3.markAllDirty()
 }
 
-func (s *Scheduler) snapshotCDFs() []*stats.CDF {
-	cdfs := make([]*stats.CDF, len(s.mons))
-	for j, m := range s.mons {
-		cdfs[j] = m.CDF()
-	}
-	return cdfs
-}
-
-func (s *Scheduler) remap(cdfs []*stats.CDF) {
+func (s *Scheduler) remap() {
 	wasRejected := make([]bool, len(s.streams))
 	if s.haveMap {
 		copy(wasRejected, s.mapping.Rejected)
 	}
+	dists := s.liveDists()
 	metrics := make([]PathMetrics, len(s.mons))
-	for j, m := range s.mons {
-		metrics[j] = PathMetrics{MeanLoss: m.MeanLoss(), MeanRTT: m.MeanRTT()}
-	}
+	copy(metrics, s.liveMetrics())
 	remapStart := time.Now()
-	s.mapping = ComputeMappingOpts(s.streams, cdfs, s.cfg.TwSec, MapOptions{
+	s.mapping = ComputeMappingOpts(s.streams, dists, s.cfg.TwSec, MapOptions{
 		MeanPrediction: s.cfg.MeanPrediction,
 		Metrics:        metrics,
 	})
@@ -380,6 +458,7 @@ func (s *Scheduler) remap(cdfs []*stats.CDF) {
 	s.vp = BuildPathVector(s.mapping)
 	s.vs = BuildStreamVectors(s.mapping, constraint)
 	s.vsCur = make([]int, len(s.paths))
+	s.rebuildVPPos()
 	for _, m := range s.mons {
 		m.MarkBaseline()
 	}
@@ -429,6 +508,10 @@ func (s *Scheduler) dispatch(now int64) {
 			s.streams[srcStream].PushFront(pkt)
 			if quotaPath >= 0 {
 				s.remaining[srcStream][quotaPath]++
+				// The restored slot's deadline moved *earlier*; the rule-2
+				// heap needs a freshly keyed entry (stale entries are only
+				// trusted as lower bounds).
+				s.r2Touch(srcStream, quotaPath)
 			}
 			if rule == 1 {
 				// Rewind the V^S cursor so the restored slot is revisited.
@@ -464,33 +547,33 @@ func (s *Scheduler) dispatch(now int64) {
 	}
 }
 
-// nextFreePath scans V^P from the cursor for a path with pace room.
-// Whenever a path is blocked the scheduler switches to the next
-// immediately (§5.2.2). When no scheduled visits exist (cold start or
-// all-best-effort), paths are scanned round-robin.
+// nextFreePath returns the next path with pace room in V^P order,
+// falling back to a round-robin over all paths when no scheduled visit
+// can proceed. Whenever a path is blocked the scheduler switches to the
+// next immediately (§5.2.2).
 func (s *Scheduler) nextFreePath() int {
-	for k := 0; k < len(s.vp); k++ {
-		idx := (s.vpCur + k) % len(s.vp)
-		j := s.vp[idx]
-		if s.blockedUntil[j] > s.now {
-			continue
+	j, nextCur := s.selectFreePathVP()
+	if s.debugCheck {
+		js, ncs := s.selectFreePathScan()
+		if js != j || ncs != nextCur {
+			panic(fmt.Sprintf("pgos: V^P divergence: index got (%d,%d), scan (%d,%d)", j, nextCur, js, ncs))
 		}
-		if s.paths[j].QueuedPackets() < s.cfg.PaceLimit {
-			s.vpCur = (idx + 1) % len(s.vp)
-			return j
-		}
+	}
+	if j >= 0 {
+		s.vpCur = nextCur
+		return j
 	}
 	// No V^P path has room (or none is scheduled): fall back to any free
 	// path — "there are still free paths to utilize" (§5.2.2), which is
 	// how rules 2 and 3 reach paths the mapping left idle.
 	for k := 0; k < len(s.paths); k++ {
-		j := (s.fallbackCur + k) % len(s.paths)
-		if s.blockedUntil[j] > s.now {
+		jf := (s.fallbackCur + k) % len(s.paths)
+		if s.blockedUntil[jf] > s.now {
 			continue
 		}
-		if s.paths[j].QueuedPackets() < s.cfg.PaceLimit {
-			s.fallbackCur = (j + 1) % len(s.paths)
-			return j
+		if s.paths[jf].QueuedPackets() < s.cfg.PaceLimit {
+			s.fallbackCur = (jf + 1) % len(s.paths)
+			return jf
 		}
 	}
 	return -1
@@ -536,6 +619,9 @@ func (s *Scheduler) nextScheduled(j int, now int64) (*simnet.Packet, int, int) {
 			s.remaining[i][j]--
 			s.stats.SlotMisses++
 			s.tel.slotMisses.Inc()
+			// Forfeiting quota raises the stream's unscheduled surplus
+			// without any queue event; requeue it for rule-3 evaluation.
+			s.r3.touch(i)
 			continue
 		}
 		return nil, -1, -1
@@ -550,33 +636,20 @@ func (s *Scheduler) nextOtherPath(j int, now int64) (*simnet.Packet, int, int) {
 	if s.remaining == nil {
 		return nil, -1, -1
 	}
-	elapsed := now - s.windowStart
-	bestI, bestJ := -1, -1
-	bestDL := int64(math.MaxInt64)
-	bestC := -1.0
-	for i, st := range s.streams {
-		if st.Len() == 0 || i >= len(s.remaining) || i >= len(s.mapping.Packets) {
-			continue
-		}
-		for j2 := range s.paths {
-			if j2 == j || s.remaining[i][j2] <= 0 {
-				continue
-			}
-			dl := s.slotDeadline(i, j2)
-			if dl > elapsed+s.lookahead {
-				continue
-			}
-			c := st.WindowConstraintRatio()
-			if dl < bestDL || (dl == bestDL && c > bestC) {
-				bestI, bestJ, bestDL, bestC = i, j2, dl, c
-			}
+	i, j2 := s.selectOtherPathHeap(j, now)
+	if s.debugCheck {
+		si, sj := s.selectOtherPathScan(j, now)
+		if si != i || sj != j2 {
+			panic(fmt.Sprintf("pgos: rule-2 divergence at t=%d path %d: heap (%d,%d), scan (%d,%d)",
+				now, j, i, j2, si, sj))
 		}
 	}
-	if bestI < 0 {
+	if i < 0 {
 		return nil, -1, -1
 	}
-	s.remaining[bestI][bestJ]--
-	return s.streams[bestI].Pop(), bestI, bestJ
+	s.remaining[i][j2]--
+	s.r2Requeue(i, j2)
+	return s.streams[i].Pop(), i, j2
 }
 
 // nextUnscheduled serves precedence rule 3 for the path being visited:
@@ -584,51 +657,17 @@ func (s *Scheduler) nextOtherPath(j int, now int64) (*simnet.Packet, int, int) {
 // streams past their window quota), earliest packet deadline first,
 // window constraint breaking ties.
 func (s *Scheduler) nextUnscheduled(j int) (*simnet.Packet, int, int) {
-	best := -1
-	bestDL := int64(math.MaxInt64)
-	bestC := -1.0
-	for i, st := range s.streams {
-		pkt := st.Peek()
-		if pkt == nil {
-			continue
-		}
-		if s.remaining != nil {
-			// Packets with scheduled slots waiting belong to rules 1–2.
-			// Only a clear surplus beyond the window quota (a VBR burst or
-			// a backlogged guaranteed stream) — or expired packets — rides
-			// rule 3; small transient excesses from frame-burst arrival
-			// phasing stay slot-paced, and non-expired surplus of a mapped
-			// stream stays on its own paths (no uninvited reordering).
-			rem := s.totalRemaining(i)
-			surplus := st.Len() - rem
-			if surplus <= 0 {
-				continue
-			}
-			if rem > 0 {
-				expired := pkt.Deadline != 0 && pkt.Deadline <= s.now
-				if !expired {
-					if surplus <= s.totalQuota(i)/10 {
-						continue
-					}
-					if i < len(s.mapping.Packets) && s.mapping.Packets[i][j] == 0 {
-						continue
-					}
-				}
-			}
-		}
-		dl := pkt.Deadline
-		if dl == 0 {
-			dl = math.MaxInt64 - 1
-		}
-		c := st.WindowConstraintRatio()
-		if dl < bestDL || (dl == bestDL && c > bestC) {
-			best, bestDL, bestC = i, dl, c
+	i := s.selectUnscheduledHeap(j)
+	if s.debugCheck {
+		si := s.selectUnscheduledScan(j)
+		if si != i {
+			panic(fmt.Sprintf("pgos: rule-3 divergence at t=%d path %d: heap %d, scan %d", s.now, j, i, si))
 		}
 	}
-	if best < 0 {
+	if i < 0 {
 		return nil, -1, -1
 	}
-	return s.streams[best].Pop(), best, -1
+	return s.streams[i].Pop(), i, -1
 }
 
 func (s *Scheduler) totalRemaining(i int) int {

@@ -1,0 +1,237 @@
+package pgos
+
+import (
+	"math/rand"
+	"testing"
+
+	"iqpaths/internal/monitor"
+	"iqpaths/internal/sched"
+	"iqpaths/internal/simnet"
+	"iqpaths/internal/stream"
+)
+
+// The differential tests run the scheduler with debugCheck set, which
+// makes every dispatch consult execute both the incremental structure
+// (scheduler_heaps.go) and the reference scan (scheduler_scan.go) and
+// panic on any divergence. They exercise the transitions that stress the
+// heaps' invalidation logic: window boundaries, quota exhaustion,
+// send-failure restores, slot forfeits, packet deadlines and expiry,
+// mid-run stream joins, spec invalidation, and path-set changes.
+
+// diffWorld is a randomized PGOS scenario driven tick by tick with the
+// heap/scan cross-check armed.
+type diffWorld struct {
+	t       *testing.T
+	r       *rand.Rand
+	s       *Scheduler
+	streams []*stream.Stream
+	paths   []*fakePath
+	mons    []*monitor.PathMonitor
+	mk      func(int, float64) *simnet.Packet
+	tick    int64
+}
+
+func newDiffWorld(t *testing.T, seed int64, nStreams, nPaths int) *diffWorld {
+	r := rand.New(rand.NewSource(seed))
+	w := &diffWorld{t: t, r: r, mk: pktFactory()}
+	for i := 0; i < nStreams; i++ {
+		w.streams = append(w.streams, stream.New(i, w.randSpec(i)))
+	}
+	for j := 0; j < nPaths; j++ {
+		w.paths = append(w.paths, &fakePath{id: j, name: string(rune('A' + j))})
+		w.mons = append(w.mons, warmMonitor(string(rune('A'+j)), 20+float64(r.Intn(60))))
+	}
+	ps := make([]sched.PathService, len(w.paths))
+	for j, p := range w.paths {
+		ps[j] = p
+	}
+	w.s = New(Config{TickSeconds: 0.01, TwSec: 0.5, PaceLimit: 8}, w.streams, ps, w.mons)
+	w.s.debugCheck = true
+	return w
+}
+
+func (w *diffWorld) randSpec(i int) stream.Spec {
+	spec := stream.Spec{Name: "s", QueueLimit: 64}
+	switch w.r.Intn(3) {
+	case 0:
+		spec.Kind = stream.BestEffort
+	case 1:
+		spec.Kind = stream.Probabilistic
+		spec.RequiredMbps = 1 + w.r.Float64()*10
+		spec.Probability = 0.8 + w.r.Float64()*0.19
+	default:
+		spec.Kind = stream.ViolationBound
+		spec.RequiredMbps = 1 + w.r.Float64()*10
+		spec.MaxViolations = w.r.Float64() * 5
+	}
+	if w.r.Intn(4) == 0 {
+		spec.WindowX, spec.WindowY = 1+w.r.Intn(5), 5+w.r.Intn(10)
+	}
+	return spec
+}
+
+// step advances one tick: random arrivals (some with deadlines), random
+// path-queue drains, occasional forced send refusals, then Tick.
+func (w *diffWorld) step() {
+	for i, st := range w.streams {
+		if w.r.Intn(3) == 0 {
+			n := w.r.Intn(4)
+			for k := 0; k < n; k++ {
+				p := w.mk(i, 12000)
+				if w.r.Intn(2) == 0 {
+					// A deadline near now exercises expiry and the rule-3
+					// park/wake machinery.
+					p.Deadline = w.tick + int64(w.r.Intn(40))
+				}
+				st.Push(p)
+			}
+		}
+	}
+	for _, p := range w.paths {
+		if w.r.Intn(2) == 0 {
+			p.queued = 0
+		}
+		p.refuse = w.r.Intn(10) == 0
+	}
+	for _, m := range w.mons {
+		m.ObserveBandwidth(40 * (1 + 0.05*w.r.NormFloat64()))
+	}
+	w.s.Tick(w.tick)
+	w.tick++
+}
+
+func TestSchedulerHeapMatchesScanRandomized(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		w := newDiffWorld(t, seed, 6, 3)
+		for k := 0; k < 3000; k++ {
+			w.step()
+		}
+	}
+}
+
+func TestSchedulerHeapMatchesScanSingleStreamManyPaths(t *testing.T) {
+	w := newDiffWorld(t, 99, 1, 6)
+	for k := 0; k < 2000; k++ {
+		w.step()
+	}
+}
+
+func TestSchedulerHeapMatchesScanWithJoinsAndInvalidation(t *testing.T) {
+	w := newDiffWorld(t, 42, 4, 2)
+	for k := 0; k < 6000; k++ {
+		w.step()
+		switch {
+		case k == 1500:
+			st := stream.New(len(w.streams), w.randSpec(len(w.streams)))
+			w.streams = append(w.streams, st)
+			w.s.AddStream(st)
+		case k == 3000:
+			// Mutate a spec in place mid-window, then Invalidate: the
+			// heaps must re-key to the changed window constraints.
+			w.streams[0].WindowX, w.streams[0].WindowY = 9, 10
+			w.s.Invalidate()
+		case k == 4500:
+			// Reroute onto a fresh path set (one path more).
+			w.paths = append(w.paths, &fakePath{id: len(w.paths), name: "R"})
+			w.mons = append(w.mons, warmMonitor("R", 35))
+			ps := make([]sched.PathService, len(w.paths))
+			for j, p := range w.paths {
+				ps[j] = p
+			}
+			w.s.SetPaths(ps, w.mons)
+		}
+	}
+}
+
+// TestSchedulerHeapMatchesScanOverload drives a persistent backlog so
+// rule-3 surplus gating, quota exhaustion, and forfeits all fire, with
+// paths that frequently refuse sends (quota restores).
+func TestSchedulerHeapMatchesScanOverload(t *testing.T) {
+	w := newDiffWorld(t, 7, 5, 2)
+	for k := 0; k < 4000; k++ {
+		// Heavy arrivals: more than the paths can drain.
+		for i, st := range w.streams {
+			for n := 0; n < 2; n++ {
+				p := w.mk(i, 12000)
+				if i%2 == 0 {
+					p.Deadline = w.tick + 10
+				}
+				st.Push(p)
+			}
+		}
+		for _, p := range w.paths {
+			if w.r.Intn(3) == 0 {
+				p.queued = 0
+			}
+			p.refuse = w.r.Intn(4) == 0
+		}
+		for _, m := range w.mons {
+			m.ObserveBandwidth(40 * (1 + 0.05*w.r.NormFloat64()))
+		}
+		w.s.Tick(w.tick)
+		w.tick++
+	}
+}
+
+// TestSchedulerSteadyTickZeroAlloc pins the acceptance criterion
+// directly: once warm and mapped, a Tick that moves packets allocates
+// nothing.
+func TestSchedulerSteadyTickZeroAlloc(t *testing.T) {
+	nStreams, nPaths := 16, 3
+	var streams []*stream.Stream
+	for i := 0; i < nStreams; i++ {
+		kind := stream.Probabilistic
+		if i%5 == 0 {
+			kind = stream.BestEffort
+		}
+		streams = append(streams, stream.New(i, stream.Spec{
+			Name: "s", Kind: kind, RequiredMbps: 2, Probability: 0.9, QueueLimit: 1 << 16,
+		}))
+	}
+	var ps []sched.PathService
+	var mons []*monitor.PathMonitor
+	paths := make([]*fakePath, nPaths)
+	for j := 0; j < nPaths; j++ {
+		paths[j] = &fakePath{id: j, name: "p"}
+		ps = append(ps, paths[j])
+		mons = append(mons, warmMonitor("p", 40))
+	}
+	s := New(Config{TickSeconds: 0.01, TwSec: 0.5, PaceLimit: 64}, streams, ps, mons)
+	// Pre-built packet ring so the harness's own arrivals don't allocate:
+	// the measurement isolates the scheduler.
+	ring := make([]*simnet.Packet, 4096)
+	for k := range ring {
+		ring[k] = &simnet.Packet{ID: uint64(k + 1), Bits: 12000}
+	}
+	ringCur := 0
+	r := rand.New(rand.NewSource(5))
+	tick := int64(0)
+	stepOnce := func() {
+		for i, st := range streams {
+			if tick%3 == int64(i%3) {
+				p := ring[ringCur]
+				ringCur = (ringCur + 1) % len(ring)
+				p.Stream = i
+				st.Push(p)
+			}
+		}
+		for _, m := range mons {
+			m.ObserveBandwidth(40 * (1 + 0.03*r.NormFloat64()))
+		}
+		for _, p := range paths {
+			p.queued = 0
+			p.sent = p.sent[:0]
+		}
+		s.Tick(tick)
+		tick++
+	}
+	for k := 0; k < 500; k++ {
+		stepOnce() // warm up: maps, grows PerStream, sizes scratch
+	}
+	allocs := testing.AllocsPerRun(2000, stepOnce)
+	// Window boundaries amortize to well under one allocation per tick;
+	// steady-state ticks themselves must be allocation-free.
+	if allocs > 0.1 {
+		t.Fatalf("steady-state Tick allocates %.2f/op, want ~0", allocs)
+	}
+}

@@ -1,0 +1,108 @@
+package pgos
+
+import "math"
+
+// This file retains the original O(S·P)-per-consult dispatch scans as
+// pure selection functions. They are the behavioral specification the
+// incremental structures in scheduler_heaps.go must match decision for
+// decision: with Scheduler.debugCheck set, every dispatch consult runs
+// both and panics on divergence (see scheduler_diff_test.go). They
+// mutate nothing — consumption happens in the caller after the choice is
+// agreed.
+
+// selectFreePathScan is the original V^P walk: from the cursor, the
+// first position whose path is unblocked and has pace room. Returns the
+// path and the cursor position that would follow, or (-1, -1).
+func (s *Scheduler) selectFreePathScan() (int, int) {
+	for k := 0; k < len(s.vp); k++ {
+		idx := (s.vpCur + k) % len(s.vp)
+		j := s.vp[idx]
+		if s.blockedUntil[j] > s.now {
+			continue
+		}
+		if s.paths[j].QueuedPackets() < s.cfg.PaceLimit {
+			return j, (idx + 1) % len(s.vp)
+		}
+	}
+	return -1, -1
+}
+
+// selectOtherPathScan is the original rule-2 scan: among due scheduled
+// slots on paths other than j whose stream has data, the earliest
+// virtual deadline; equal deadlines go to the higher window constraint,
+// then first-encountered (stream, path) order.
+func (s *Scheduler) selectOtherPathScan(j int, now int64) (int, int) {
+	elapsed := now - s.windowStart
+	bestI, bestJ := -1, -1
+	bestDL := int64(math.MaxInt64)
+	bestC := -1.0
+	for i, st := range s.streams {
+		if st.Len() == 0 || i >= len(s.remaining) || i >= len(s.mapping.Packets) {
+			continue
+		}
+		for j2 := range s.paths {
+			if j2 == j || s.remaining[i][j2] <= 0 {
+				continue
+			}
+			dl := s.slotDeadline(i, j2)
+			if dl > elapsed+s.lookahead {
+				continue
+			}
+			c := st.WindowConstraintRatio()
+			if dl < bestDL || (dl == bestDL && c > bestC) {
+				bestI, bestJ, bestDL, bestC = i, j2, dl, c
+			}
+		}
+	}
+	return bestI, bestJ
+}
+
+// selectUnscheduledScan is the original rule-3 scan over all streams for
+// a visit to path j: packets with no scheduled slot this window —
+// best-effort streams, or guaranteed streams with a clear surplus beyond
+// their quota (or expired heads) — earliest packet deadline first,
+// window constraint breaking ties.
+func (s *Scheduler) selectUnscheduledScan(j int) int {
+	best := -1
+	bestDL := int64(math.MaxInt64)
+	bestC := -1.0
+	for i, st := range s.streams {
+		pkt := st.Peek()
+		if pkt == nil {
+			continue
+		}
+		if s.remaining != nil {
+			// Packets with scheduled slots waiting belong to rules 1–2.
+			// Only a clear surplus beyond the window quota (a VBR burst or
+			// a backlogged guaranteed stream) — or expired packets — rides
+			// rule 3; small transient excesses from frame-burst arrival
+			// phasing stay slot-paced, and non-expired surplus of a mapped
+			// stream stays on its own paths (no uninvited reordering).
+			rem := s.totalRemaining(i)
+			surplus := st.Len() - rem
+			if surplus <= 0 {
+				continue
+			}
+			if rem > 0 {
+				expired := pkt.Deadline != 0 && pkt.Deadline <= s.now
+				if !expired {
+					if surplus <= s.totalQuota(i)/10 {
+						continue
+					}
+					if i < len(s.mapping.Packets) && s.mapping.Packets[i][j] == 0 {
+						continue
+					}
+				}
+			}
+		}
+		dl := pkt.Deadline
+		if dl == 0 {
+			dl = math.MaxInt64 - 1
+		}
+		c := st.WindowConstraintRatio()
+		if dl < bestDL || (dl == bestDL && c > bestC) {
+			best, bestDL, bestC = i, dl, c
+		}
+	}
+	return best
+}

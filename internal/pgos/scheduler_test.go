@@ -504,11 +504,11 @@ func TestSetPathsValidation(t *testing.T) {
 func TestInitialCommittedReservesHeadroom(t *testing.T) {
 	st := stream.New(0, stream.Spec{Name: "g", Kind: stream.Probabilistic, RequiredMbps: 30, Probability: 0.9})
 	cdf := warmMonitor("A", 50).CDF()
-	free := ComputeMappingOpts([]*stream.Stream{st}, []*stats.CDF{cdf}, 1, MapOptions{})
+	free := ComputeMappingOpts([]*stream.Stream{st}, []stats.Distribution{cdf}, 1, MapOptions{})
 	if free.Rejected[0] {
 		t.Fatal("30 Mbps must fit a 50 Mbps path with no prior commitments")
 	}
-	seeded := ComputeMappingOpts([]*stream.Stream{st}, []*stats.CDF{cdf}, 1,
+	seeded := ComputeMappingOpts([]*stream.Stream{st}, []stats.Distribution{cdf}, 1,
 		MapOptions{InitialCommitted: []float64{35}})
 	if !seeded.Rejected[0] {
 		t.Fatal("30 Mbps must not fit after 35 Mbps is already committed")

@@ -95,6 +95,11 @@ type Stream struct {
 	queue []*simnet.Packet
 	head  int // index of first valid element in queue (amortized pop)
 
+	// observer, when set, is invoked with the stream's ID after every
+	// successful queue mutation (Push, Pop, PushFront). PGOS uses it to
+	// keep its unscheduled-traffic heap keyed to live queue state.
+	observer func(id int)
+
 	// Counters.
 	Enqueued   uint64
 	Dropped    uint64 // arrivals refused because the backlog was full
@@ -123,6 +128,12 @@ func New(id int, spec Spec) *Stream {
 	return &Stream{ID: id, Spec: spec}
 }
 
+// SetObserver installs fn as the stream's queue observer (nil removes
+// it). At most one observer exists; a second scheduler installing its
+// own would silently detach the first, so streams must not be shared
+// between observer-installing schedulers.
+func (s *Stream) SetObserver(fn func(id int)) { s.observer = fn }
+
 // Len returns the number of queued packets.
 func (s *Stream) Len() int { return len(s.queue) - s.head }
 
@@ -139,6 +150,9 @@ func (s *Stream) Push(p *simnet.Packet) bool {
 	s.queue = append(s.queue, p)
 	s.Enqueued++
 	s.BitsQueued += p.Bits
+	if s.observer != nil {
+		s.observer(s.ID)
+	}
 	return true
 }
 
@@ -166,6 +180,9 @@ func (s *Stream) Pop() *simnet.Packet {
 	}
 	s.Dequeued++
 	s.BitsQueued -= p.Bits
+	if s.observer != nil {
+		s.observer(s.ID)
+	}
 	return p
 }
 
@@ -185,6 +202,9 @@ func (s *Stream) PushFront(p *simnet.Packet) {
 	s.BitsQueued += p.Bits
 	if s.Dequeued > 0 {
 		s.Dequeued--
+	}
+	if s.observer != nil {
+		s.observer(s.ID)
 	}
 }
 
