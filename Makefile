@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench e2e figures ablations html fuzz clean
+.PHONY: all build vet test race cover bench bench-compare e2e figures ablations html fuzz clean
 
 all: build vet test
 
@@ -22,12 +22,21 @@ cover:
 	$(GO) test -cover ./internal/...
 
 # Runs every benchmark and records the ns/op + allocs baseline as JSON
-# (BENCH_PR4.json) for regression comparison across PRs — now including the
-# live driver-pacing and probe-train benchmarks. Override BENCHTIME
-# (e.g. BENCHTIME=1x) for a quick smoke pass.
+# (BENCH_PR5.json) for regression comparison across PRs — now including the
+# BenchmarkScale streams × paths sweeps. Override BENCHTIME (e.g.
+# BENCHTIME=1x) for a quick smoke pass.
 BENCHTIME ?= 1s
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_PR4.json
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_PR5.json
+
+# Diffs the BenchmarkScale suite against the previous PR's baseline and
+# fails on >20 % ns/op regression or any new steady-state allocation.
+# CI runs this non-blocking (continue-on-error) at BENCHTIME=100x — don't
+# smoke it at 1x, a single cold iteration reads as a phantom regression.
+bench-compare:
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) \
+		./internal/pgos/ ./internal/live/ ./internal/sched/ ./internal/predict/ | \
+		$(GO) run ./cmd/benchjson -out /tmp/bench-compare.json -compare BENCH_PR4.json -max-regress 20
 
 # Live end-to-end smoke: the Fig. 8 overlay as shaped relay subprocesses
 # on 127.0.0.1 with real UDP sockets and wall-clock pacing. Takes ~40 s;
@@ -50,6 +59,8 @@ fuzz:
 	$(GO) test -fuzz FuzzUnmarshal -fuzztime 30s -run xxx ./internal/transport/
 	$(GO) test -fuzz FuzzReadMessage -fuzztime 30s -run xxx ./internal/transport/
 	$(GO) test -fuzz FuzzRead -fuzztime 30s -run xxx ./internal/trace/
+	$(GO) test -fuzz FuzzParseFrame -fuzztime 30s -run xxx ./internal/live/
+	$(GO) test -fuzz FuzzReadFrame -fuzztime 30s -run xxx ./internal/live/
 
 clean:
 	rm -rf figures

@@ -4,6 +4,17 @@
 //
 //	go test -bench=. -benchmem ./... | benchjson -out BENCH_PR2.json
 //
+// With -compare it additionally diffs the parsed results against a prior
+// baseline and exits non-zero on regressions — CI's bench gate:
+//
+//	go test -bench=. -benchmem ./... | benchjson -out BENCH_PR5.json \
+//	    -compare BENCH_PR4.json -max-regress 20
+//
+// A regression is a benchmark present in both files whose ns/op grew by
+// more than -max-regress percent, or which allocates per op where the
+// baseline did not (a new steady-state allocation). Benchmarks that exist
+// on only one side are reported but never fail the run.
+//
 // Only standard benchmark result lines are parsed; everything else
 // (pkg/goos headers, PASS/ok trailers) passes through untouched. The GOOS
 // `pkg:` headers are tracked so each benchmark records which package it
@@ -42,6 +53,8 @@ var benchLine = regexp.MustCompile(
 
 func main() {
 	out := flag.String("out", "", "write parsed benchmarks as JSON to this file (required)")
+	compare := flag.String("compare", "", "baseline JSON to diff against; regressions exit 1")
+	maxRegress := flag.Float64("max-regress", 20, "ns/op growth tolerated before -compare fails, in percent")
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
@@ -88,4 +101,89 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(f.Benchmarks), *out)
+
+	if *compare != "" {
+		if failed := compareBaseline(f, *compare, *maxRegress); failed {
+			os.Exit(1)
+		}
+	}
+}
+
+// normName strips the trailing -N GOMAXPROCS suffix so baselines survive
+// runner core-count changes.
+func normName(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// key identifies a benchmark across files.
+func key(b Benchmark) string { return b.Package + "\x00" + normName(b.Name) }
+
+// compareBaseline diffs cur against the baseline file at path and reports
+// whether the diff should fail the run (>maxRegress% ns/op growth or a
+// new per-op allocation on any shared benchmark).
+func compareBaseline(cur File, path string, maxRegress float64) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: compare:", err)
+		return true
+	}
+	var base File
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: compare: %s: %v\n", path, err)
+		return true
+	}
+	baseline := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[key(b)] = b
+	}
+	current := make(map[string]bool, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		current[key(b)] = true
+	}
+
+	failed := false
+	seen := 0
+	for _, b := range cur.Benchmarks {
+		old, ok := baseline[key(b)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: NEW       %-60s %12.0f ns/op (no baseline)\n",
+				normName(b.Name), b.NsPerOp)
+			continue
+		}
+		seen++
+		delta := 0.0
+		if old.NsPerOp > 0 {
+			delta = (b.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+		}
+		if delta > maxRegress {
+			failed = true
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSED %-60s %12.0f -> %.0f ns/op (%+.1f%% > %.0f%%)\n",
+				normName(b.Name), old.NsPerOp, b.NsPerOp, delta, maxRegress)
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: ok        %-60s %12.0f -> %.0f ns/op (%+.1f%%)\n",
+				normName(b.Name), old.NsPerOp, b.NsPerOp, delta)
+		}
+		if old.AllocsPerOp == 0 && b.AllocsPerOp > 0 {
+			failed = true
+			fmt.Fprintf(os.Stderr, "benchjson: NEWALLOC  %-60s %d allocs/op (baseline 0)\n",
+				normName(b.Name), b.AllocsPerOp)
+		}
+	}
+	for _, b := range base.Benchmarks {
+		if !current[key(b)] {
+			fmt.Fprintf(os.Stderr, "benchjson: MISSING   %-60s (in baseline, not in run)\n",
+				normName(b.Name))
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: compare FAILED against %s (%d shared benchmarks)\n", path, seen)
+	} else {
+		fmt.Fprintf(os.Stderr, "benchjson: compare ok against %s (%d shared benchmarks)\n", path, seen)
+	}
+	return failed
 }

@@ -154,15 +154,17 @@ func (d *Driver) Offer(i int, bits float64) bool {
 	}
 	d.maybeEnterWindow()
 	d.nextPktID++
-	p := &simnet.Packet{
-		ID:       d.nextPktID,
-		Stream:   i,
-		Bits:     bits,
-		Created:  d.tick,
-		Deadline: d.windowEndTick(),
-		Frame:    uint64(d.deadlineStamp),
-	}
+	p := simnet.AcquirePacket()
+	p.ID = d.nextPktID
+	p.Stream = i
+	p.Bits = bits
+	p.Created = d.tick
+	p.Deadline = d.windowEndTick()
+	p.Frame = uint64(d.deadlineStamp)
 	ok := d.streams[i].Push(p)
+	if !ok {
+		simnet.ReleasePacket(p)
+	}
 	d.mu.Unlock()
 	if ok {
 		d.mOffered.Inc()

@@ -22,7 +22,13 @@ type benchSink struct {
 
 func (p *benchSink) ID() int                      { return p.id }
 func (p *benchSink) Name() string                 { return p.name }
-func (p *benchSink) Send(pkt *simnet.Packet) bool { p.sent++; return true }
+func (p *benchSink) Send(pkt *simnet.Packet) bool {
+	p.sent++
+	// Mirror transport.Path's writer: once the packet is "on the wire" the
+	// sink retires it to the pool.
+	simnet.ReleasePacket(pkt)
+	return true
+}
 func (p *benchSink) QueuedPackets() int           { return 0 }
 
 type liveScaleBench struct {
@@ -86,7 +92,10 @@ func newLiveScaleBench(nStreams, nPaths int) *liveScaleBench {
 	for k := 0; k < 500; k++ {
 		lb.sampleMonitors()
 	}
-	for t := 0; t < 200; t++ { // two scheduling windows to steady state
+	// Steady state needs at least two scheduling windows, plus enough
+	// ticks for per-stream queue storage to hit its compaction plateau
+	// (low-rate streams pop every ~10 ticks).
+	for t := 0; t < 1200; t++ {
 		lb.d.Step()
 	}
 	return lb

@@ -112,11 +112,17 @@ func newScaleBench(nStreams, nPaths int) *scaleBench {
 	sb.windowTick = int64(twSec/benchTickSec + 0.5)
 
 	// Warm every monitor with a full window of samples so the first window
-	// boundary maps, then run two windows to reach steady state.
+	// boundary maps, then run to steady state: at least two scheduling
+	// windows, and enough ticks for every stream's queue storage to reach
+	// its compaction plateau (low-rate streams pop once every ~5 ticks).
 	for k := 0; k < 500; k++ {
 		sb.sampleMonitors()
 	}
-	for t := 0; t < int(2*sb.windowTick); t++ {
+	warm := int(2 * sb.windowTick)
+	if warm < 1200 {
+		warm = 1200
+	}
+	for t := 0; t < warm; t++ {
 		sb.tickOnce()
 	}
 	return sb
@@ -145,13 +151,15 @@ func (sb *scaleBench) tickOnce() {
 			sb.debt[i]--
 			p := sb.net.NewPacket(i, benchBits)
 			p.Deadline = t + sb.windowTick
-			sb.streams[i].Push(p)
+			if !sb.streams[i].Push(p) {
+				simnet.ReleasePacket(p)
+			}
 		}
 	}
 	sb.sched.Tick(t)
 	sb.net.Step()
 	for _, p := range sb.paths {
-		p.TakeDelivered()
+		p.DrainDelivered(nil)
 	}
 	sb.tick++
 }

@@ -242,6 +242,16 @@ func (s *Scheduler) onStreamEvent(id int) {
 		return // stream added without AddStream; picked up at next remap
 	}
 	s.r3.touch(id)
+	if id < len(s.r2.dropped) && s.r2.dropped[id] {
+		// Rule-2 cells evicted while the queue was empty: re-key them now
+		// that the queue changed (only a push can fire while empty).
+		s.r2.dropped[id] = false
+		for j := 0; j < s.r2.nPaths && id < len(s.remaining); j++ {
+			if s.remaining[id][j] > 0 {
+				s.r2Requeue(id, j)
+			}
+		}
+	}
 }
 
 // maxBackoffTicks caps the blocked-path backoff at roughly one scheduling

@@ -52,21 +52,46 @@ func r2Less(a, b r2Entry) bool {
 	return a.j < b.j
 }
 
+// r2State keeps one min-heap per quota path. A consult for a visit to
+// path j takes the minimum over the *other* paths' tops, so own-path
+// slots never need to be popped out of the way — with a single global
+// heap, every consult had to stash the whole due prefix belonging to the
+// visited path, which degenerated to the scan's O(due) cost exactly in
+// the windows where many slots fall due together.
 type r2State struct {
-	heap   []r2Entry
-	stash  []r2Entry // entries ineligible for the current consult only
-	ver    []uint32  // [i*nPaths+j]
-	nPaths int
+	heaps [][]r2Entry // [j]: slots whose quota path is j
+	ver   []uint32    // [i*nPaths+j]
+	// dropped[i] marks that stream i's due cells were evicted from the
+	// heaps while its queue was empty; the stream's next queue event
+	// re-keys them. Without this, every consult would pop and restore the
+	// whole due-but-empty set — O(due) per consult, the exact scan cost
+	// the heaps exist to avoid.
+	dropped []bool
+	nPaths  int
 }
 
 func (r *r2State) reset(nStreams, nPaths int) {
 	r.nPaths = nPaths
-	r.heap = r.heap[:0]
+	if cap(r.heaps) < nPaths {
+		r.heaps = make([][]r2Entry, nPaths)
+	}
+	r.heaps = r.heaps[:nPaths]
+	for j := range r.heaps {
+		r.heaps[j] = r.heaps[j][:0]
+	}
 	need := nStreams * nPaths
 	if cap(r.ver) < need {
 		r.ver = make([]uint32, need)
 	} else {
 		r.ver = r.ver[:need]
+	}
+	if cap(r.dropped) < nStreams {
+		r.dropped = make([]bool, nStreams)
+	} else {
+		r.dropped = r.dropped[:nStreams]
+		for i := range r.dropped {
+			r.dropped[i] = false
+		}
 	}
 }
 
@@ -78,12 +103,11 @@ func (s *Scheduler) rebuildR2() {
 	if !s.haveMap || s.remaining == nil {
 		return
 	}
-	h := s.r2.heap
 	for i := range s.remaining {
 		c := s.streams[i].WindowConstraintRatio()
 		for j := range s.remaining[i] {
 			if s.remaining[i][j] > 0 {
-				h = append(h, r2Entry{
+				s.r2.heaps[j] = append(s.r2.heaps[j], r2Entry{
 					dl: s.slotDeadline(i, j), c: c,
 					i: int32(i), j: int32(j),
 					ver: s.r2.ver[i*s.r2.nPaths+j],
@@ -91,8 +115,9 @@ func (s *Scheduler) rebuildR2() {
 			}
 		}
 	}
-	s.r2.heap = h
-	heapx.Init(s.r2.heap, r2Less)
+	for j := range s.r2.heaps {
+		heapx.Init(s.r2.heaps[j], r2Less)
+	}
 }
 
 // r2Requeue re-keys cell (i, j2) after a rule-2 consumption: invalidate
@@ -101,7 +126,7 @@ func (s *Scheduler) r2Requeue(i, j2 int) {
 	vi := i*s.r2.nPaths + j2
 	s.r2.ver[vi]++
 	if s.remaining[i][j2] > 0 {
-		heapx.Push(&s.r2.heap, r2Entry{
+		heapx.Push(&s.r2.heaps[j2], r2Entry{
 			dl: s.slotDeadline(i, j2), c: s.streams[i].WindowConstraintRatio(),
 			i: int32(i), j: int32(j2), ver: s.r2.ver[vi],
 		}, r2Less)
@@ -126,45 +151,61 @@ func (s *Scheduler) r2Touch(i, j2 int) {
 // with r2Requeue after decrementing the quota.
 func (s *Scheduler) selectOtherPathHeap(j int, now int64) (int, int) {
 	elapsed := now - s.windowStart
-	st := s.r2.stash[:0]
-	foundI, foundJ := -1, -1
-	for len(s.r2.heap) > 0 {
-		top := s.r2.heap[0]
-		vi := int(top.i)*s.r2.nPaths + int(top.j)
-		if top.ver != s.r2.ver[vi] || s.remaining[top.i][top.j] <= 0 {
-			heapx.Pop(&s.r2.heap, r2Less)
+	var best r2Entry
+	haveBest := false
+	for j2 := range s.r2.heaps {
+		if j2 == j {
+			// Own-path slots belong to rule 1; this heap sits untouched.
 			continue
 		}
-		if dl := s.slotDeadline(int(top.i), int(top.j)); dl != top.dl {
-			// Stale key: rule-1 consumption on this cell pushed the true
-			// deadline later. Correct in place and re-evaluate — at most
-			// one correction per entry per consult, since corrected keys
-			// are exact for the rest of the consult.
-			heapx.Pop(&s.r2.heap, r2Less)
-			top.dl = dl
-			heapx.Push(&s.r2.heap, top, r2Less)
-			continue
-		}
-		if top.dl > elapsed+s.lookahead {
-			// The top's key lower-bounds every deadline here: nothing due.
+		h := &s.r2.heaps[j2]
+		for len(*h) > 0 {
+			top := (*h)[0]
+			vi := int(top.i)*s.r2.nPaths + int(top.j)
+			if top.ver != s.r2.ver[vi] || s.remaining[top.i][top.j] <= 0 {
+				heapx.Pop(h, r2Less)
+				continue
+			}
+			if dl := s.slotDeadline(int(top.i), int(top.j)); dl != top.dl {
+				// Stale key: rule-1 consumption on this cell pushed the
+				// true deadline later. Correct in place and re-evaluate —
+				// at most one correction per entry per consult, since
+				// corrected keys are exact for the rest of the consult.
+				heapx.Pop(h, r2Less)
+				top.dl = dl
+				heapx.Push(h, top, r2Less)
+				continue
+			}
+			if top.dl > elapsed+s.lookahead {
+				// The top's key lower-bounds every deadline in this heap:
+				// nothing due on this path.
+				break
+			}
+			if s.streams[top.i].Len() == 0 {
+				// Empty queue: evict every due cell of this stream and
+				// re-key on its next queue event (the observer checks
+				// dropped[i]) — an empty stream can only become eligible
+				// again via a push.
+				heapx.Pop(h, r2Less)
+				s.r2.ver[vi]++
+				s.r2.dropped[top.i] = true
+				continue
+			}
+			// Due and eligible: this path's candidate. r2Less is a total
+			// order over (dl, c, i, j), so the min over path tops equals
+			// the global scan's first-encountered winner.
+			if !haveBest || r2Less(top, best) {
+				best = top
+				haveBest = true
+			}
 			break
 		}
-		if int(top.j) == j || s.streams[top.i].Len() == 0 {
-			// Ineligible for this consult only (own-path slots belong to
-			// rule 1; an empty queue may refill): park and restore below.
-			heapx.Pop(&s.r2.heap, r2Less)
-			st = append(st, top)
-			continue
-		}
-		heapx.Pop(&s.r2.heap, r2Less)
-		foundI, foundJ = int(top.i), int(top.j)
-		break
 	}
-	for _, e := range st {
-		heapx.Push(&s.r2.heap, e, r2Less)
+	if !haveBest {
+		return -1, -1
 	}
-	s.r2.stash = st[:0]
-	return foundI, foundJ
+	heapx.Pop(&s.r2.heaps[best.j], r2Less)
+	return int(best.i), int(best.j)
 }
 
 // r3Entry is one stream in the rule-3 (unscheduled traffic) heap, keyed

@@ -1,0 +1,53 @@
+package predict
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPredictSteadyStateZeroAlloc pins the mean-prediction share path to
+// zero allocations per Predict once the window is warm — AR1 used to copy
+// the whole window (Window.Values) on every call.
+func TestPredictSteadyStateZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	preds := StandardMeanPredictors(256)
+	pctl := NewPercentile(256, 0.10, 0)
+	for i := 0; i < 600; i++ {
+		x := 40 + 10*rng.Float64()
+		for _, p := range preds {
+			p.Observe(x)
+		}
+		pctl.Observe(x)
+	}
+	for _, p := range preds {
+		p := p
+		if avg := testing.AllocsPerRun(200, func() {
+			p.Observe(45)
+			p.Predict()
+		}); avg > 0.1 {
+			t.Errorf("%s: %.2f allocs per observe+predict, want 0", p.Name(), avg)
+		}
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		pctl.Observe(45)
+		pctl.Predict()
+		pctl.ExceedProbability(42)
+	}); avg > 0.1 {
+		t.Errorf("PCTL: %.2f allocs per observe+predict, want 0", avg)
+	}
+}
+
+// BenchmarkAR1Predict measures the parameter re-fit per prediction; the
+// window copy it used to allocate is now a reused scratch buffer.
+func BenchmarkAR1Predict(b *testing.B) {
+	a := NewAR1(1000)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1200; i++ {
+		a.Observe(40 + 10*rng.Float64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Predict()
+	}
+}

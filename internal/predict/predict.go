@@ -143,6 +143,9 @@ type AR1 struct {
 	// Running sums over the window for lag-1 covariance would require
 	// pairing; we keep the raw values and recompute on Predict, which is
 	// acceptable for the modest windows (≤ 1000) used in evaluation.
+	// vals is scratch reused across Predict calls so the per-call window
+	// copy is allocation-free.
+	vals []float64
 }
 
 // NewAR1 returns an AR(1) predictor estimating parameters over k samples.
@@ -168,7 +171,8 @@ func (a *AR1) Predict() (float64, bool) {
 	if n < 4 {
 		return 0, false
 	}
-	vals := a.win.Values()
+	a.vals = a.win.AppendValues(a.vals[:0])
+	vals := a.vals
 	mean := 0.0
 	for _, v := range vals {
 		mean += v

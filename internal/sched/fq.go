@@ -1,6 +1,9 @@
 package sched
 
-import "iqpaths/internal/stream"
+import (
+	"iqpaths/internal/heapx"
+	"iqpaths/internal/stream"
+)
 
 // FQ implements weighted fair queuing over one or more path services.
 // With a single path it is the paper's "Non-Overlay Fair Queuing" (WFQ)
@@ -9,6 +12,14 @@ import "iqpaths/internal/stream"
 // weighted service so far sends on it, which maintains the aggregate
 // proportions across servers — but, as the paper shows, says nothing
 // about the absolute bandwidth any one stream receives.
+//
+// Stream selection runs on a min-heap keyed by (virtual time asc, stream
+// index asc) instead of a per-dispatch linear scan, so a dispatch costs
+// O(log S) rather than O(S). Entries are invalidated by version number:
+// every queue event (via the stream observer) or service update marks the
+// stream dirty, and the next pickStream call re-keys dirty streams before
+// consulting the heap, which keeps heap order exactly equal to what the
+// scan would have chosen.
 type FQ struct {
 	name    string
 	streams []*stream.Stream
@@ -18,6 +29,30 @@ type FQ struct {
 	served []float64
 	// PaceLimit bounds per-path queued packets.
 	paceLimit int
+
+	// heap holds at most one valid entry per backlogged stream; stale
+	// entries (ver mismatch) are discarded lazily at pop.
+	heap      []fqEntry
+	ver       []uint32
+	dirty     []bool
+	dirtyList []int32
+}
+
+// fqEntry is a heap key: the stream's virtual time when the entry was
+// pushed, its index, and the version stamping the entry valid.
+type fqEntry struct {
+	served float64
+	idx    int32
+	ver    uint32
+}
+
+// fqLess orders by virtual time ascending, ties broken by stream index —
+// the same winner the linear scan's first-strictly-smaller rule picks.
+func fqLess(a, b fqEntry) bool {
+	if a.served != b.served {
+		return a.served < b.served
+	}
+	return a.idx < b.idx
 }
 
 // NewWFQ builds the single-path weighted-fair-queuing baseline.
@@ -37,13 +72,25 @@ func newFQ(name string, streams []*stream.Stream, paths []PathService, paceLimit
 	if paceLimit <= 0 {
 		paceLimit = DefaultPaceLimit
 	}
-	return &FQ{
+	f := &FQ{
 		name:      name,
 		streams:   streams,
 		paths:     paths,
 		served:    make([]float64, len(streams)),
 		paceLimit: paceLimit,
+		heap:      make([]fqEntry, 0, len(streams)),
+		ver:       make([]uint32, len(streams)),
+		dirty:     make([]bool, len(streams)),
+		dirtyList: make([]int32, 0, len(streams)),
 	}
+	// Queue events (push/pop) must re-key the stream in the heap; streams
+	// may already hold backlog, so everything starts dirty.
+	for i, s := range f.streams {
+		i := i
+		s.SetObserver(func(int) { f.markDirty(i) })
+		f.markDirty(i)
+	}
+	return f
 }
 
 // Name implements Scheduler.
@@ -62,7 +109,7 @@ func (f *FQ) Tick(now int64) {
 			return
 		}
 		s := f.streams[si]
-		pkt := s.Pop()
+		pkt := s.Pop() // fires the observer, re-keying si before the next pick
 		f.served[si] += pkt.Bits / s.Weight
 		if !path.Send(pkt) {
 			// Blocked despite pacing (shared first hop); stop this tick.
@@ -71,9 +118,40 @@ func (f *FQ) Tick(now int64) {
 	}
 }
 
-// pickStream returns the backlogged stream with minimum virtual time,
-// or -1 when all are empty.
+func (f *FQ) markDirty(i int) {
+	if !f.dirty[i] {
+		f.dirty[i] = true
+		f.dirtyList = append(f.dirtyList, int32(i))
+	}
+}
+
+// pickStream returns the backlogged stream with minimum virtual time, or
+// -1 when all are empty. It is idempotent: consulting the heap does not
+// consume the winner (the dispatch's Pop re-keys it via the observer).
 func (f *FQ) pickStream() int {
+	for _, i := range f.dirtyList {
+		f.dirty[i] = false
+		f.ver[i]++
+		if f.streams[i].Len() > 0 {
+			heapx.Push(&f.heap, fqEntry{served: f.served[i], idx: i, ver: f.ver[i]}, fqLess)
+		}
+	}
+	f.dirtyList = f.dirtyList[:0]
+	for len(f.heap) > 0 {
+		e := f.heap[0]
+		i := int(e.idx)
+		if e.ver != f.ver[i] || f.streams[i].Len() == 0 {
+			heapx.Pop(&f.heap, fqLess)
+			continue
+		}
+		return i
+	}
+	return -1
+}
+
+// pickStreamScan is the reference linear scan pickStream replaced; the
+// differential test pins heap selections to it.
+func (f *FQ) pickStreamScan() int {
 	best := -1
 	for i, s := range f.streams {
 		if s.Len() == 0 {
@@ -104,6 +182,7 @@ func (f *FQ) CatchUpIdle() {
 	for i, s := range f.streams {
 		if s.Len() == 0 && f.served[i] < busyMin {
 			f.served[i] = busyMin
+			f.markDirty(i) // empty now, but the new key must apply when refilled
 		}
 	}
 }

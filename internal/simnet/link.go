@@ -30,9 +30,11 @@ type LinkConfig struct {
 	// Process, when non-nil, is invoked on every packet arriving at the
 	// far end of this link — the overlay's "in-flight" processing hook
 	// (filtering, downsampling, compression at router daemons). Returning
-	// false consumes the packet (counted in Stats.Processed); the hook
-	// may also mutate the packet (e.g. shrink Bits to model compression)
-	// before it continues to the next hop.
+	// false consumes the packet (counted in Stats.Processed; the emulator
+	// releases it back to the packet pool, so the hook must not retain a
+	// reference to a packet it consumes). The hook may also mutate the
+	// packet (e.g. shrink Bits to model compression) before it continues
+	// to the next hop.
 	Process func(*Packet) bool
 }
 
@@ -51,6 +53,11 @@ type Link struct {
 	cfg   LinkConfig
 	net   *Network
 	queue []*Packet
+	// qhead indexes the first live packet in queue: dequeues advance it
+	// instead of re-slicing, so the backing array is reused rather than
+	// reallocated as the slice window slides (amortized-O(1), zero-alloc
+	// steady state).
+	qhead int
 	// headSent tracks how many bits of the head-of-line packet have been
 	// transmitted so far (packets may straddle ticks).
 	headSent float64
@@ -125,11 +132,11 @@ func (l *Link) BaseLossProb() float64 { return l.cfg.LossProb }
 func (l *Link) AvailMbps() float64 { return l.availMbps }
 
 // QueueLen returns the number of packets waiting on the link.
-func (l *Link) QueueLen() int { return len(l.queue) }
+func (l *Link) QueueLen() int { return len(l.queue) - l.qhead }
 
 // Full reports whether the queue is at its limit (the link is "blocked"
 // in PGOS's terms).
-func (l *Link) Full() bool { return len(l.queue) >= l.cfg.QueueLimit }
+func (l *Link) Full() bool { return l.QueueLen() >= l.cfg.QueueLimit }
 
 // Stats returns a copy of the link's counters.
 func (l *Link) Stats() LinkStats { return l.stats }
@@ -165,8 +172,8 @@ func (l *Link) step() {
 	budget := avail * l.net.tickSeconds * 1e6 // bits this tick
 	budget0 := budget
 
-	for budget > 0 && len(l.queue) > 0 {
-		head := l.queue[0]
+	for budget > 0 && l.QueueLen() > 0 {
+		head := l.queue[l.qhead]
 		need := head.Bits - l.headSent
 		if need > budget {
 			l.headSent += budget
@@ -175,12 +182,22 @@ func (l *Link) step() {
 		}
 		budget -= need
 		l.headSent = 0
-		l.queue = l.queue[1:]
+		l.queue[l.qhead] = nil
+		l.qhead++
+		if l.qhead == len(l.queue) {
+			l.queue = l.queue[:0]
+			l.qhead = 0
+		} else if l.qhead > 1024 && l.qhead*2 >= len(l.queue) {
+			n := copy(l.queue, l.queue[l.qhead:])
+			l.queue = l.queue[:n]
+			l.qhead = 0
+		}
 		if l.lossProb > 0 && l.rng.Float64() < l.lossProb {
 			l.stats.LossDrops++
 			if l.mLossDrops != nil {
 				l.mLossDrops.Inc()
 			}
+			ReleasePacket(head)
 			continue
 		}
 		l.stats.Transmitted++
@@ -194,7 +211,7 @@ func (l *Link) step() {
 	if l.mUtil != nil {
 		if budget0 > 0 {
 			l.mUtil.Observe((budget0 - budget) / budget0)
-		} else if len(l.queue) > 0 {
+		} else if l.QueueLen() > 0 {
 			// Fully starved (cross traffic or a fault consumed the whole
 			// budget) with work waiting: the link is saturated, not idle.
 			// Skipping the sample here would make the histogram read
@@ -204,11 +221,15 @@ func (l *Link) step() {
 	}
 }
 
-// arrivals returns and clears the packets whose propagation delay expires
-// at the current tick.
+// arrivals returns the packets whose propagation delay expires at the
+// current tick and resets the slot for reuse. The returned slice aliases
+// the ring slot's backing array, which is safe because Network.Step
+// consumes it fully before any link transmits into the slot again —
+// re-slicing to length zero (rather than dropping the array) is what
+// keeps steady-state ticks allocation-free.
 func (l *Link) arrivals() []*Packet {
 	slot := l.net.tick % int64(len(l.delayRing))
 	out := l.delayRing[slot]
-	l.delayRing[slot] = nil
+	l.delayRing[slot] = out[:0]
 	return out
 }

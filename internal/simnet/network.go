@@ -17,6 +17,9 @@ type Network struct {
 	rng         *rand.Rand
 	nextPktID   uint64
 	tel         *telemetry.Registry
+	// mPoolOutstanding mirrors the process-wide packet-pool population
+	// once per tick (set by SetTelemetry).
+	mPoolOutstanding *telemetry.Gauge
 }
 
 // New creates a network advancing in ticks of tickSeconds (e.g. 0.01).
@@ -96,10 +99,16 @@ func (n *Network) Link(name string) *Link {
 	return n.linkByName[name]
 }
 
-// NewPacket allocates a packet of the given size tagged with a stream.
+// NewPacket returns a pooled packet of the given size tagged with a
+// stream (see the ownership contract in pool.go).
 func (n *Network) NewPacket(stream int, bits float64) *Packet {
 	n.nextPktID++
-	return &Packet{ID: n.nextPktID, Stream: stream, Bits: bits, Created: n.tick}
+	p := AcquirePacket()
+	p.ID = n.nextPktID
+	p.Stream = stream
+	p.Bits = bits
+	p.Created = n.tick
+	return p
 }
 
 // Step advances the virtual clock one tick: every link transmits against
@@ -114,6 +123,7 @@ func (n *Network) Step() {
 		for _, p := range l.arrivals() {
 			if l.cfg.Process != nil && !l.cfg.Process(p) {
 				l.stats.Processed++
+				ReleasePacket(p)
 				continue
 			}
 			p.hop++
@@ -128,8 +138,12 @@ func (n *Network) Step() {
 				if path.mDropped != nil {
 					path.mDropped.Inc()
 				}
+				ReleasePacket(p)
 			}
 		}
+	}
+	if n.mPoolOutstanding != nil {
+		n.mPoolOutstanding.Set(float64(PoolOutstanding()))
 	}
 }
 

@@ -77,8 +77,35 @@ func (p *Path) QueuedPackets() int {
 	return n
 }
 
+// DrainDelivered invokes fn (which may be nil) on each packet delivered
+// since the last drain, in delivery order, then releases the packets to
+// the pool and reuses the buffer. This is the zero-allocation
+// alternative to TakeDelivered for callers that only account deliveries:
+// fn must not retain the packet past its invocation.
+func (p *Path) DrainDelivered(fn func(*Packet)) {
+	if len(p.delivered) == 0 {
+		return
+	}
+	for _, pkt := range p.delivered {
+		p.stats.DeliveredCount++
+		p.stats.DeliveredBits += pkt.Bits
+		if fn != nil {
+			fn(pkt)
+		}
+		ReleasePacket(pkt)
+	}
+	if p.mDelivered != nil {
+		p.mDelivered.Add(uint64(len(p.delivered)))
+	}
+	for i := range p.delivered {
+		p.delivered[i] = nil
+	}
+	p.delivered = p.delivered[:0]
+}
+
 // TakeDelivered returns the packets delivered since the last call and
-// clears the buffer. Callers own the returned slice.
+// clears the buffer. Callers own the returned slice (and the packets,
+// which are never returned to the pool).
 func (p *Path) TakeDelivered() []*Packet {
 	out := p.delivered
 	p.delivered = nil

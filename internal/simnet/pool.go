@@ -1,0 +1,52 @@
+package simnet
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Packet pooling. A 300-second emulated run moves millions of packets;
+// allocating each one individually makes the garbage collector the
+// largest consumer of scheduler time at scale. The pool recycles packet
+// structs at the points where the emulator itself retires them — random
+// loss, queue-overflow drops, in-flight consumption, and (via
+// Path.DrainDelivered) delivery — so a steady-state tick allocates
+// nothing.
+//
+// Ownership contract: a packet obtained from NewPacket/AcquirePacket is
+// owned by exactly one party at a time. Whoever retires it calls
+// ReleasePacket; holding a reference past release is a use-after-free in
+// spirit (the struct will be recycled and rewritten). Code that wants to
+// keep delivered packets takes them via TakeDelivered, which transfers
+// ownership and never releases.
+
+var (
+	packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+	poolAcquired atomic.Uint64
+	poolReleased atomic.Uint64
+)
+
+// AcquirePacket returns a zeroed packet from the pool.
+func AcquirePacket() *Packet {
+	poolAcquired.Add(1)
+	return packetPool.Get().(*Packet)
+}
+
+// ReleasePacket returns a packet to the pool. The caller must hold the
+// only live reference; the struct is zeroed and will be reused.
+func ReleasePacket(p *Packet) {
+	if p == nil {
+		return
+	}
+	*p = Packet{}
+	poolReleased.Add(1)
+	packetPool.Put(p)
+}
+
+// PoolOutstanding returns the number of pool-acquired packets not yet
+// released — the live packet population when all producers acquire and
+// all consumers release. Exposed as the iqpaths_simnet_packet_pool gauge.
+func PoolOutstanding() int64 {
+	return int64(poolAcquired.Load()) - int64(poolReleased.Load())
+}

@@ -9,6 +9,12 @@ import "iqpaths/internal/telemetry"
 // lazily on their first step. Nil detaches.
 func (n *Network) SetTelemetry(reg *telemetry.Registry) {
 	n.tel = reg
+	if reg != nil {
+		n.mPoolOutstanding = reg.Gauge("iqpaths_simnet_packet_pool_outstanding",
+			"Pool-acquired packets not yet released (process-wide).")
+	} else {
+		n.mPoolOutstanding = nil
+	}
 	for _, l := range n.links {
 		l.initTelemetry(reg)
 	}

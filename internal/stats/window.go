@@ -191,11 +191,17 @@ func (w *Window) Snapshot() *CDF {
 // Values returns the window contents in insertion order (oldest first).
 // The returned slice is freshly allocated.
 func (w *Window) Values() []float64 {
-	out := make([]float64, 0, w.n)
+	return w.AppendValues(make([]float64, 0, w.n))
+}
+
+// AppendValues appends the window contents in insertion order (oldest
+// first) to dst and returns the extended slice — the allocation-free
+// variant of Values for callers that keep a scratch buffer across calls.
+func (w *Window) AppendValues(dst []float64) []float64 {
 	for i := 0; i < w.n; i++ {
-		out = append(out, w.ring[(w.head+i)%w.cap])
+		dst = append(dst, w.ring[(w.head+i)%w.cap])
 	}
-	return out
+	return dst
 }
 
 // Reset empties the window without releasing its storage.

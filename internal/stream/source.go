@@ -49,7 +49,9 @@ func (f *FrameSource) Tick() {
 			p := f.net.NewPacket(f.Stream.ID, sz)
 			p.Deadline = deadline
 			p.Frame = f.frames
-			f.Stream.Push(p)
+			if !f.Stream.Push(p) {
+				simnet.ReleasePacket(p)
+			}
 			bits -= sz
 		}
 		f.nextFrame += period
@@ -77,7 +79,11 @@ func NewBacklogSource(net *simnet.Network, st *Stream, depth int) *BacklogSource
 // Tick refills the stream's backlog. Call once per network tick.
 func (b *BacklogSource) Tick() {
 	for b.Stream.Len() < b.Depth {
-		b.Stream.Push(b.net.NewPacket(b.Stream.ID, b.Stream.PacketBits))
+		p := b.net.NewPacket(b.Stream.ID, b.Stream.PacketBits)
+		if !b.Stream.Push(p) {
+			simnet.ReleasePacket(p)
+			return
+		}
 	}
 }
 
@@ -103,7 +109,10 @@ func NewRateSource(net *simnet.Network, st *Stream, mbps float64) *RateSource {
 func (r *RateSource) Tick() {
 	r.debt += r.Mbps * 1e6 * r.net.TickSeconds()
 	for r.debt >= r.Stream.PacketBits {
-		r.Stream.Push(r.net.NewPacket(r.Stream.ID, r.Stream.PacketBits))
+		p := r.net.NewPacket(r.Stream.ID, r.Stream.PacketBits)
+		if !r.Stream.Push(p) {
+			simnet.ReleasePacket(p)
+		}
 		r.debt -= r.Stream.PacketBits
 	}
 }

@@ -79,25 +79,36 @@ func (p *Path) Close() error {
 }
 
 func (p *Path) writer() {
+	// The payload scratch and Message are reused across packets: Conn
+	// implementations marshal into their own buffer before returning, so
+	// neither is retained past Send. The packet itself is released to the
+	// pool once its fields are on the wire.
+	var payload []byte
+	var m Message
 	for {
 		select {
 		case <-p.closed:
 			return
 		case pkt := <-p.queue:
-			payload := make([]byte, int(pkt.Bits)/8)
-			m := &Message{
+			n := int(pkt.Bits) / 8
+			if cap(payload) < n {
+				payload = make([]byte, n)
+			}
+			m = Message{
 				Kind:    KindData,
 				Stream:  uint32(pkt.Stream),
 				Frame:   pkt.Frame,
-				Payload: payload,
+				Payload: payload[:n],
 			}
-			err := p.conn.Send(m)
+			bits := pkt.Bits
+			simnet.ReleasePacket(pkt)
+			err := p.conn.Send(&m)
 			atomic.AddInt64(&p.queued, -1)
 			if err != nil {
 				return
 			}
 			atomic.AddUint64(&p.sentPkts, 1)
-			atomic.AddUint64(&p.sentBits, uint64(pkt.Bits))
+			atomic.AddUint64(&p.sentBits, uint64(bits))
 		}
 	}
 }

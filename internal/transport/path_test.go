@@ -19,8 +19,12 @@ func (c *collectorConn) Send(m *Message) error {
 	if c.block != nil {
 		<-c.block
 	}
+	// Honor the Conn contract: m and its payload are the caller's to
+	// reuse after Send returns, so keep a deep copy.
+	cp := *m
+	cp.Payload = append([]byte(nil), m.Payload...)
 	c.mu.Lock()
-	c.msgs = append(c.msgs, m)
+	c.msgs = append(c.msgs, &cp)
 	c.mu.Unlock()
 	return nil
 }

@@ -9,6 +9,9 @@ import (
 // Conn is a bidirectional message connection.
 type Conn interface {
 	// Send writes one message (blocking; safe for one concurrent sender).
+	// The implementation must serialize m before returning and retain
+	// neither m nor its Payload: callers (transport.Path's writer) reuse
+	// both across calls.
 	Send(m *Message) error
 	// Recv reads the next message (blocking; safe for one concurrent
 	// receiver).
