@@ -22,12 +22,13 @@ cover:
 	$(GO) test -cover ./internal/...
 
 # Runs every benchmark and records the ns/op + allocs baseline as JSON
-# (BENCH_PR5.json) for regression comparison across PRs — now including the
-# BenchmarkScale streams × paths sweeps. Override BENCHTIME (e.g.
-# BENCHTIME=1x) for a quick smoke pass.
+# (BENCH_PR6.json) for regression comparison across PRs — now including the
+# BenchmarkPlaneScale streams × shards sweep, which benchjson folds into
+# per-configuration scaling curves (with GOMAXPROCS) under "scaling".
+# Override BENCHTIME (e.g. BENCHTIME=1x) for a quick smoke pass.
 BENCHTIME ?= 1s
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_PR5.json
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_PR6.json
 
 # Diffs the BenchmarkScale suite against the previous PR's baseline and
 # fails on >20 % ns/op regression or any new steady-state allocation.
@@ -35,8 +36,9 @@ bench:
 # smoke it at 1x, a single cold iteration reads as a phantom regression.
 bench-compare:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) \
-		./internal/pgos/ ./internal/live/ ./internal/sched/ ./internal/predict/ | \
-		$(GO) run ./cmd/benchjson -out /tmp/bench-compare.json -compare BENCH_PR4.json -max-regress 20
+		./internal/pgos/ ./internal/live/ ./internal/sched/ ./internal/predict/ \
+		./internal/shard/ ./internal/telemetry/ | \
+		$(GO) run ./cmd/benchjson -out /tmp/bench-compare.json -compare BENCH_PR5.json -max-regress 20
 
 # Live end-to-end smoke: the Fig. 8 overlay as shaped relay subprocesses
 # on 127.0.0.1 with real UDP sockets and wall-clock pacing. Takes ~40 s;

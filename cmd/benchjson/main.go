@@ -15,6 +15,13 @@
 // baseline did not (a new steady-state allocation). Benchmarks that exist
 // on only one side are reported but never fail the run.
 //
+// Sub-benchmarks named with a `shards=N` component (the sharded-plane
+// sweeps) are additionally grouped into per-configuration scaling curves,
+// recorded under "scaling" in the JSON with the run's GOMAXPROCS. When
+// GOMAXPROCS > 1, curves whose parallel efficiency falls below
+// -min-scale-eff fail the run; single-core runs cannot speed up, so their
+// curves are recorded but never gated.
+//
 // Only standard benchmark result lines are parsed; everything else
 // (pkg/goos headers, PASS/ok trailers) passes through untouched. The GOOS
 // `pkg:` headers are tracked so each benchmark records which package it
@@ -44,7 +51,8 @@ type Benchmark struct {
 
 // File is the JSON document layout.
 type File struct {
-	Benchmarks []Benchmark `json:"benchmarks"`
+	Benchmarks []Benchmark    `json:"benchmarks"`
+	Scaling    []ScalingCurve `json:"scaling,omitempty"`
 }
 
 // benchLine matches `BenchmarkName-8  1000  1234 ns/op  [56 B/op  7 allocs/op]`.
@@ -55,6 +63,7 @@ func main() {
 	out := flag.String("out", "", "write parsed benchmarks as JSON to this file (required)")
 	compare := flag.String("compare", "", "baseline JSON to diff against; regressions exit 1")
 	maxRegress := flag.Float64("max-regress", 20, "ns/op growth tolerated before -compare fails, in percent")
+	minScaleEff := flag.Float64("min-scale-eff", 0.5, "minimum parallel efficiency for shards= sweeps (only enforced when GOMAXPROCS > 1)")
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
@@ -90,6 +99,8 @@ func main() {
 		os.Exit(1)
 	}
 
+	f.Scaling = extractScaling(f.Benchmarks)
+
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -102,10 +113,15 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(f.Benchmarks), *out)
 
+	failed := false
+	if len(f.Scaling) > 0 {
+		failed = checkScaling(os.Stderr, f.Scaling, *minScaleEff)
+	}
 	if *compare != "" {
-		if failed := compareBaseline(f, *compare, *maxRegress); failed {
-			os.Exit(1)
-		}
+		failed = compareBaseline(f, *compare, *maxRegress) || failed
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

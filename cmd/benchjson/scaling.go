@@ -1,0 +1,127 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Scaling-curve extraction: sub-benchmarks named with a `shards=N`
+// component (e.g. BenchmarkPlaneScale/streams=100000/shards=8-4) are
+// grouped into per-configuration curves so a baseline records how tick
+// cost scales with shard count at a given GOMAXPROCS. The trailing -P
+// suffix (GOMAXPROCS at run time) is kept on the curve, not stripped:
+// a 4-core curve and a 1-core curve are different experiments.
+
+// ScalingPoint is one shard count's measurement within a curve.
+type ScalingPoint struct {
+	Shards  int     `json:"shards"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Speedup is the curve's smallest-shard-count ns/op divided by this
+	// point's ns/op (1.0 at the baseline point).
+	Speedup float64 `json:"speedup"`
+}
+
+// ScalingCurve groups one benchmark family's shard sweep at a fixed
+// sub-configuration (everything in the name except the shards= component).
+type ScalingCurve struct {
+	Package    string         `json:"package,omitempty"`
+	Name       string         `json:"name"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Points     []ScalingPoint `json:"points"`
+}
+
+var shardsComponent = regexp.MustCompile(`(^|/)shards=(\d+)($|/)`)
+
+// splitProcs strips the trailing -P GOMAXPROCS suffix, returning the bare
+// name and P (1 when absent, matching go test's behavior at GOMAXPROCS=1).
+func splitProcs(name string) (string, int) {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil && p > 0 {
+			return name[:i], p
+		}
+	}
+	return name, 1
+}
+
+// extractScaling pulls shard-sweep curves out of a parsed benchmark set.
+// Points within a curve are sorted by shard count; curves keep the input's
+// first-seen order so output is stable across runs.
+func extractScaling(benchmarks []Benchmark) []ScalingCurve {
+	type curveKey struct {
+		pkg, name string
+		procs     int
+	}
+	idx := make(map[curveKey]int)
+	var curves []ScalingCurve
+	for _, b := range benchmarks {
+		bare, procs := splitProcs(b.Name)
+		m := shardsComponent.FindStringSubmatch(bare)
+		if m == nil {
+			continue
+		}
+		shards, _ := strconv.Atoi(m[2])
+		// Collapse the shards= component (and one adjoining slash) so all
+		// points of a sweep share a curve name.
+		name := shardsComponent.ReplaceAllString(bare, "$1")
+		name = strings.TrimSuffix(name, "/")
+		k := curveKey{b.Package, name, procs}
+		i, ok := idx[k]
+		if !ok {
+			i = len(curves)
+			idx[k] = i
+			curves = append(curves, ScalingCurve{Package: b.Package, Name: name, GoMaxProcs: procs})
+		}
+		curves[i].Points = append(curves[i].Points, ScalingPoint{Shards: shards, NsPerOp: b.NsPerOp})
+	}
+	for i := range curves {
+		pts := curves[i].Points
+		sort.Slice(pts, func(a, b int) bool { return pts[a].Shards < pts[b].Shards })
+		base := pts[0].NsPerOp
+		for j := range pts {
+			if pts[j].NsPerOp > 0 {
+				pts[j].Speedup = base / pts[j].NsPerOp
+			}
+		}
+	}
+	return curves
+}
+
+// checkScaling reports each curve and returns true (fail) when any curve
+// run with GOMAXPROCS > 1 scales sub-linearly: parallel efficiency —
+// speedup divided by min(shards, GOMAXPROCS) — below minEff at any
+// multi-shard point. Single-core runs cannot exhibit parallel speedup,
+// so their curves are reported but never fail the check.
+func checkScaling(w io.Writer, curves []ScalingCurve, minEff float64) bool {
+	failed := false
+	for _, c := range curves {
+		label := c.Name
+		if c.Package != "" {
+			label = c.Package + " " + label
+		}
+		fmt.Fprintf(w, "benchjson: scaling  %s (GOMAXPROCS=%d)\n", label, c.GoMaxProcs)
+		for _, p := range c.Points {
+			line := fmt.Sprintf("benchjson:   shards=%-3d %14.0f ns/op  speedup %.2fx", p.Shards, p.NsPerOp, p.Speedup)
+			if c.GoMaxProcs > 1 && p.Shards > 1 {
+				expect := p.Shards
+				if c.GoMaxProcs < expect {
+					expect = c.GoMaxProcs
+				}
+				eff := p.Speedup / float64(expect)
+				line += fmt.Sprintf("  eff %.2f", eff)
+				if eff < minEff {
+					failed = true
+					line += fmt.Sprintf("  SUBLINEAR (< %.2f)", minEff)
+				}
+			}
+			fmt.Fprintln(w, line)
+		}
+		if c.GoMaxProcs == 1 {
+			fmt.Fprintln(w, "benchjson:   (single-core run: efficiency gate skipped)")
+		}
+	}
+	return failed
+}

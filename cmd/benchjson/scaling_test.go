@@ -1,0 +1,100 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func mk(name string, ns float64) Benchmark {
+	return Benchmark{Package: "iqpaths/internal/shard", Name: name, NsPerOp: ns}
+}
+
+func TestExtractScalingGroupsByConfigAndProcs(t *testing.T) {
+	curves := extractScaling([]Benchmark{
+		mk("BenchmarkPlaneScale/streams=1000/shards=1-4", 1000),
+		mk("BenchmarkPlaneScale/streams=1000/shards=4-4", 300),
+		mk("BenchmarkPlaneScale/streams=1000/shards=2-4", 520),
+		mk("BenchmarkPlaneScale/streams=10000/shards=1-4", 9000),
+		mk("BenchmarkPlaneScale/streams=10000/shards=2-4", 4800),
+		mk("BenchmarkTick-4", 50), // no shards component: ignored
+	})
+	if len(curves) != 2 {
+		t.Fatalf("got %d curves, want 2", len(curves))
+	}
+	c := curves[0]
+	if c.Name != "BenchmarkPlaneScale/streams=1000" {
+		t.Fatalf("curve name = %q", c.Name)
+	}
+	if c.GoMaxProcs != 4 {
+		t.Fatalf("gomaxprocs = %d, want 4", c.GoMaxProcs)
+	}
+	if len(c.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(c.Points))
+	}
+	// Points sorted by shard count, speedup relative to the first.
+	for i, want := range []int{1, 2, 4} {
+		if c.Points[i].Shards != want {
+			t.Fatalf("point %d shards = %d, want %d", i, c.Points[i].Shards, want)
+		}
+	}
+	if c.Points[0].Speedup != 1 {
+		t.Fatalf("baseline speedup = %v, want 1", c.Points[0].Speedup)
+	}
+	if got := c.Points[2].Speedup; got < 3.3 || got > 3.4 {
+		t.Fatalf("shards=4 speedup = %v, want 1000/300", got)
+	}
+}
+
+func TestExtractScalingSeparatesProcCounts(t *testing.T) {
+	curves := extractScaling([]Benchmark{
+		mk("BenchmarkPlaneScale/streams=1000/shards=1", 1000), // GOMAXPROCS=1: no suffix
+		mk("BenchmarkPlaneScale/streams=1000/shards=1-8", 1000),
+	})
+	if len(curves) != 2 {
+		t.Fatalf("got %d curves, want 2 (procs 1 and 8)", len(curves))
+	}
+	if curves[0].GoMaxProcs == curves[1].GoMaxProcs {
+		t.Fatalf("curves share GoMaxProcs %d", curves[0].GoMaxProcs)
+	}
+}
+
+func TestCheckScalingGatesOnlyMultiCore(t *testing.T) {
+	// Flat single-core curve: never fails.
+	flat := []ScalingCurve{{
+		Name: "BenchmarkPlaneScale/streams=1000", GoMaxProcs: 1,
+		Points: []ScalingPoint{
+			{Shards: 1, NsPerOp: 1000, Speedup: 1},
+			{Shards: 4, NsPerOp: 1050, Speedup: 0.95},
+		},
+	}}
+	if checkScaling(io.Discard, flat, 0.5) {
+		t.Fatal("single-core curve failed the efficiency gate")
+	}
+	// Same flat curve at 4 cores: eff 0.95/4 < 0.5, must flag.
+	flat[0].GoMaxProcs = 4
+	if !checkScaling(io.Discard, flat, 0.5) {
+		t.Fatal("sub-linear 4-core curve passed the efficiency gate")
+	}
+	// Healthy 4-core curve: eff 3.2/4 = 0.8.
+	good := []ScalingCurve{{
+		Name: "BenchmarkPlaneScale/streams=1000", GoMaxProcs: 4,
+		Points: []ScalingPoint{
+			{Shards: 1, NsPerOp: 1000, Speedup: 1},
+			{Shards: 4, NsPerOp: 312.5, Speedup: 3.2},
+		},
+	}}
+	if checkScaling(io.Discard, good, 0.5) {
+		t.Fatal("healthy 4-core curve failed the efficiency gate")
+	}
+	// Shards beyond cores: expected speedup caps at GOMAXPROCS.
+	over := []ScalingCurve{{
+		Name: "BenchmarkPlaneScale/streams=1000", GoMaxProcs: 2,
+		Points: []ScalingPoint{
+			{Shards: 1, NsPerOp: 1000, Speedup: 1},
+			{Shards: 8, NsPerOp: 800, Speedup: 1.25}, // eff 1.25/2 = 0.625
+		},
+	}}
+	if checkScaling(io.Discard, over, 0.5) {
+		t.Fatal("8-shard/2-core curve failed despite eff above threshold")
+	}
+}

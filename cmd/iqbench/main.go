@@ -11,6 +11,7 @@
 //	iqbench -fig 13           # GridFTP vs IQPG CDFs (Fig. 13)
 //	iqbench -fig faults       # WFQ/MSFQ/PGOS under a scripted fault scenario
 //	iqbench -fig churn        # static routing vs control-plane rerouting under churn
+//	iqbench -fig scale        # sharded data plane scaling sweep (-shards, -streams)
 //	iqbench -fig all          # everything
 //	iqbench -fig ablations    # DESIGN.md §5 ablation sweeps
 //
@@ -24,6 +25,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"iqpaths/internal/experiment"
@@ -32,13 +34,15 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 4, 9, 10, 11, 12, 13, video, faults, churn, all, ablations")
+		fig      = flag.String("fig", "all", "figure to regenerate: 4, 9, 10, 11, 12, 13, video, faults, churn, scale, all, ablations")
 		seed     = flag.Int64("seed", 42, "experiment seed")
 		duration = flag.Float64("duration", 150, "measured seconds per run")
 		warmup   = flag.Float64("warmup", 60, "warm-up seconds before measurement")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		outDir   = flag.String("out", "", "also write each table as a CSV file into this directory")
 		seeds    = flag.Int("seeds", 0, "with -fig multiseed: number of seeds to aggregate over")
+		shards   = flag.Int("shards", 8, "with -fig scale: largest shard count in the sweep (powers of two up to this)")
+		streams  = flag.Int("streams", 10000, "with -fig scale: total stream count")
 		htmlPath = flag.String("html", "", "write a self-contained HTML report (charts + tables) to this file")
 		telePath = flag.String("telemetry", "", "write the PGOS SmartPointer run's telemetry snapshot (JSON) to this file")
 	)
@@ -51,6 +55,8 @@ func main() {
 		teeDir = *outDir
 	}
 	seedCount = *seeds
+	scaleShards = *shards
+	scaleStreams = *streams
 	if *htmlPath != "" {
 		if err := writeHTML(*htmlPath, *seed, *duration, *warmup); err != nil {
 			fmt.Fprintln(os.Stderr, "iqbench:", err)
@@ -173,6 +179,8 @@ func run(fig string, seed int64, duration, warmup float64, csv bool) error {
 		return faultsFig(cfg, csv)
 	case "churn":
 		return churnFig(cfg, csv)
+	case "scale":
+		return scaleFig(cfg, csv)
 	case "multiseed":
 		n := seedCount
 		if n <= 1 {
@@ -198,6 +206,10 @@ var teeDir string
 
 // seedCount is the -seeds flag value (multiseed figure).
 var seedCount int
+
+// scaleShards and scaleStreams are the -shards / -streams flag values
+// (scale figure).
+var scaleShards, scaleStreams int
 
 // currentSection names the file the next table tees into.
 var currentSection string
@@ -420,6 +432,24 @@ func churnFig(cfg experiment.RunConfig, csv bool) error {
 		fmt.Printf("admission: %s -> rejected (%s); upcall: %s\n", d.Spec, d.Reason, best)
 	}
 	return tee(func(w io.Writer, csv bool) error { return experiment.RenderChurn(w, res, csv) }, csv)
+}
+
+func scaleFig(cfg experiment.RunConfig, csv bool) error {
+	var sweep []int
+	for n := 1; n <= scaleShards; n *= 2 {
+		sweep = append(sweep, n)
+	}
+	banner(fmt.Sprintf("Scale: sharded data plane, %d streams across %v shards (GOMAXPROCS=%d)",
+		scaleStreams, sweep, runtime.GOMAXPROCS(0)))
+	rows, err := experiment.RunScale(experiment.ScaleConfig{
+		Streams: scaleStreams,
+		Shards:  sweep,
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	return tee(func(w io.Writer, csv bool) error { return experiment.RenderScale(w, rows, csv) }, csv)
 }
 
 func videoFig(cfg experiment.RunConfig, csv bool) error {

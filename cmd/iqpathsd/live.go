@@ -22,7 +22,9 @@ import (
 	"iqpaths/internal/live/testbed"
 	"iqpaths/internal/monitor"
 	"iqpaths/internal/sched"
+	"iqpaths/internal/shard"
 	"iqpaths/internal/stream"
+	"iqpaths/internal/telemetry"
 	"iqpaths/internal/transport"
 )
 
@@ -163,6 +165,7 @@ type sourceConfig struct {
 	probeSec  float64
 	report    string // sink HTTP base URL for link-state POSTs (optional)
 	duration  time.Duration
+	shards    int // >1 runs the sharded driver (paths split round-robin)
 }
 
 // runSource is `-role source`: dial every overlay path, warm the CDF
@@ -199,6 +202,10 @@ func runSource(ctx context.Context, cfg sourceConfig) error {
 		paths[j] = p
 		mons[j] = monitor.New(ps.name, 64, 8)
 		log.Printf("source: path %s via %s", ps.name, ps.addr)
+	}
+
+	if cfg.shards > 1 {
+		return runSourceSharded(ctx, cfg, clock, conns, paths, mons, names)
 	}
 
 	const packetBits = 12000
@@ -259,7 +266,7 @@ func runSource(ctx context.Context, cfg sourceConfig) error {
 	}
 	go d.Run(runCtx)
 	if cfg.report != "" {
-		go reportLinkState(runCtx, cfg, d, names)
+		go reportLinkState(runCtx, cfg, d.MeanBandwidth, names)
 	}
 
 	ticker := time.NewTicker(time.Second)
@@ -285,6 +292,139 @@ func runSource(ctx context.Context, cfg sourceConfig) error {
 	}
 }
 
+// runSourceSharded is `-role source -shards N`: the same live deployment
+// with the PGOS engine sharded across N scheduling domains. Paths split
+// round-robin across shards (a path is paced by exactly one shard), the
+// offered load splits into one stream per shard, and every shard's
+// scheduler metrics land in the process registry labeled shard="k", so
+// /metrics serves per-shard stats alongside the plane aggregates.
+func runSourceSharded(ctx context.Context, cfg sourceConfig, clock live.Clock,
+	conns []*transport.RUDPConn, paths []sched.PathService, mons []*monitor.PathMonitor, names []string) error {
+	nShards := cfg.shards
+	if nShards > len(paths) {
+		return fmt.Errorf("source: -shards %d exceeds path count %d (each shard needs a path)", nShards, len(paths))
+	}
+	domains := make([]live.ShardDomain, nShards)
+	// pathAt[j] locates global path j inside its shard's domain.
+	type slot struct{ shard, local int }
+	pathAt := make([]slot, len(paths))
+	for j := range paths {
+		k := j % nShards
+		pathAt[j] = slot{k, len(domains[k].Paths)}
+		domains[k].Paths = append(domains[k].Paths, paths[j])
+		domains[k].Mons = append(domains[k].Mons, mons[j])
+	}
+
+	const packetBits = 12000
+	perStream := cfg.rateMbps / float64(nShards)
+
+	var warm atomic.Bool
+	cbrs := make([]*live.CBR, nShards)
+	ids := make([]int, nShards)
+	var d *live.ShardedDriver
+	d = live.NewShardedDriver(live.ShardedConfig{
+		Config: live.Config{
+			TickSeconds: cfg.tickSec,
+			TwSec:       cfg.windowSec,
+			Clock:       clock,
+			Telemetry:   telemetry.Default(),
+			OnTick: func(int64) {
+				if !warm.Load() {
+					return
+				}
+				for i, cbr := range cbrs {
+					n := cbr.Packets(cfg.tickSec)
+					for p := 0; p < n; p++ {
+						d.Offer(ids[i], packetBits)
+					}
+				}
+			},
+		},
+		// Least-loaded placement round-robins the N streams so each
+		// shard schedules exactly one.
+		Placement: shard.LeastLoaded{},
+	}, domains)
+	defer d.Stop()
+
+	for i := 0; i < nShards; i++ {
+		spec := stream.Spec{Name: fmt.Sprintf("live%d", i), Kind: stream.BestEffort, PacketBits: packetBits}
+		if cfg.prob > 0 {
+			spec.Kind = stream.Probabilistic
+			spec.RequiredMbps = perStream
+			spec.Probability = cfg.prob
+		}
+		cbrs[i] = &live.CBR{Mbps: perStream, PacketBits: packetBits}
+		ids[i], _ = d.AddStream(spec)
+	}
+
+	quota := int(perStream * 1e6 * cfg.windowSec / packetBits)
+	for i, id := range ids {
+		hello := live.MarshalHello(live.Hello{
+			Stream:       uint32(id),
+			Name:         fmt.Sprintf("live%d", i),
+			QuotaPackets: uint32(quota),
+			WindowNanos:  int64(cfg.windowSec * 1e9),
+			GraceNanos:   int64(150 * time.Millisecond),
+			SkipWindows:  3,
+		})
+		if err := conns[0].Send(&transport.Message{Kind: transport.KindControl, Seq: uint64(i + 1), Payload: hello}); err != nil {
+			return fmt.Errorf("source: hello: %w", err)
+		}
+	}
+
+	runCtx := ctx
+	if cfg.duration > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, cfg.duration)
+		defer cancel()
+	}
+	for j, conn := range conns {
+		p := live.NewProber(live.ProbeConfig{IntervalSec: cfg.probeSec}, clock, conn)
+		at := pathAt[j]
+		p.OnBandwidth = func(mbps float64) { d.ObserveBandwidth(at.shard, at.local, mbps) }
+		p.OnRTT = func(sec float64) { d.ObserveRTT(at.shard, at.local, sec) }
+		p.OnLoss = func(rate float64) { d.ObserveLoss(at.shard, at.local, rate) }
+		live.Bind(conn, p, nil)
+		go p.Run(runCtx)
+	}
+	go d.Run(runCtx)
+	if cfg.report != "" {
+		go reportLinkState(runCtx, cfg, func(j int) float64 {
+			at := pathAt[j]
+			return d.MeanBandwidth(at.shard, at.local)
+		}, names)
+	}
+
+	log.Printf("source: sharded driver, %d shards over %d paths (%s)", nShards, len(paths), strings.Join(names, " "))
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-runCtx.Done():
+			st := d.SchedStats()
+			log.Printf("source: done; scheduled=%d other-path=%d unscheduled=%d lag-resyncs=%d",
+				st.ScheduledSent, st.OtherPathSent, st.UnscheduledSent, d.LagResyncs())
+			for k, ss := range d.ShardStats() {
+				log.Printf("source: shard %d: scheduled=%d other-path=%d unscheduled=%d remaps=%d",
+					k, ss.ScheduledSent, ss.OtherPathSent, ss.UnscheduledSent, ss.Remaps)
+			}
+			return nil
+		case <-ticker.C:
+			if !warm.Load() {
+				if d.Warm() {
+					warm.Store(true)
+					log.Printf("source: predictors warm: starting %.1f Mbps across %d shard streams",
+						cfg.rateMbps, nShards)
+				}
+				continue
+			}
+			st := d.SchedStats()
+			log.Printf("source: tick=%d sent=%d", d.Tick(),
+				st.ScheduledSent+st.OtherPathSent+st.UnscheduledSent)
+		}
+	}
+}
+
 func monSummary(d *live.Driver, names []string) string {
 	parts := make([]string, len(names))
 	for j, n := range names {
@@ -295,8 +435,9 @@ func monSummary(d *live.Driver, names []string) string {
 
 // reportLinkState POSTs this node's measured per-path availability to the
 // sink's /control/linkstate as length-prefixed frames, once per second
-// with monotonically increasing versions.
-func reportLinkState(ctx context.Context, cfg sourceConfig, d *live.Driver, names []string) {
+// with monotonically increasing versions. bw maps a global path index to
+// its mean available-bandwidth estimate.
+func reportLinkState(ctx context.Context, cfg sourceConfig, bw func(int) float64, names []string) {
 	url := strings.TrimSuffix(cfg.report, "/") + "/control/linkstate"
 	version := uint64(0)
 	ticker := time.NewTicker(time.Second)
@@ -310,7 +451,7 @@ func reportLinkState(ctx context.Context, cfg sourceConfig, d *live.Driver, name
 		version++
 		var body bytes.Buffer
 		for j, name := range names {
-			u := live.LinkState{Node: cfg.node, Link: name, Version: version, Up: true, AvailMbps: d.MeanBandwidth(j)}
+			u := live.LinkState{Node: cfg.node, Link: name, Version: version, Up: true, AvailMbps: bw(j)}
 			if err := live.WriteFrame(&body, live.MarshalLinkState(u)); err != nil {
 				return
 			}

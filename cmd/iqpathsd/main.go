@@ -73,6 +73,7 @@ func main() {
 		probe     = flag.Float64("probe", 0.25, "source: probe-train interval in seconds")
 		report    = flag.String("report", "", "source: sink HTTP base URL for link-state reports (optional)")
 		duration  = flag.Duration("duration", 0, "source: stop after this long (0 runs until signal)")
+		shardsN   = flag.Int("shards", 1, "source: shard count for the sharded data plane (1 = unsharded; paths split round-robin)")
 	)
 	flag.Parse()
 
@@ -117,6 +118,7 @@ func main() {
 			probeSec:  *probe,
 			report:    *report,
 			duration:  *duration,
+			shards:    *shardsN,
 		})
 	default:
 		fmt.Fprintf(os.Stderr, "unknown role %q\n", *role)

@@ -1,0 +1,277 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"iqpaths/internal/monitor"
+	"iqpaths/internal/pgos"
+	"iqpaths/internal/sched"
+	"iqpaths/internal/shard"
+	"iqpaths/internal/simnet"
+	"iqpaths/internal/stream"
+)
+
+// ScaleConfig parameterizes the sharded-plane scaling sweep: the same
+// aggregate workload (Streams CBR streams, one in five best-effort)
+// scheduled by 1..N per-core PGOS shards, measuring wall time per
+// barrier tick. Speedup is relative to the 1-shard row, so with
+// GOMAXPROCS ≥ shards it reads as parallel efficiency; on a single core
+// it hovers near 1.0 and mostly measures barrier overhead.
+type ScaleConfig struct {
+	// Streams is the total stream count (default 10000).
+	Streams int
+	// Shards lists the shard counts to sweep (default 1, 2, 4, 8).
+	Shards []int
+	// Ticks is the measured tick count per configuration (default 300).
+	Ticks int
+	// WarmTicks runs before measurement (default two scheduling windows).
+	WarmTicks int
+	// Seed drives monitor noise and per-shard networks.
+	Seed int64
+}
+
+func (c *ScaleConfig) fillDefaults() {
+	if c.Streams <= 0 {
+		c.Streams = 10000
+	}
+	if len(c.Shards) == 0 {
+		c.Shards = []int{1, 2, 4, 8}
+	}
+	if c.Ticks <= 0 {
+		c.Ticks = 300
+	}
+	if c.WarmTicks <= 0 {
+		c.WarmTicks = 2 * scaleWindowTicks
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// ScaleRow is one configuration's measurement.
+type ScaleRow struct {
+	Shards     int
+	Streams    int
+	GoMaxProcs int
+	// TickMicros is mean wall microseconds per plane barrier tick.
+	TickMicros float64
+	// Speedup is the 1-shard row's TickMicros divided by this row's.
+	Speedup float64
+	// DeliveredPkts counts packets delivered across all shards during
+	// the measured ticks (workload sanity: rows should roughly agree).
+	DeliveredPkts uint64
+}
+
+const (
+	scaleTickSec     = 0.01
+	scaleTwSec       = 1.0
+	scaleBits        = 12000.0
+	scaleGRate       = 0.25
+	scaleBERate      = 0.1
+	scalePaths       = 2 // per shard
+	scaleWindowTicks = int(scaleTwSec / scaleTickSec)
+)
+
+// scaleWorld is one sharded-plane instance of the sweep workload.
+type scaleWorld struct {
+	plane *shard.Plane
+	nets  []*simnet.Network
+	paths [][]*simnet.Path
+	mons  [][]*monitor.PathMonitor
+	noise []*rand.Rand
+	debt  [][]float64
+	caps  []float64
+	rates []float64
+	tick  int64
+}
+
+func newScaleWorld(cfg ScaleConfig, nShards int) *scaleWorld {
+	w := &scaleWorld{rates: make([]float64, cfg.Streams)}
+	totalMbps := 0.0
+	for i := range w.rates {
+		if i%5 == 4 {
+			w.rates[i] = scaleBERate
+		} else {
+			w.rates[i] = scaleGRate
+		}
+		totalMbps += w.rates[i]
+	}
+	capMbps := totalMbps/float64(nShards)*2/scalePaths + 10
+	capPktsPerTick := capMbps * scaleTickSec * 1e6 / scaleBits
+	paceLimit := int(2 * capPktsPerTick)
+	if paceLimit < 170 {
+		paceLimit = 170
+	}
+
+	var domains []shard.Domain
+	for k := 0; k < nShards; k++ {
+		net := simnet.New(scaleTickSec, rand.New(rand.NewSource(cfg.Seed+int64(k))))
+		arena := &simnet.Arena{}
+		net.SetArena(arena)
+		var paths []*simnet.Path
+		var svcs []sched.PathService
+		var mons []*monitor.PathMonitor
+		noise := rand.New(rand.NewSource(cfg.Seed + int64(1000+k)))
+		for j := 0; j < scalePaths; j++ {
+			l := net.AddLink(simnet.LinkConfig{
+				Name:         fmt.Sprintf("s%dl%d", k, j),
+				CapacityMbps: capMbps,
+				DelayTicks:   1,
+				QueueLimit:   2*paceLimit + 100,
+			})
+			p := net.AddPath(fmt.Sprintf("s%dp%d", k, j), l)
+			paths = append(paths, p)
+			svcs = append(svcs, p)
+			m := monitor.New(p.Name(), 500, 100)
+			for s := 0; s < 500; s++ {
+				m.ObserveBandwidth(capMbps * (1 + 0.03*noise.NormFloat64()))
+			}
+			mons = append(mons, m)
+		}
+		w.nets = append(w.nets, net)
+		w.paths = append(w.paths, paths)
+		w.mons = append(w.mons, mons)
+		w.noise = append(w.noise, noise)
+		w.caps = append(w.caps, capMbps)
+		w.debt = append(w.debt, nil)
+		domains = append(domains, shard.Domain{
+			Paths: svcs,
+			Mons:  mons,
+			Arena: arena,
+			Step: func(int64) {
+				net.Step()
+				for _, p := range paths {
+					p.DrainDelivered(nil)
+				}
+			},
+		})
+	}
+
+	w.plane = shard.NewPlane(shard.Config{
+		PGOS: pgos.Config{
+			TwSec:       scaleTwSec,
+			TickSeconds: scaleTickSec,
+			PaceLimit:   paceLimit,
+		},
+		OnShardTick: w.onShardTick,
+	}, domains)
+
+	for i := 0; i < cfg.Streams; i++ {
+		if i%5 == 4 {
+			w.plane.AddStream(stream.Spec{Name: fmt.Sprintf("be%d", i), Kind: stream.BestEffort})
+		} else {
+			w.plane.AddStream(stream.Spec{
+				Name:         fmt.Sprintf("g%d", i),
+				Kind:         stream.Probabilistic,
+				RequiredMbps: scaleGRate,
+				Probability:  0.95,
+			})
+		}
+	}
+	return w
+}
+
+func (w *scaleWorld) onShardTick(sh *shard.Shard, now int64) {
+	k := sh.ID()
+	if now%10 == 0 {
+		for _, m := range w.mons[k] {
+			m.ObserveBandwidth(w.caps[k] * (1 + 0.03*w.noise[k].NormFloat64()))
+		}
+	}
+	n := sh.NumStreams()
+	debt := w.debt[k]
+	for len(debt) < n {
+		debt = append(debt, 0)
+	}
+	w.debt[k] = debt
+	for i := 0; i < n; i++ {
+		g := sh.GlobalID(i)
+		debt[i] += w.rates[g] * 1e6 * scaleTickSec / scaleBits
+		for debt[i] >= 1 {
+			debt[i]--
+			p := w.nets[k].NewPacket(g, scaleBits)
+			p.Deadline = now + int64(scaleWindowTicks)
+			if !sh.Stream(i).Push(p) {
+				simnet.ReleasePacket(p)
+			}
+		}
+	}
+}
+
+func (w *scaleWorld) tickOnce() {
+	w.plane.Tick(w.tick)
+	w.tick++
+}
+
+// delivered sums delivered-packet counters across every shard's paths.
+func (w *scaleWorld) delivered() uint64 {
+	var n uint64
+	for _, paths := range w.paths {
+		for _, p := range paths {
+			n += uint64(p.Stats().DeliveredCount)
+		}
+	}
+	return n
+}
+
+// RunScale runs the shards sweep and returns one row per shard count.
+func RunScale(cfg ScaleConfig) ([]ScaleRow, error) {
+	cfg.fillDefaults()
+	rows := make([]ScaleRow, 0, len(cfg.Shards))
+	base := 0.0
+	for _, nShards := range cfg.Shards {
+		if nShards <= 0 {
+			return nil, fmt.Errorf("scale: invalid shard count %d", nShards)
+		}
+		w := newScaleWorld(cfg, nShards)
+		for t := 0; t < cfg.WarmTicks; t++ {
+			w.tickOnce()
+		}
+		before := w.delivered()
+		start := time.Now()
+		for t := 0; t < cfg.Ticks; t++ {
+			w.tickOnce()
+		}
+		elapsed := time.Since(start)
+		row := ScaleRow{
+			Shards:        nShards,
+			Streams:       cfg.Streams,
+			GoMaxProcs:    runtime.GOMAXPROCS(0),
+			TickMicros:    float64(elapsed.Microseconds()) / float64(cfg.Ticks),
+			DeliveredPkts: w.delivered() - before,
+		}
+		if base == 0 {
+			base = row.TickMicros
+		}
+		if row.TickMicros > 0 {
+			row.Speedup = base / row.TickMicros
+		}
+		rows = append(rows, row)
+		w.plane.Stop()
+	}
+	return rows, nil
+}
+
+// RenderScale writes the sweep rows.
+func RenderScale(w io.Writer, rows []ScaleRow, csv bool) error {
+	header := []string{"shards", "streams", "gomaxprocs", "tick_us", "speedup_vs_1shard", "delivered_pkts"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.Shards),
+			fmt.Sprintf("%d", r.Streams),
+			fmt.Sprintf("%d", r.GoMaxProcs),
+			fmt.Sprintf("%.1f", r.TickMicros),
+			fmt.Sprintf("%.2f", r.Speedup),
+			fmt.Sprintf("%d", r.DeliveredPkts),
+		})
+	}
+	if csv {
+		return WriteCSV(w, header, out)
+	}
+	return WriteTable(w, header, out)
+}

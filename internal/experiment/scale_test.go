@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunScaleSmall(t *testing.T) {
+	rows, err := RunScale(ScaleConfig{
+		Streams:   200,
+		Shards:    []int{1, 2},
+		Ticks:     60,
+		WarmTicks: 120,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatalf("RunScale: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Streams != 200 {
+			t.Fatalf("row streams = %d, want 200", r.Streams)
+		}
+		if r.TickMicros <= 0 {
+			t.Fatalf("shards=%d: non-positive tick time %v", r.Shards, r.TickMicros)
+		}
+		if r.DeliveredPkts == 0 {
+			t.Fatalf("shards=%d: workload delivered nothing", r.Shards)
+		}
+	}
+	if rows[0].Speedup != 1 {
+		t.Fatalf("baseline speedup = %v, want 1", rows[0].Speedup)
+	}
+	// The same aggregate workload must flow regardless of shard count
+	// (within CBR rounding): sharding redistributes work, not traffic.
+	a, b := float64(rows[0].DeliveredPkts), float64(rows[1].DeliveredPkts)
+	if b < 0.8*a || b > 1.25*a {
+		t.Fatalf("delivered packets diverge across shard counts: %v vs %v", a, b)
+	}
+
+	var sb strings.Builder
+	if err := RenderScale(&sb, rows, false); err != nil {
+		t.Fatalf("RenderScale: %v", err)
+	}
+	if !strings.Contains(sb.String(), "speedup_vs_1shard") {
+		t.Fatalf("rendered table missing header:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := RenderScale(&sb, rows, true); err != nil {
+		t.Fatalf("RenderScale csv: %v", err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(sb.String()), "\n")); got != 3 {
+		t.Fatalf("csv line count = %d, want 3", got)
+	}
+}

@@ -1,0 +1,291 @@
+package live
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"iqpaths/internal/monitor"
+	"iqpaths/internal/pgos"
+	"iqpaths/internal/sched"
+	"iqpaths/internal/shard"
+	"iqpaths/internal/simnet"
+	"iqpaths/internal/stream"
+	"iqpaths/internal/telemetry"
+)
+
+// ShardDomain is the per-shard resource bundle for a sharded live
+// driver: the shard's private live paths and their monitors (mons[j]
+// watches Paths[j]). A path must belong to exactly one shard — two
+// schedulers pacing one transport would race its send state.
+type ShardDomain struct {
+	Paths []sched.PathService
+	Mons  []*monitor.PathMonitor
+}
+
+// ShardedConfig parameterizes a ShardedDriver. The embedded Config's
+// OnTick/OnWindow hooks run on the coordinator goroutine exactly as in
+// the unsharded driver; OnShardTick additionally runs on each shard's
+// goroutine every tick.
+type ShardedConfig struct {
+	Config
+	// Placement assigns new streams to shards (default hash placement).
+	Placement shard.Placement
+	// OnShardTick, when set, runs on the shard goroutine after the
+	// command drain and before dispatch. It must touch only that shard's
+	// streams (via the *shard.Shard accessors).
+	OnShardTick func(sh *shard.Shard, tick int64)
+}
+
+// ShardedDriver runs the PGOS engine sharded across cores in wall-clock
+// time: one scheduling domain per ShardDomain, streams spread by
+// placement, all control (admission, rebind, offers, probe feeds)
+// flowing through the plane's per-shard command queues. With one domain
+// it degenerates to the unsharded driver's behavior — same engine, same
+// tick loop, no extra goroutines.
+//
+// Offer/Observe*/AddStream/Rebind are safe from any goroutine. Step and
+// Run must be called from a single goroutine; Stats/Mapping-style reads
+// serialize against Step internally, so they are safe anytime.
+type ShardedDriver struct {
+	cfg   ShardedConfig
+	clock Clock
+	plane *shard.Plane
+
+	// stepMu serializes ticks with coordinator-context reads (stats):
+	// holding it outside plane.Tick means the shards are quiescent.
+	stepMu sync.Mutex
+
+	// mu guards the window bookkeeping shared by Offer and Step.
+	mu             sync.Mutex
+	tick           int64
+	windowTicks    int64
+	nextWindowTick int64
+	deadlineStamp  int64
+	nextPktID      uint64
+	lagResyncs     uint64
+
+	mTicks   *telemetry.Counter
+	mOffered *telemetry.Counter
+	mDropped *telemetry.Counter
+	mLag     *telemetry.Counter
+}
+
+// NewShardedDriver builds a sharded live driver with one scheduling
+// domain per entry of domains. Streams are added dynamically with
+// AddStream. Call Stop when done to release the shard goroutines.
+func NewShardedDriver(cfg ShardedConfig, domains []ShardDomain) *ShardedDriver {
+	cfg.fillDefaults()
+	d := &ShardedDriver{
+		cfg:   cfg,
+		clock: cfg.Clock,
+	}
+	planeDomains := make([]shard.Domain, len(domains))
+	for k, dom := range domains {
+		planeDomains[k] = shard.Domain{Paths: dom.Paths, Mons: dom.Mons}
+	}
+	d.plane = shard.NewPlane(shard.Config{
+		PGOS: pgos.Config{
+			TwSec:            cfg.TwSec,
+			TickSeconds:      cfg.TickSeconds,
+			KSThreshold:      cfg.KSThreshold,
+			FeasibilitySlack: cfg.FeasibilitySlack,
+			PaceLimit:        cfg.PaceLimit,
+			MeanPrediction:   cfg.MeanPrediction,
+		},
+		Placement:   cfg.Placement,
+		Telemetry:   cfg.Telemetry,
+		OnShardTick: cfg.OnShardTick,
+	}, planeDomains)
+	d.windowTicks = int64(cfg.TwSec/cfg.TickSeconds + 0.5)
+	if d.windowTicks < 1 {
+		d.windowTicks = 1
+	}
+	d.nextWindowTick = 0
+	d.deadlineStamp = d.clock.Stamp() + int64(cfg.TwSec*1e9)
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	d.mTicks = reg.Counter("iqpaths_live_ticks_total", "Driver scheduling ticks executed.")
+	d.mOffered = reg.Counter("iqpaths_live_offered_packets_total", "Packets offered into stream backlogs.")
+	d.mDropped = reg.Counter("iqpaths_live_offer_drops_total", "Offers refused because a stream backlog was full.")
+	d.mLag = reg.Counter("iqpaths_live_lag_resyncs_total", "Times the driver resynced after falling behind wall time.")
+	return d
+}
+
+// Plane exposes the underlying shard plane (for per-shard inspection in
+// coordinator context, e.g. between ticks in tests).
+func (d *ShardedDriver) Plane() *shard.Plane { return d.plane }
+
+// NumShards returns the shard count.
+func (d *ShardedDriver) NumShards() int { return d.plane.NumShards() }
+
+// Stop releases the shard goroutines. Call after Run has returned.
+func (d *ShardedDriver) Stop() { d.plane.Stop() }
+
+// AddStream admits a new stream, returning its global ID and shard. The
+// stream materializes at the owning shard's next tick.
+func (d *ShardedDriver) AddStream(sp stream.Spec) (id, shardIdx int) {
+	return d.plane.AddStream(sp)
+}
+
+// Rebind migrates stream id to the given shard at the owner's next tick
+// boundary (see shard.Plane.Rebind).
+func (d *ShardedDriver) Rebind(id, shardIdx int) error {
+	return d.plane.Rebind(id, shardIdx)
+}
+
+// Offer enqueues one packet of the given wire size for global stream id,
+// stamped exactly like the unsharded driver's offers: PGOS deadline at
+// the end of the current scheduling window, wire deadline in Frame.
+func (d *ShardedDriver) Offer(id int, bits float64) {
+	d.mu.Lock()
+	d.maybeEnterWindow()
+	d.nextPktID++
+	p := simnet.AcquirePacket()
+	p.ID = d.nextPktID
+	p.Stream = id
+	p.Bits = bits
+	p.Created = d.tick
+	p.Deadline = (d.tick/d.windowTicks + 1) * d.windowTicks
+	p.Frame = uint64(d.deadlineStamp)
+	d.mu.Unlock()
+	// Backlog acceptance is decided on the owning shard at the next tick
+	// boundary; refusals are counted there (shard offer-drop metric).
+	d.plane.Offer(id, p)
+	d.mOffered.Inc()
+}
+
+// maybeEnterWindow refreshes window bookkeeping; callers hold d.mu.
+func (d *ShardedDriver) maybeEnterWindow() {
+	if d.tick >= d.nextWindowTick {
+		d.deadlineStamp = d.clock.Stamp() + int64(d.cfg.TwSec*1e9)
+		d.nextWindowTick = (d.tick/d.windowTicks + 1) * d.windowTicks
+	}
+}
+
+// ObserveBandwidth feeds one available-bandwidth sample (Mbps) to path j
+// of shard k — the sharded prober callback.
+func (d *ShardedDriver) ObserveBandwidth(k, j int, mbps float64) {
+	d.plane.ObserveBandwidth(k, j, mbps)
+}
+
+// ObserveRTT feeds one RTT sample (seconds) to path j of shard k.
+func (d *ShardedDriver) ObserveRTT(k, j int, sec float64) {
+	d.plane.ObserveRTT(k, j, sec)
+}
+
+// ObserveLoss feeds one loss-rate sample ([0,1]) to path j of shard k.
+func (d *ShardedDriver) ObserveLoss(k, j int, rate float64) {
+	d.plane.ObserveLoss(k, j, rate)
+}
+
+// Step executes one scheduling tick across every shard (a barrier; see
+// shard.Plane.Tick) plus the window bookkeeping and hooks.
+func (d *ShardedDriver) Step() {
+	d.mu.Lock()
+	t := d.tick
+	d.maybeEnterWindow()
+	d.mu.Unlock()
+	if d.cfg.OnTick != nil {
+		d.cfg.OnTick(t)
+	}
+	d.stepMu.Lock()
+	d.plane.Tick(t)
+	d.stepMu.Unlock()
+	d.mu.Lock()
+	d.tick++
+	windowDone := d.tick == d.nextWindowTick
+	window := d.tick/d.windowTicks - 1
+	d.mu.Unlock()
+	d.mTicks.Inc()
+	if windowDone && d.cfg.OnWindow != nil {
+		d.cfg.OnWindow(window)
+	}
+}
+
+// Run paces Step at TickSeconds on the configured clock until ctx is
+// done, with the same catch-up bound as the unsharded driver.
+func (d *ShardedDriver) Run(ctx context.Context) {
+	tickDur := time.Duration(d.cfg.TickSeconds * float64(time.Second))
+	next := d.clock.Now() + tickDur
+	for {
+		wait := next - d.clock.Now()
+		select {
+		case <-ctx.Done():
+			return
+		case <-d.clock.After(wait):
+		}
+		now := d.clock.Now()
+		steps := 0
+		for next <= now && steps < d.cfg.MaxCatchUp {
+			d.Step()
+			next += tickDur
+			steps++
+		}
+		if next <= now {
+			next = now + tickDur
+			d.mu.Lock()
+			d.lagResyncs++
+			d.mu.Unlock()
+			d.mLag.Inc()
+		}
+	}
+}
+
+// Tick returns the driver's current tick count.
+func (d *ShardedDriver) Tick() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tick
+}
+
+// LagResyncs returns how many times Run resynced after falling behind.
+func (d *ShardedDriver) LagResyncs() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lagResyncs
+}
+
+// SchedStats returns the plane's aggregated scheduler counters, indexed
+// by global stream ID. Safe anytime: it serializes against Step.
+func (d *ShardedDriver) SchedStats() pgos.Stats {
+	d.stepMu.Lock()
+	defer d.stepMu.Unlock()
+	return d.plane.Stats()
+}
+
+// ShardStats returns each shard's raw scheduler counters. Safe anytime.
+func (d *ShardedDriver) ShardStats() []pgos.Stats {
+	d.stepMu.Lock()
+	defer d.stepMu.Unlock()
+	return d.plane.ShardStats()
+}
+
+// Warm reports whether every shard's monitors can map. Safe anytime.
+func (d *ShardedDriver) Warm() bool {
+	d.stepMu.Lock()
+	defer d.stepMu.Unlock()
+	return d.plane.Warm()
+}
+
+// MeanBandwidth returns shard k path j's windowed mean
+// available-bandwidth estimate in Mbps (0 for out-of-range indices) —
+// what link-state advertisements report. Safe anytime: the tick barrier
+// is held while reading the shard's monitor.
+func (d *ShardedDriver) MeanBandwidth(k, j int) float64 {
+	d.stepMu.Lock()
+	defer d.stepMu.Unlock()
+	if k < 0 || k >= d.plane.NumShards() {
+		return 0
+	}
+	mons := d.plane.Shard(k).Mons()
+	if j < 0 || j >= len(mons) {
+		return 0
+	}
+	return mons[j].MeanBandwidth()
+}
+
+// Invalidate forces a remap on every shard at its next window boundary.
+func (d *ShardedDriver) Invalidate() { d.plane.Invalidate() }

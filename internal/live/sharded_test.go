@@ -1,0 +1,116 @@
+package live
+
+import (
+	"testing"
+
+	"iqpaths/internal/monitor"
+	"iqpaths/internal/sched"
+	"iqpaths/internal/stream"
+)
+
+// newTestShardedDriver builds a sharded driver with one fake path and
+// warm monitor per shard.
+func newTestShardedDriver(t *testing.T, cfg ShardedConfig, nShards int) (*ShardedDriver, []*fakePath) {
+	t.Helper()
+	cfg.Clock = NewFakeClock()
+	paths := make([]*fakePath, nShards)
+	domains := make([]ShardDomain, nShards)
+	for k := 0; k < nShards; k++ {
+		paths[k] = &fakePath{id: 0, name: "p0"}
+		mon := monitor.New("p0", 64, 8)
+		for i := 0; i < 16; i++ {
+			mon.ObserveBandwidth(100)
+		}
+		domains[k] = ShardDomain{
+			Paths: []sched.PathService{paths[k]},
+			Mons:  []*monitor.PathMonitor{mon},
+		}
+	}
+	d := NewShardedDriver(cfg, domains)
+	t.Cleanup(d.Stop)
+	return d, paths
+}
+
+func TestShardedDriverDispatchesOffers(t *testing.T) {
+	d, paths := newTestShardedDriver(t, ShardedConfig{
+		Config: Config{TickSeconds: 0.01, TwSec: 0.1},
+	}, 2)
+	spec := stream.Spec{Name: "g", Kind: stream.Probabilistic, RequiredMbps: 1.2, Probability: 0.9, PacketBits: 12000}
+	id0, k0 := d.AddStream(spec)
+	id1, k1 := d.AddStream(spec)
+	for i := 0; i < 10; i++ {
+		d.Offer(id0, 12000)
+		d.Offer(id1, 12000)
+	}
+	for i := 0; i < 12; i++ {
+		d.Step()
+	}
+	total := 0
+	for _, p := range paths {
+		total += len(p.packets())
+	}
+	if total != 20 {
+		t.Fatalf("paths received %d packets, want 20", total)
+	}
+	// Each stream's packets must have gone out on its owner's path.
+	for _, pkt := range paths[k0].packets() {
+		if pkt.Stream != id0 && k0 != k1 {
+			t.Fatalf("shard %d path carried stream %d, owns only %d", k0, pkt.Stream, id0)
+		}
+	}
+	st := d.SchedStats()
+	sent := st.ScheduledSent + st.OtherPathSent + st.UnscheduledSent
+	if sent != 20 {
+		t.Fatalf("aggregated sched stats count %d sends, want 20", sent)
+	}
+	if len(st.PerStream) != 2 {
+		t.Fatalf("PerStream len %d, want 2", len(st.PerStream))
+	}
+}
+
+func TestShardedDriverRebindLive(t *testing.T) {
+	d, paths := newTestShardedDriver(t, ShardedConfig{
+		Config: Config{TickSeconds: 0.01, TwSec: 0.1},
+	}, 2)
+	id, from := d.AddStream(stream.Spec{Name: "be", Kind: stream.BestEffort, PacketBits: 12000, QueueLimit: 100})
+	d.Step()
+	to := 1 - from
+	if err := d.Rebind(id, to); err != nil {
+		t.Fatalf("Rebind: %v", err)
+	}
+	d.Step()
+	d.Step()
+	before := len(paths[to].packets())
+	for i := 0; i < 5; i++ {
+		d.Offer(id, 12000)
+	}
+	for i := 0; i < 6; i++ {
+		d.Step()
+	}
+	if got := len(paths[to].packets()) - before; got != 5 {
+		t.Fatalf("target shard path carried %d post-rebind packets, want 5", got)
+	}
+	if got := len(paths[from].packets()); got != 0 {
+		t.Fatalf("source shard path carried %d packets, want 0", got)
+	}
+}
+
+func TestShardedDriverObserveRoutesToShard(t *testing.T) {
+	d, _ := newTestShardedDriver(t, ShardedConfig{
+		Config: Config{TickSeconds: 0.01, TwSec: 0.1},
+	}, 2)
+	if !d.Warm() {
+		t.Fatal("monitors warm at construction, Warm() = false")
+	}
+	d.ObserveBandwidth(1, 0, 250)
+	d.Step()
+	// Shard 1's monitor mean moves toward the new sample; shard 0's stays.
+	m0 := d.Plane().Shard(0).Mons()[0].MeanBandwidth()
+	m1 := d.Plane().Shard(1).Mons()[0].MeanBandwidth()
+	if m0 != 100 {
+		t.Fatalf("shard 0 monitor mean = %v, want untouched 100", m0)
+	}
+	if m1 <= 100 {
+		t.Fatalf("shard 1 monitor mean = %v, want > 100 after 250 sample", m1)
+	}
+}

@@ -195,8 +195,11 @@ func newSchedTelemetry(reg *telemetry.Registry, paths []sched.PathService) sched
 // second observer-installing scheduler.
 func New(cfg Config, streams []*stream.Stream, paths []sched.PathService, mons []*monitor.PathMonitor) *Scheduler {
 	cfg.fillDefaults()
-	if len(streams) == 0 || len(paths) == 0 {
-		panic("pgos: need streams and paths")
+	// An empty stream set is legal: a freshly created scheduler shard has
+	// no streams until the plane places some (AddStream), and every window
+	// boundary until then maps the empty set to empty vectors.
+	if len(paths) == 0 {
+		panic("pgos: need at least one path")
 	}
 	if len(mons) != len(paths) {
 		panic("pgos: need one monitor per path")

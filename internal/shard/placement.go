@@ -1,0 +1,52 @@
+package shard
+
+import "iqpaths/internal/stream"
+
+// Placement assigns new streams to shards. Implementations must be
+// deterministic given (globalID, spec, loads) — placement happens on the
+// control path under the plane's directory lock, and deterministic
+// replay of a scripted run depends on it.
+type Placement interface {
+	// Name labels the policy in results.
+	Name() string
+	// Place returns the shard index in [0, len(loads)) for a new stream.
+	// loads[k] is shard k's current placed-stream count.
+	Place(globalID int, spec stream.Spec, loads []int) int
+}
+
+// HashPlacement spreads streams by a multiplicative hash of the global
+// stream ID — stateless, deterministic, and uniform enough that dense
+// IDs don't all land on shard 0. The default policy.
+type HashPlacement struct{}
+
+// Name implements Placement.
+func (HashPlacement) Name() string { return "hash" }
+
+// Place implements Placement.
+func (HashPlacement) Place(globalID int, _ stream.Spec, loads []int) int {
+	// splitmix64 finalizer: full-avalanche mix of the ID.
+	x := uint64(globalID) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(len(loads)))
+}
+
+// LeastLoaded places each stream on the shard with the fewest placed
+// streams, ties to the lowest index — the balancing policy for skewed
+// arrival orders.
+type LeastLoaded struct{}
+
+// Name implements Placement.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Place implements Placement.
+func (LeastLoaded) Place(_ int, _ stream.Spec, loads []int) int {
+	best := 0
+	for k := 1; k < len(loads); k++ {
+		if loads[k] < loads[best] {
+			best = k
+		}
+	}
+	return best
+}

@@ -1,0 +1,50 @@
+package shard
+
+import (
+	"testing"
+
+	"iqpaths/internal/stream"
+)
+
+func TestHashPlacementDeterministicAndSpread(t *testing.T) {
+	loads := make([]int, 4)
+	var p HashPlacement
+	counts := make([]int, 4)
+	for id := 0; id < 1000; id++ {
+		k := p.Place(id, stream.Spec{}, loads)
+		if k < 0 || k >= len(loads) {
+			t.Fatalf("Place(%d) = %d, out of range", id, k)
+		}
+		if again := p.Place(id, stream.Spec{}, loads); again != k {
+			t.Fatalf("Place(%d) not deterministic: %d then %d", id, k, again)
+		}
+		counts[k]++
+	}
+	// 1000 dense IDs over 4 shards: a uniform hash should keep every
+	// shard within a loose band around 250.
+	for k, c := range counts {
+		if c < 150 || c > 350 {
+			t.Fatalf("hash placement skewed: shard %d got %d of 1000", k, c)
+		}
+	}
+}
+
+func TestLeastLoadedPicksMinTiesLow(t *testing.T) {
+	var p LeastLoaded
+	if k := p.Place(0, stream.Spec{}, []int{3, 1, 2}); k != 1 {
+		t.Fatalf("Place over [3 1 2] = %d, want 1", k)
+	}
+	if k := p.Place(0, stream.Spec{}, []int{2, 2, 2}); k != 0 {
+		t.Fatalf("tie should go to lowest index, got %d", k)
+	}
+	// Feeding it its own output balances perfectly.
+	loads := make([]int, 3)
+	for i := 0; i < 9; i++ {
+		loads[p.Place(i, stream.Spec{}, loads)]++
+	}
+	for k, c := range loads {
+		if c != 3 {
+			t.Fatalf("least-loaded imbalanced: shard %d has %d of 9", k, c)
+		}
+	}
+}

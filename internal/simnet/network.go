@@ -17,10 +17,20 @@ type Network struct {
 	rng         *rand.Rand
 	nextPktID   uint64
 	tel         *telemetry.Registry
-	// mPoolOutstanding mirrors the process-wide packet-pool population
-	// once per tick (set by SetTelemetry).
+	// arena, when non-nil, is the packet pool NewPacket draws from — a
+	// shard plane gives each per-shard network its own so steady-state
+	// recycling stays core-local. Nil selects the process-wide default.
+	arena *Arena
+	// mPoolOutstanding mirrors the packet-pool population once per tick
+	// (set by SetTelemetry): the network's own arena when one is set, the
+	// process-wide default otherwise.
 	mPoolOutstanding *telemetry.Gauge
 }
+
+// SetArena makes NewPacket draw from a instead of the process-wide
+// default pool (nil restores the default). Call it before injecting
+// traffic; packets already in flight keep their origin arena.
+func (n *Network) SetArena(a *Arena) { n.arena = a }
 
 // New creates a network advancing in ticks of tickSeconds (e.g. 0.01).
 // All randomness (loss draws) comes from rng; pass a seeded source for
@@ -103,7 +113,12 @@ func (n *Network) Link(name string) *Link {
 // stream (see the ownership contract in pool.go).
 func (n *Network) NewPacket(stream int, bits float64) *Packet {
 	n.nextPktID++
-	p := AcquirePacket()
+	var p *Packet
+	if n.arena != nil {
+		p = n.arena.Acquire()
+	} else {
+		p = AcquirePacket()
+	}
 	p.ID = n.nextPktID
 	p.Stream = stream
 	p.Bits = bits
@@ -143,7 +158,11 @@ func (n *Network) Step() {
 		}
 	}
 	if n.mPoolOutstanding != nil {
-		n.mPoolOutstanding.Set(float64(PoolOutstanding()))
+		if n.arena != nil {
+			n.mPoolOutstanding.Set(float64(n.arena.Outstanding()))
+		} else {
+			n.mPoolOutstanding.Set(float64(PoolOutstanding()))
+		}
 	}
 }
 

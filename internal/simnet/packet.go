@@ -37,6 +37,12 @@ type Packet struct {
 
 	path *Path
 	hop  int
+
+	// arena is the pool the packet was acquired from (nil when the packet
+	// was constructed directly); releases route back to it regardless of
+	// which shard performs them. pooled guards against double release.
+	arena  *Arena
+	pooled bool
 }
 
 // String renders a short description for logs.

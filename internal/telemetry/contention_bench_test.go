@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"unsafe"
+)
+
+// packedCounter is the pre-padding Counter layout: a bare atomic word.
+// Allocated back to back, eight of them fit in one cache line, so eight
+// goroutines incrementing eight *distinct* packedCounters still contend
+// on the same coherence line.
+type packedCounter struct {
+	v atomic.Uint64
+}
+
+// TestCounterPadding pins the layout claim the contention benchmark
+// relies on: a Counter spans at least one full cache line, so adjacent
+// counters cannot share one.
+func TestCounterPadding(t *testing.T) {
+	if s := unsafe.Sizeof(Counter{}); s < cacheLineSize {
+		t.Fatalf("Counter is %d bytes, want >= %d (cache line)", s, cacheLineSize)
+	}
+	if s := unsafe.Sizeof(Gauge{}); s < cacheLineSize {
+		t.Fatalf("Gauge is %d bytes, want >= %d (cache line)", s, cacheLineSize)
+	}
+}
+
+// benchContention hammers nWorkers distinct counters, one per goroutine,
+// through the inc func. With padded counters each goroutine owns its
+// cache line; with packed counters the lines are shared and every
+// increment invalidates the others' caches. The before/after delta is the
+// false-sharing cost the shard plane's per-shard telemetry avoids.
+func benchContention(b *testing.B, inc func(worker, n int)) {
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	perWorker := b.N/workers + 1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			inc(w, perWorker)
+		}(w)
+	}
+	wg.Wait()
+}
+
+func BenchmarkCounterFalseSharing(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	b.Run(fmt.Sprintf("packed/procs=%d", workers), func(b *testing.B) {
+		// One contiguous array of bare atomics: the seed layout.
+		packed := make([]packedCounter, workers)
+		benchContention(b, func(w, n int) {
+			c := &packed[w]
+			for i := 0; i < n; i++ {
+				c.v.Add(1)
+			}
+		})
+	})
+	b.Run(fmt.Sprintf("padded/procs=%d", workers), func(b *testing.B) {
+		// One contiguous array of padded Counters: each element owns its
+		// cache line, as registry-allocated counters now do.
+		padded := make([]Counter, workers)
+		benchContention(b, func(w, n int) {
+			c := &padded[w]
+			for i := 0; i < n; i++ {
+				c.Inc()
+			}
+		})
+	})
+	b.Run(fmt.Sprintf("registry/procs=%d", workers), func(b *testing.B) {
+		// The real shape: per-shard scoped registrations of one family.
+		reg := NewRegistry()
+		counters := make([]*Counter, workers)
+		for w := range counters {
+			counters[w] = reg.WithLabels("shard", fmt.Sprint(w)).
+				Counter("iqpaths_bench_ticks_total", "bench")
+		}
+		benchContention(b, func(w, n int) {
+			c := counters[w]
+			for i := 0; i < n; i++ {
+				c.Inc()
+			}
+		})
+	})
+}

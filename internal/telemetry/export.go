@@ -68,9 +68,14 @@ func writePromHistogram(w io.Writer, e *entry) {
 	fmt.Fprintf(w, "%s %d\n", seriesName(e.name+"_count", e.labels), h.Count())
 }
 
+// joinLabels concatenates two preformatted label bodies, either of which
+// may be empty.
 func joinLabels(a, b string) string {
 	if a == "" {
 		return b
+	}
+	if b == "" {
+		return a
 	}
 	return a + "," + b
 }

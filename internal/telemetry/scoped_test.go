@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWithLabelsScoping covers the scoped-registry contract: scoped
+// registrations land in the root's storage with the base labels stamped
+// on, identical scoped registrations get-or-create one metric, and
+// distinct scopes of one family stay distinct series.
+func TestWithLabelsScoping(t *testing.T) {
+	root := NewRegistry()
+	s0 := root.WithLabels("shard", "0")
+	s1 := root.WithLabels("shard", "1")
+
+	c0 := s0.Counter("iqpaths_test_ticks_total", "ticks")
+	c1 := s1.Counter("iqpaths_test_ticks_total", "ticks")
+	if c0 == c1 {
+		t.Fatal("distinct scopes returned the same counter")
+	}
+	if again := s0.Counter("iqpaths_test_ticks_total", "ticks"); again != c0 {
+		t.Fatal("re-registration in one scope did not get-or-create")
+	}
+
+	// Per-call labels combine with the scope's base labels.
+	p0 := s0.Counter("iqpaths_test_path_sent_total", "per path", "path", "A")
+	p0b := s0.Counter("iqpaths_test_path_sent_total", "per path", "path", "B")
+	if p0 == p0b {
+		t.Fatal("per-call labels ignored under a scope")
+	}
+
+	c0.Add(3)
+	c1.Inc()
+	p0.Add(7)
+
+	var sb strings.Builder
+	if err := root.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`iqpaths_test_ticks_total{shard="0"} 3`,
+		`iqpaths_test_ticks_total{shard="1"} 1`,
+		`iqpaths_test_path_sent_total{shard="0",path="A"} 7`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// Nested scopes accumulate labels and still share root storage.
+	nested := s1.WithLabels("path", "A")
+	nested.Gauge("iqpaths_test_depth", "depth").Set(2)
+	sb.Reset()
+	if err := root.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `iqpaths_test_depth{shard="1",path="A"} 2`) {
+		t.Errorf("nested scope labels wrong:\n%s", sb.String())
+	}
+}

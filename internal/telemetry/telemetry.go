@@ -60,10 +60,40 @@ func (e *entry) key() string { return e.name + "{" + e.labels + "}" }
 
 // Registry holds named metrics. Registration (Counter/Gauge/Histogram)
 // locks and may allocate; the returned metric handles are lock-free.
+//
+// A Registry may be a scoped view of another (WithLabels): the view
+// shares the parent's storage but stamps a fixed label set onto every
+// registration, so a subsystem instantiated N times (one per shard) gets
+// N distinct metric series under one exporter without knowing it is
+// scoped.
 type Registry struct {
 	mu      sync.Mutex
 	byKey   map[string]*entry
 	entries []*entry
+
+	// root is non-nil for scoped views and points at the registry owning
+	// the maps above (which are unused in a view); base is the
+	// preformatted label set stamped onto every registration.
+	root *Registry
+	base string
+}
+
+// owner returns the registry that holds the metric storage: the root of a
+// scoped view, or r itself.
+func (r *Registry) owner() *Registry {
+	if r.root != nil {
+		return r.root
+	}
+	return r
+}
+
+// WithLabels returns a scoped view of r that adds the given label pairs to
+// every metric registered through it. Views share the parent's storage:
+// exporters on the root see every scoped series, and identical
+// (name, combined-labels) registrations still get-or-create one metric.
+// Typical use is per-shard scoping: reg.WithLabels("shard", "3").
+func (r *Registry) WithLabels(kv ...string) *Registry {
+	return &Registry{root: r.owner(), base: joinLabels(r.base, FormatLabels(kv...))}
 }
 
 // NewRegistry returns an empty registry.
@@ -112,7 +142,10 @@ func escapeLabelValue(v string) string {
 }
 
 // lookup get-or-creates the entry for (name, labels), verifying the kind.
+// Scoped views prepend their base labels and delegate to the root.
 func (r *Registry) lookup(name, help, kind, labels string) *entry {
+	labels = joinLabels(r.base, labels)
+	r = r.owner()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	key := name + "{" + labels + "}"
@@ -156,6 +189,7 @@ func (r *Registry) Histogram(name, help string, labelKV ...string) *Histogram {
 // label variants keep registration order within a family). Metric reads
 // happen outside the lock — values are atomics.
 func (r *Registry) snapshotEntries() []*entry {
+	r = r.owner()
 	r.mu.Lock()
 	out := make([]*entry, len(r.entries))
 	copy(out, r.entries)
