@@ -22,23 +22,23 @@ cover:
 	$(GO) test -cover ./internal/...
 
 # Runs every benchmark and records the ns/op + allocs baseline as JSON
-# (BENCH_PR6.json) for regression comparison across PRs — now including the
-# BenchmarkPlaneScale streams × shards sweep, which benchjson folds into
-# per-configuration scaling curves (with GOMAXPROCS) under "scaling".
+# (BENCH_PR7.json) for regression comparison across PRs — including the
+# BenchmarkPlaneScale streams × shards sweep (folded into "scaling") and
+# the BenchmarkWireDatagrams dg/s/core series (folded into "wire").
 # Override BENCHTIME (e.g. BENCHTIME=1x) for a quick smoke pass.
 BENCHTIME ?= 1s
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_PR6.json
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_PR7.json
 
-# Diffs the BenchmarkScale suite against the previous PR's baseline and
+# Diffs the benchmark suite against the previous PR's baseline and
 # fails on >20 % ns/op regression or any new steady-state allocation.
 # CI runs this non-blocking (continue-on-error) at BENCHTIME=100x — don't
 # smoke it at 1x, a single cold iteration reads as a phantom regression.
 bench-compare:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) \
 		./internal/pgos/ ./internal/live/ ./internal/sched/ ./internal/predict/ \
-		./internal/shard/ ./internal/telemetry/ | \
-		$(GO) run ./cmd/benchjson -out /tmp/bench-compare.json -compare BENCH_PR5.json -max-regress 20
+		./internal/shard/ ./internal/telemetry/ ./internal/transport/ | \
+		$(GO) run ./cmd/benchjson -out /tmp/bench-compare.json -compare BENCH_PR6.json -max-regress 20
 
 # Live end-to-end smoke: the Fig. 8 overlay as shaped relay subprocesses
 # on 127.0.0.1 with real UDP sockets and wall-clock pacing. Takes ~40 s;
@@ -59,6 +59,7 @@ html:
 
 fuzz:
 	$(GO) test -fuzz FuzzUnmarshal -fuzztime 30s -run xxx ./internal/transport/
+	$(GO) test -fuzz FuzzBatchDatagrams -fuzztime 30s -run xxx ./internal/transport/
 	$(GO) test -fuzz FuzzReadMessage -fuzztime 30s -run xxx ./internal/transport/
 	$(GO) test -fuzz FuzzRead -fuzztime 30s -run xxx ./internal/trace/
 	$(GO) test -fuzz FuzzParseFrame -fuzztime 30s -run xxx ./internal/live/

@@ -34,30 +34,68 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"regexp"
 	"strconv"
 	"strings"
 )
 
-// Benchmark is one parsed result line.
+// Benchmark is one parsed result line. Metrics carries any custom
+// b.ReportMetric units (e.g. the wire layer's dg/s/core) beyond the three
+// standard ones.
 type Benchmark struct {
-	Package     string  `json:"package,omitempty"`
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Package     string             `json:"package,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // File is the JSON document layout.
 type File struct {
 	Benchmarks []Benchmark    `json:"benchmarks"`
 	Scaling    []ScalingCurve `json:"scaling,omitempty"`
+	Wire       []WirePoint    `json:"wire,omitempty"`
 }
 
-// benchLine matches `BenchmarkName-8  1000  1234 ns/op  [56 B/op  7 allocs/op]`.
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+// parseBench parses one `go test -bench` result line, or reports !ok.
+// The line layout is `BenchmarkName-8  1000` followed by (value, unit)
+// pairs; custom b.ReportMetric units print between ns/op and the -benchmem
+// pair, so a fixed-position regexp cannot see B/op once a benchmark
+// reports extras — pairs must be walked.
+func parseBench(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+			sawNs = true
+		case "B/op":
+			b.BytesPerOp = int64(val)
+		case "allocs/op":
+			b.AllocsPerOp = int64(val)
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, sawNs
+}
 
 func main() {
 	out := flag.String("out", "", "write parsed benchmarks as JSON to this file (required)")
@@ -81,17 +119,11 @@ func main() {
 			pkg = strings.TrimSpace(rest)
 			continue
 		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
+		b, ok := parseBench(line)
+		if !ok {
 			continue
 		}
-		b := Benchmark{Package: pkg, Name: m[1]}
-		b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
-		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			b.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-			b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
-		}
+		b.Package = pkg
 		f.Benchmarks = append(f.Benchmarks, b)
 	}
 	if err := sc.Err(); err != nil {
@@ -100,6 +132,7 @@ func main() {
 	}
 
 	f.Scaling = extractScaling(f.Benchmarks)
+	f.Wire = extractWire(f.Benchmarks)
 
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"regexp"
+	"strconv"
+)
+
+// Wire-throughput extraction: benchmarks that report the custom dg/s/core
+// metric (the batched wire layer's datagrams per second per core) are
+// collected into a flat series keyed by their batch= component, so a
+// baseline records how syscall batching moves wire throughput. sysc/dg —
+// syscalls per datagram — rides along when reported.
+
+// WirePoint is one wire-throughput measurement.
+type WirePoint struct {
+	Package string `json:"package,omitempty"`
+	Name    string `json:"name"`
+	// Batch is the batch= component of the benchmark name (0 when absent).
+	Batch int `json:"batch,omitempty"`
+	// DatagramsPerSecCore is the reported dg/s/core metric.
+	DatagramsPerSecCore float64 `json:"dg_per_sec_core"`
+	// SyscallsPerDatagram is the reported sysc/dg metric, when present.
+	SyscallsPerDatagram float64 `json:"sysc_per_dg,omitempty"`
+}
+
+var batchComponent = regexp.MustCompile(`(^|/)batch=(\d+)($|/|-)`)
+
+// extractWire pulls dg/s/core series out of a parsed benchmark set,
+// keeping the input order.
+func extractWire(benchmarks []Benchmark) []WirePoint {
+	var pts []WirePoint
+	for _, b := range benchmarks {
+		dps, ok := b.Metrics["dg/s/core"]
+		if !ok {
+			continue
+		}
+		name, _ := splitProcs(b.Name)
+		p := WirePoint{
+			Package:             b.Package,
+			Name:                name,
+			DatagramsPerSecCore: dps,
+			SyscallsPerDatagram: b.Metrics["sysc/dg"],
+		}
+		if m := batchComponent.FindStringSubmatch(name); m != nil {
+			p.Batch, _ = strconv.Atoi(m[2])
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}

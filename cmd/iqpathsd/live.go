@@ -198,6 +198,9 @@ func runSource(ctx context.Context, cfg sourceConfig) error {
 		defer conn.Close()
 		conns[j] = conn
 		p := transport.NewPath(j, ps.name, conn, 0)
+		// The driver flushes paths after every dispatch round, so writes
+		// can wait for the tick boundary and leave as one mmsg batch.
+		p.SetTickPaced(true)
 		defer p.Close()
 		paths[j] = p
 		mons[j] = monitor.New(ps.name, 64, 8)

@@ -94,10 +94,33 @@ type Driver struct {
 	nextPktID     uint64
 	lagResyncs    uint64
 
+	// flushers are the paths that buffer writes until a tick boundary
+	// (transport.Path in tick-paced mode); Step flushes them after every
+	// dispatch round so a tick's packets leave as coalesced batches.
+	flushers []tickFlusher
+
 	mTicks   *telemetry.Counter
 	mOffered *telemetry.Counter
 	mDropped *telemetry.Counter
 	mLag     *telemetry.Counter
+}
+
+// tickFlusher is the structural surface of a write-batching path: the
+// driver kicks it once per tick, after dispatch placed the tick's packets.
+// transport.Path implements it; emulated simnet paths don't and aren't
+// flushed.
+type tickFlusher interface {
+	FlushTick()
+}
+
+func collectFlushers(paths []sched.PathService) []tickFlusher {
+	var fs []tickFlusher
+	for _, p := range paths {
+		if f, ok := p.(tickFlusher); ok {
+			fs = append(fs, f)
+		}
+	}
+	return fs
 }
 
 // NewDriver builds a live driver over parallel slices of paths and their
@@ -109,11 +132,12 @@ func NewDriver(cfg Config, specs []stream.Spec, paths []sched.PathService, mons 
 		streams[i] = stream.New(i, sp)
 	}
 	d := &Driver{
-		cfg:     cfg,
-		clock:   cfg.Clock,
-		streams: streams,
-		paths:   paths,
-		mons:    mons,
+		cfg:      cfg,
+		clock:    cfg.Clock,
+		streams:  streams,
+		paths:    paths,
+		mons:     mons,
+		flushers: collectFlushers(paths),
 	}
 	d.sched = pgos.New(pgos.Config{
 		TwSec:            cfg.TwSec,
@@ -236,6 +260,12 @@ func (d *Driver) Step() {
 	windowDone := d.tick == d.nextWindowTick
 	window := d.tick/d.windowTicks - 1
 	d.mu.Unlock()
+	// Pacing-aware write batching: dispatch has placed this tick's packets
+	// on their path queues; one kick per path flushes each queue as a
+	// single batched write.
+	for _, f := range d.flushers {
+		f.FlushTick()
+	}
 	d.mTicks.Inc()
 	if windowDone && d.cfg.OnWindow != nil {
 		d.cfg.OnWindow(window)

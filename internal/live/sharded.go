@@ -65,6 +65,11 @@ type ShardedDriver struct {
 	nextPktID      uint64
 	lagResyncs     uint64
 
+	// flushers are the tick-paced paths across every domain; Step kicks
+	// them once per tick after the shard barrier, so each shard's dispatch
+	// output leaves as coalesced batches.
+	flushers []tickFlusher
+
 	mTicks   *telemetry.Counter
 	mOffered *telemetry.Counter
 	mDropped *telemetry.Counter
@@ -83,6 +88,7 @@ func NewShardedDriver(cfg ShardedConfig, domains []ShardDomain) *ShardedDriver {
 	planeDomains := make([]shard.Domain, len(domains))
 	for k, dom := range domains {
 		planeDomains[k] = shard.Domain{Paths: dom.Paths, Mons: dom.Mons}
+		d.flushers = append(d.flushers, collectFlushers(dom.Paths)...)
 	}
 	d.plane = shard.NewPlane(shard.Config{
 		PGOS: pgos.Config{
@@ -194,6 +200,11 @@ func (d *ShardedDriver) Step() {
 	d.stepMu.Lock()
 	d.plane.Tick(t)
 	d.stepMu.Unlock()
+	// The barrier guarantees every shard's dispatch round is complete;
+	// flush each batching path's queue as one write batch.
+	for _, f := range d.flushers {
+		f.FlushTick()
+	}
 	d.mu.Lock()
 	d.tick++
 	windowDone := d.tick == d.nextWindowTick

@@ -19,6 +19,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"iqpaths/internal/transport"
 )
 
 // LinkShape describes one emulated link.
@@ -111,6 +113,7 @@ type Stats struct {
 type Relay struct {
 	shape  LinkShape
 	in     *net.UDPConn
+	bc     *transport.BatchConn
 	target *net.UDPAddr
 	start  time.Time
 
@@ -130,11 +133,20 @@ type relayFlow struct {
 	out    *net.UDPConn
 }
 
+// queuedDatagram is one shaped datagram in flight through the pacer. Its
+// bytes live in a pooled wire buffer owned by the queue entry; the pacer
+// releases the buffer after the forward write (or the drain on shutdown).
 type queuedDatagram struct {
-	data    []byte
+	wb      *transport.WireBuf
 	flow    *relayFlow
 	arrival float64 // seconds since relay start
 }
+
+// relayBatch bounds the datagrams one relay read syscall may deliver.
+const relayBatch = 16
+
+// relayMaxDatagram sizes relay receive buffers (UDP's practical ceiling).
+const relayMaxDatagram = 64 * 1024
 
 // NewRelay listens on listenAddr (e.g. "127.0.0.1:0") and forwards to
 // target through shape. seed fixes the loss process for reproducibility.
@@ -154,9 +166,15 @@ func NewRelay(listenAddr, target string, shape LinkShape, seed int64) (*Relay, e
 	if err != nil {
 		return nil, err
 	}
+	bc, err := transport.NewBatchConn(in)
+	if err != nil {
+		in.Close()
+		return nil, err
+	}
 	r := &Relay{
 		shape:  shape,
 		in:     in,
+		bc:     bc,
 		target: taddr,
 		start:  time.Now(),
 		flows:  map[string]*relayFlow{},
@@ -206,62 +224,98 @@ func (r *Relay) Close() error {
 // now returns seconds since the relay started.
 func (r *Relay) now() float64 { return time.Since(r.start).Seconds() }
 
-// readLoop receives client datagrams, applies loss and queue admission,
-// and hands survivors to the pacer.
+// readLoop receives client datagrams in recvmmsg batches, applies loss
+// and queue admission per datagram, and hands survivors to the pacer. A
+// striping burst arriving while the pacer holds the link costs one
+// syscall, not one per datagram.
 func (r *Relay) readLoop() {
 	defer r.wg.Done()
-	buf := make([]byte, 64*1024)
+	dgs := make([]transport.Datagram, relayBatch)
+	bufs := make([]*transport.WireBuf, relayBatch)
+	for i := range dgs {
+		bufs[i] = transport.AcquireWire()
+		dgs[i].Buf = bufs[i].Grow(relayMaxDatagram)
+	}
+	defer func() {
+		for _, wb := range bufs {
+			transport.ReleaseWire(wb)
+		}
+	}()
 	for {
-		n, from, err := r.in.ReadFromUDP(buf)
+		n, err := r.bc.ReadBatch(dgs)
 		if err != nil {
 			return // socket closed
 		}
-		flow, err := r.flowFor(from)
-		if err != nil {
-			continue
+		for i := 0; i < n; i++ {
+			r.admit(dgs[i].Buf[:dgs[i].N], dgs[i].Addr)
 		}
+	}
+}
+
+// admit runs one datagram through loss and queue admission, copying the
+// survivors into their own pooled buffer (the receive buffers are reused
+// by the next ReadBatch).
+func (r *Relay) admit(data []byte, from *net.UDPAddr) {
+	flow, err := r.flowFor(from)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	lost := r.shape.LossProb > 0 && r.rng.Float64() < r.shape.LossProb
+	if lost {
+		r.stats.Lost++
+	}
+	r.mu.Unlock()
+	if lost {
+		return
+	}
+	wb := transport.AcquireWire()
+	wb.B = append(wb.B[:0], data...)
+	select {
+	case r.queue <- queuedDatagram{wb: wb, flow: flow, arrival: r.now()}:
+	default:
+		transport.ReleaseWire(wb)
 		r.mu.Lock()
-		lost := r.shape.LossProb > 0 && r.rng.Float64() < r.shape.LossProb
-		if lost {
-			r.stats.Lost++
-		}
+		r.stats.Dropped++
 		r.mu.Unlock()
-		if lost {
-			continue
-		}
-		data := make([]byte, n)
-		copy(data, buf[:n])
-		select {
-		case r.queue <- queuedDatagram{data: data, flow: flow, arrival: r.now()}:
-		default:
-			r.mu.Lock()
-			r.stats.Dropped++
-			r.mu.Unlock()
-		}
 	}
 }
 
 // paceLoop drains the shaping queue at the link's available rate.
 func (r *Relay) paceLoop() {
 	defer r.wg.Done()
+	defer func() {
+		// Return any still-queued buffers to the pool on shutdown.
+		for {
+			select {
+			case q := <-r.queue:
+				transport.ReleaseWire(q.wb)
+			default:
+				return
+			}
+		}
+	}()
 	nextFree := 0.0
 	for {
 		select {
 		case <-r.done:
 			return
 		case q := <-r.queue:
-			bits := float64(len(q.data)+datagramIPOverhead) * 8
+			bits := float64(len(q.wb.B)+datagramIPOverhead) * 8
 			var dep float64
 			dep, nextFree = departure(q.arrival, nextFree, bits, r.shape.AvailMbps(q.arrival))
 			dep += r.shape.DelayMs / 1e3
 			if wait := dep - r.now(); wait > 0 {
 				select {
 				case <-r.done:
+					transport.ReleaseWire(q.wb)
 					return
 				case <-time.After(time.Duration(wait * float64(time.Second))):
 				}
 			}
-			if _, err := q.flow.out.Write(q.data); err == nil {
+			_, err := q.flow.out.Write(q.wb.B)
+			transport.ReleaseWire(q.wb)
+			if err == nil {
 				r.mu.Lock()
 				r.stats.Forwarded++
 				r.mu.Unlock()

@@ -1,0 +1,11 @@
+//go:build linux && amd64 && !iqpaths_nommsg
+
+package transport
+
+// The stdlib syscall number table for linux/amd64 was frozen before Linux
+// 3.0 introduced sendmmsg, so SYS_SENDMMSG is absent there; the numbers
+// are ABI-stable, so we carry them ourselves.
+const (
+	sysRECVMMSG = 299
+	sysSENDMMSG = 307
+)

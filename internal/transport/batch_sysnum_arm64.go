@@ -1,0 +1,10 @@
+//go:build linux && arm64 && !iqpaths_nommsg
+
+package transport
+
+import "syscall"
+
+const (
+	sysRECVMMSG = syscall.SYS_RECVMMSG
+	sysSENDMMSG = syscall.SYS_SENDMMSG
+)

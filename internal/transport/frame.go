@@ -128,6 +128,29 @@ func (m *Message) Marshal() ([]byte, error) {
 	return buf, nil
 }
 
+// appendMarshal renders the message into buf (reusing its capacity) and
+// returns the wire image — Marshal without the per-datagram allocation,
+// for pooled wire buffers.
+func (m *Message) appendMarshal(buf []byte) ([]byte, error) {
+	if len(m.Payload) > MaxPayload {
+		return nil, fmt.Errorf("transport: payload %d exceeds max", len(m.Payload))
+	}
+	n := headerLen + len(m.Payload)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	buf[0], buf[1] = magic[0], magic[1]
+	buf[2] = m.Kind
+	buf[3] = 0
+	binary.LittleEndian.PutUint32(buf[4:], m.Stream)
+	binary.LittleEndian.PutUint64(buf[8:], m.Frame)
+	binary.LittleEndian.PutUint64(buf[16:], m.Seq)
+	binary.LittleEndian.PutUint32(buf[24:], uint32(len(m.Payload)))
+	copy(buf[headerLen:], m.Payload)
+	return buf, nil
+}
+
 // Unmarshal parses a datagram produced by Marshal.
 func Unmarshal(buf []byte) (*Message, error) {
 	if len(buf) < headerLen {

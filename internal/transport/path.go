@@ -6,21 +6,43 @@ import (
 	"iqpaths/internal/simnet"
 )
 
+// pathMaxBatch bounds the packets one writer drain converts into a single
+// SendBatch — matched to the mmsg chunk size so a full drain is one
+// sendmmsg syscall.
+const pathMaxBatch = 64
+
+// batchSender is the optional bulk surface a Conn may offer (RUDPConn
+// does); the writer detects it structurally and falls back to per-message
+// Send otherwise.
+type batchSender interface {
+	SendBatch(msgs []*Message) error
+}
+
 // Path adapts a live transport connection to the scheduler's PathService
 // surface, so the same PGOS engine that drives emulated paths drives real
 // sockets. Packets are serialized into KindData messages whose payload
 // length matches the packet's wire size; a writer goroutine drains the
 // queue so the (possibly blocking) transport never stalls the scheduler.
+//
+// The writer drains greedily: every wake-up collects all queued packets
+// (up to pathMaxBatch) and hands them to the connection's SendBatch, so
+// packets released by one scheduler tick for the same destination leave
+// as one mmsg batch instead of a syscall each. In tick-paced mode
+// (SetTickPaced) the writer sleeps until the driver's FlushTick — the
+// scheduler finishes placing a whole tick's packets before any hit the
+// wire, maximizing the batch the drain finds.
 type Path struct {
 	id   int
 	name string
 	conn Conn
 
-	queue    chan *simnet.Packet
-	queued   int64 // atomic
-	sentPkts uint64
-	sentBits uint64
-	closed   chan struct{}
+	queue     chan *simnet.Packet
+	kick      chan struct{} // FlushTick signal, capacity 1
+	tickPaced atomic.Bool
+	queued    int64 // atomic
+	sentPkts  uint64
+	sentBits  uint64
+	closed    chan struct{}
 }
 
 // NewPath wraps conn as a schedulable path. queueCap bounds the packets
@@ -35,6 +57,7 @@ func NewPath(id int, name string, conn Conn, queueCap int) *Path {
 		name:   name,
 		conn:   conn,
 		queue:  make(chan *simnet.Packet, queueCap),
+		kick:   make(chan struct{}, 1),
 		closed: make(chan struct{}),
 	}
 	go p.writer()
@@ -59,6 +82,27 @@ func (p *Path) Send(pkt *simnet.Packet) bool {
 	}
 }
 
+// SetTickPaced switches the writer between eager mode (drain whenever the
+// queue is non-empty) and tick-paced mode (drain only on FlushTick, so a
+// scheduler tick's packets coalesce into one batch). Switching back to
+// eager kicks the writer once so nothing strands in the queue.
+func (p *Path) SetTickPaced(on bool) {
+	p.tickPaced.Store(on)
+	if !on {
+		p.FlushTick()
+	}
+}
+
+// FlushTick wakes the writer to drain everything queued. It never blocks:
+// the kick channel has capacity one, and a pending kick already covers
+// this tick's packets.
+func (p *Path) FlushTick() {
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
 // QueuedPackets implements sched.PathService.
 func (p *Path) QueuedPackets() int { return int(atomic.LoadInt64(&p.queued)) }
 
@@ -79,36 +123,101 @@ func (p *Path) Close() error {
 }
 
 func (p *Path) writer() {
-	// The payload scratch and Message are reused across packets: Conn
-	// implementations marshal into their own buffer before returning, so
-	// neither is retained past Send. The packet itself is released to the
-	// pool once its fields are on the wire.
-	var payload []byte
-	var m Message
+	// Message structs and the payload scratch are reused across drains:
+	// Conn implementations marshal into their own buffer before returning,
+	// so nothing here is retained past the SendBatch/Send call. All
+	// messages in a drain share one zero-filled scratch (the payload is
+	// synthetic — only its length matters on the wire), sliced per message.
+	bs, _ := p.conn.(batchSender)
+	var scratch []byte
+	msgs := make([]*Message, 0, pathMaxBatch)
+	backing := make([]Message, pathMaxBatch)
+	var lens [pathMaxBatch]int
+	var bits [pathMaxBatch]float64
+	// collect converts pkt into backing[i] (payload deferred until the
+	// batch's max length is known) and releases the packet to the pool.
+	collect := func(i int, pkt *simnet.Packet) {
+		backing[i] = Message{
+			Kind:   KindData,
+			Stream: uint32(pkt.Stream),
+			Frame:  pkt.Frame,
+		}
+		lens[i] = int(pkt.Bits) / 8
+		bits[i] = pkt.Bits
+		simnet.ReleasePacket(pkt)
+		msgs = append(msgs, &backing[i])
+	}
 	for {
-		select {
-		case <-p.closed:
-			return
-		case pkt := <-p.queue:
-			n := int(pkt.Bits) / 8
-			if cap(payload) < n {
-				payload = make([]byte, n)
+		var first *simnet.Packet
+		if p.tickPaced.Load() {
+			select {
+			case <-p.closed:
+				return
+			case <-p.kick:
 			}
-			m = Message{
-				Kind:    KindData,
-				Stream:  uint32(pkt.Stream),
-				Frame:   pkt.Frame,
-				Payload: payload[:n],
+		} else {
+			select {
+			case <-p.closed:
+				return
+			case <-p.kick:
+			case first = <-p.queue:
 			}
-			bits := pkt.Bits
-			simnet.ReleasePacket(pkt)
-			err := p.conn.Send(&m)
-			atomic.AddInt64(&p.queued, -1)
+		}
+		// Greedy drain: collect everything queued (bounded by the batch
+		// cap; the outer loop re-drains immediately while packets remain).
+		for {
+			msgs = msgs[:0]
+			if first != nil {
+				collect(0, first)
+				first = nil
+			}
+		fill:
+			for len(msgs) < pathMaxBatch {
+				select {
+				case pkt := <-p.queue:
+					collect(len(msgs), pkt)
+				default:
+					break fill
+				}
+			}
+			if len(msgs) == 0 {
+				break
+			}
+			maxLen := 0
+			for i := range msgs {
+				if lens[i] > maxLen {
+					maxLen = lens[i]
+				}
+			}
+			if cap(scratch) < maxLen {
+				scratch = make([]byte, maxLen)
+			}
+			for i, m := range msgs {
+				m.Payload = scratch[:lens[i]]
+			}
+			var err error
+			if bs != nil && len(msgs) > 1 {
+				err = bs.SendBatch(msgs)
+			} else {
+				for _, m := range msgs {
+					if err = p.conn.Send(m); err != nil {
+						break
+					}
+				}
+			}
+			atomic.AddInt64(&p.queued, -int64(len(msgs)))
 			if err != nil {
 				return
 			}
-			atomic.AddUint64(&p.sentPkts, 1)
-			atomic.AddUint64(&p.sentBits, uint64(bits))
+			atomic.AddUint64(&p.sentPkts, uint64(len(msgs)))
+			var sum float64
+			for i := range msgs {
+				sum += bits[i]
+			}
+			atomic.AddUint64(&p.sentBits, uint64(sum))
+			if len(msgs) < pathMaxBatch {
+				break // queue drained
+			}
 		}
 	}
 }

@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-connection retransmit monitor. The old retransmitLoop scanned the
+// entire unacked map every 5 ms, so a connection with a large in-flight
+// window paid O(window) per tick whether or not anything was due. The
+// monitor files every transmitted sequence into a timer wheel keyed by its
+// RTO deadline; each tick touches only the slots whose time has come, so
+// steady-state cost tracks the loss rate, not the window size. Entries are
+// lazy: an acked sequence simply isn't in the unacked map when its slot
+// fires, and a sequence retransmitted early (fast retransmit on dup-acks)
+// re-files itself at its new deadline.
+
+const (
+	// retxTick is the wheel granularity — well under the 20 ms RTO floor,
+	// so a due retransmit fires at most one tick late. The delayed-ack
+	// flush (migrated from the old loop) also rides this cadence.
+	retxTick = 2 * time.Millisecond
+	// retxSlots sets the wheel horizon (retxSlots × retxTick ≈ 1 s);
+	// deadlines beyond it wrap and re-file when their slot fires early.
+	retxSlots = 512
+)
+
+type retxEntry struct {
+	seq uint64
+	due int64 // wall nanoseconds
+}
+
+// retxMonitor is one connection's timer wheel. schedule may be called with
+// the connection lock held (lock order: RUDPConn.mu → retxMonitor.mu);
+// the run loop therefore always drops mon.mu before touching the conn.
+type retxMonitor struct {
+	c *RUDPConn
+
+	mu     sync.Mutex
+	slots  [retxSlots][]retxEntry
+	cursor int64 // last wheel tick index processed
+}
+
+func newRetxMonitor(c *RUDPConn) *retxMonitor {
+	return &retxMonitor{c: c, cursor: time.Now().UnixNano() / int64(retxTick)}
+}
+
+// schedule files seq to fire at due (wall nanoseconds). Safe under c.mu.
+func (mon *retxMonitor) schedule(seq uint64, due int64) {
+	slot := (due / int64(retxTick)) % retxSlots
+	if slot < 0 {
+		slot = 0
+	}
+	mon.mu.Lock()
+	mon.slots[slot] = append(mon.slots[slot], retxEntry{seq: seq, due: due})
+	mon.mu.Unlock()
+}
+
+// run drives the wheel until the connection closes.
+func (mon *retxMonitor) run() {
+	c := mon.c
+	ticker := time.NewTicker(retxTick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-ticker.C:
+		}
+		// Delayed-ack flush: cover a quiescent in-order tail before the
+		// peer's RTO can fire.
+		c.mu.Lock()
+		flushAck := c.ackPending
+		c.mu.Unlock()
+		if flushAck {
+			c.sendAck()
+		}
+		now := time.Now().UnixNano()
+		nowTick := now / int64(retxTick)
+		span := nowTick - mon.cursor
+		if span > retxSlots {
+			// Fell behind a full wheel revolution (suspend, debugger):
+			// every slot is potentially due; one pass covers them all.
+			mon.cursor = nowTick - retxSlots
+		}
+		for mon.cursor < nowTick {
+			mon.cursor++
+			if !mon.fire(mon.cursor % retxSlots) {
+				return // fatal retry ceiling: connection closed
+			}
+		}
+	}
+}
+
+// fire drains one slot: future entries re-file, due ones retransmit. It
+// reports false when a packet exhausted its retries and the connection
+// was torn down.
+func (mon *retxMonitor) fire(slot int64) bool {
+	mon.mu.Lock()
+	entries := mon.slots[slot]
+	mon.slots[slot] = nil
+	mon.mu.Unlock()
+	if len(entries) == 0 {
+		return true
+	}
+
+	c := mon.c
+	rto := c.rtt.RTO()
+	now := time.Now()
+	nowNs := now.UnixNano()
+	var resend [][]byte
+	fatal := false
+	c.mu.Lock()
+	for _, e := range entries {
+		if e.due > nowNs {
+			mon.schedule(e.seq, e.due) // wrapped: not due for another lap
+			continue
+		}
+		p, ok := c.unacked[e.seq]
+		if !ok {
+			continue // acked (or the connection reset); entry dies
+		}
+		due := p.sentAt.Add(rto)
+		if now.Before(due) {
+			// Re-sent since this entry was filed (fast retransmit) or the
+			// RTO grew: chase the packet's current deadline.
+			mon.schedule(e.seq, due.UnixNano())
+			continue
+		}
+		p.retries++
+		if p.retries > rudpMaxRetries {
+			fatal = true
+			break
+		}
+		p.sentAt = now
+		c.retransmits++
+		// Copy the wire image: the pooled buffer may be released by an ack
+		// racing the write below, and a freed buffer must never reach the
+		// socket.
+		resend = append(resend, append([]byte(nil), p.data...))
+		mon.schedule(e.seq, now.Add(rto).UnixNano())
+	}
+	c.mu.Unlock()
+	if fatal {
+		_ = c.Close()
+		return false
+	}
+	if len(resend) > 0 {
+		c.rtt.Backoff()
+		c.tm.retx.Add(uint64(len(resend)))
+		c.writeAll(resend)
+	}
+	return true
+}

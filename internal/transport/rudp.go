@@ -36,9 +36,25 @@ var (
 )
 
 type pendingPkt struct {
+	wb      *WireBuf // pooled backing store of data; released on ack/close
 	data    []byte
 	sentAt  time.Time
 	retries int
+	// writing marks the first transmission in progress outside the lock;
+	// an ack landing meanwhile sets acked and defers the pool release to
+	// the writer, so a buffer never returns to the pool mid-syscall.
+	writing bool
+	acked   bool
+}
+
+// retire releases p's pooled buffer unless a writer still holds it (the
+// writer then releases on completion). Callers hold c.mu.
+func (p *pendingPkt) retire() {
+	if p.writing {
+		p.acked = true
+		return
+	}
+	ReleaseWire(p.wb)
 }
 
 // RUDPConn is a reliable, ordered message connection over UDP: sliding
@@ -47,9 +63,13 @@ type pendingPkt struct {
 // (Fig. 2), whose acks double as the bandwidth/RTT measurement hooks.
 type RUDPConn struct {
 	write func([]byte) error // socket write bound to the peer
-	peer  string
-	rtt   *RTTEstimator
-	tm    *connMetrics
+	// writev (optional) transmits several datagrams as one mmsg batch;
+	// nil falls back to per-datagram write calls.
+	writev func([][]byte) error
+	peer   string
+	rtt    *RTTEstimator
+	tm     *connMetrics
+	mon    *retxMonitor
 
 	mu            sync.Mutex
 	sendCond      *sync.Cond
@@ -105,8 +125,21 @@ func newRUDPConn(peer string, write func([]byte) error, closeFn func()) *RUDPCon
 		done:      make(chan struct{}),
 	}
 	c.sendCond = sync.NewCond(&c.mu)
-	go c.retransmitLoop()
+	c.mon = newRetxMonitor(c)
+	go c.mon.run()
 	return c
+}
+
+// writeAll transmits the datagrams, as one batch where the socket supports
+// it. Errors are advisory (retransmission covers losses).
+func (c *RUDPConn) writeAll(datas [][]byte) {
+	if c.writev != nil {
+		_ = c.writev(datas)
+		return
+	}
+	for _, d := range datas {
+		_ = c.write(d)
+	}
 }
 
 // RemoteAddr implements Conn.
@@ -180,20 +213,17 @@ func (c *RUDPConn) InFlight() int {
 	return len(c.unacked)
 }
 
-// Send implements Conn: it blocks while the send window is full and
-// returns once the message is transmitted (not yet acknowledged).
-func (c *RUDPConn) Send(m *Message) error {
-	c.mu.Lock()
-	if !c.closed && (len(c.unacked) >= rudpWindow || c.inFlightBytes >= rudpWindowBytes) {
-		c.tm.sendBlocks.Inc()
-	}
-	for !c.closed && (len(c.unacked) >= rudpWindow || c.inFlightBytes >= rudpWindowBytes) {
-		c.sendCond.Wait()
-	}
-	if c.closed {
-		c.mu.Unlock()
-		return ErrClosed
-	}
+// windowFull reports whether the send window blocks admission. Callers
+// hold c.mu.
+func (c *RUDPConn) windowFull() bool {
+	return len(c.unacked) >= rudpWindow || c.inFlightBytes >= rudpWindowBytes
+}
+
+// admit marshals m into a pooled buffer, consumes the next sequence
+// number, and registers the packet in the unacked map with its retransmit
+// deadline filed in the timer wheel. Callers hold c.mu and must clear the
+// packet's writing flag (via finishWrite) once the bytes are on the wire.
+func (c *RUDPConn) admit(m *Message) (*pendingPkt, error) {
 	// Marshal before consuming the sequence number: a consumed-but-never-
 	// transmitted seq would leave a permanent hole the receiver's recvNext
 	// can never cross, stranding every later message in its out-of-order
@@ -201,18 +231,106 @@ func (c *RUDPConn) Send(m *Message) error {
 	seq := c.nextSeq
 	wire := *m
 	wire.Seq = seq
-	data, err := wire.Marshal()
+	wb := AcquireWire()
+	data, err := wire.appendMarshal(wb.B[:0])
+	if err != nil {
+		ReleaseWire(wb)
+		return nil, err
+	}
+	wb.B = data
+	c.nextSeq++
+	now := time.Now()
+	p := &pendingPkt{wb: wb, data: data, sentAt: now, writing: true}
+	c.unacked[seq] = p
+	c.inFlightBytes += len(data)
+	c.mon.schedule(seq, now.Add(c.rtt.RTO()).UnixNano())
+	return p, nil
+}
+
+// finishWrite clears the writing marks set by admit, releasing buffers
+// whose acks raced the transmission.
+func (c *RUDPConn) finishWrite(pkts []*pendingPkt) {
+	c.mu.Lock()
+	for _, p := range pkts {
+		p.writing = false
+		if p.acked {
+			ReleaseWire(p.wb)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Send implements Conn: it blocks while the send window is full and
+// returns once the message is transmitted (not yet acknowledged).
+func (c *RUDPConn) Send(m *Message) error {
+	c.mu.Lock()
+	if !c.closed && c.windowFull() {
+		c.tm.sendBlocks.Inc()
+	}
+	for !c.closed && c.windowFull() {
+		c.sendCond.Wait()
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	p, err := c.admit(m)
 	if err != nil {
 		c.mu.Unlock()
 		return err
 	}
-	c.nextSeq++
-	c.unacked[seq] = &pendingPkt{data: data, sentAt: time.Now()}
-	c.inFlightBytes += len(data)
 	c.mu.Unlock()
 	c.tm.sent.Inc()
 	c.tm.inFlight.Add(1)
-	return c.write(data)
+	werr := c.write(p.data)
+	c.finishWrite([]*pendingPkt{p})
+	return werr
+}
+
+// SendBatch transmits msgs with exactly Send's reliability and windowing,
+// but flushes each admitted run toward the socket as one mmsg batch —
+// the pacing-aware write path: a scheduler tick's packets for this
+// destination become one syscall instead of one each. Like Send it blocks
+// while the window is full, so a batch larger than the free window flushes
+// in windowed chunks.
+func (c *RUDPConn) SendBatch(msgs []*Message) error {
+	var datas [][]byte
+	var admitted []*pendingPkt
+	i := 0
+	for i < len(msgs) {
+		datas, admitted = datas[:0], admitted[:0]
+		c.mu.Lock()
+		if !c.closed && c.windowFull() {
+			c.tm.sendBlocks.Inc()
+		}
+		for !c.closed && c.windowFull() {
+			c.sendCond.Wait()
+		}
+		if c.closed {
+			c.mu.Unlock()
+			return ErrClosed
+		}
+		var aerr error
+		for i < len(msgs) && !c.windowFull() {
+			p, err := c.admit(msgs[i])
+			if err != nil {
+				aerr = err
+				break
+			}
+			datas = append(datas, p.data)
+			admitted = append(admitted, p)
+			i++
+		}
+		c.mu.Unlock()
+		c.tm.sent.Add(uint64(len(admitted)))
+		c.tm.inFlight.Add(float64(len(admitted)))
+		c.writeAll(datas)
+		c.finishWrite(admitted)
+		if aerr != nil {
+			return aerr
+		}
+	}
+	return nil
 }
 
 // Recv implements Conn: messages are delivered reliably and in order.
@@ -233,8 +351,11 @@ func (c *RUDPConn) Close() error {
 		c.closed = true
 		// Retire the in-flight gauge contribution of packets that will
 		// never be acked; the map is cleared so a late ack cannot
-		// double-decrement.
+		// double-decrement, and the pooled wire buffers go home.
 		c.tm.inFlight.Add(-float64(len(c.unacked)))
+		for _, p := range c.unacked {
+			p.retire()
+		}
 		c.unacked = map[uint64]*pendingPkt{}
 		c.inFlightBytes = 0
 		c.sendCond.Broadcast()
@@ -306,6 +427,7 @@ func (c *RUDPConn) onAck(cum uint64) {
 			c.ackedBits += float64(len(p.data)-headerLen) * 8
 			c.inFlightBytes -= len(p.data)
 			delete(c.unacked, seq)
+			p.retire()
 			acked++
 		}
 	}
@@ -323,7 +445,10 @@ func (c *RUDPConn) onAck(cum uint64) {
 				p.sentAt = now
 				c.retransmits++
 				c.fastRetransmits++
-				fastResend = p.data
+				// Copy off the pooled buffer: a later ack may release it
+				// before the write below leaves the lock's shadow. The
+				// wheel entry re-files itself against the new sentAt.
+				fastResend = append([]byte(nil), p.data...)
 			}
 			c.dupAcks = 0
 		}
@@ -406,60 +531,6 @@ func (c *RUDPConn) sendAck() {
 	if err == nil {
 		c.tm.acksSent.Inc()
 		_ = c.write(data)
-	}
-}
-
-// retransmitLoop re-sends the oldest expired unacked packets.
-func (c *RUDPConn) retransmitLoop() {
-	ticker := time.NewTicker(5 * time.Millisecond)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-c.done:
-			return
-		case <-ticker.C:
-		}
-		// Delayed-ack flush: cover a quiescent in-order tail before the
-		// peer's RTO can fire.
-		c.mu.Lock()
-		flushAck := c.ackPending
-		c.mu.Unlock()
-		if flushAck {
-			c.sendAck()
-		}
-		rto := c.rtt.RTO()
-		now := time.Now()
-		var resend [][]byte
-		fatal := false
-		c.mu.Lock()
-		for _, p := range c.unacked {
-			if now.Sub(p.sentAt) < rto {
-				continue
-			}
-			p.retries++
-			if p.retries > rudpMaxRetries {
-				fatal = true
-				break
-			}
-			p.sentAt = now
-			resend = append(resend, p.data)
-			c.retransmits++
-			if len(resend) >= 64 {
-				break
-			}
-		}
-		c.mu.Unlock()
-		if fatal {
-			_ = c.Close()
-			return
-		}
-		if len(resend) > 0 {
-			c.rtt.Backoff()
-			c.tm.retx.Add(uint64(len(resend)))
-			for _, d := range resend {
-				_ = c.write(d)
-			}
-		}
 	}
 }
 

@@ -1,0 +1,268 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDemuxDropsStrayFrames locks in the SYN-only session-creation rule:
+// valid non-SYN frames from unknown peers (stray acks from a dead session,
+// data from a scanner) must not materialize sessions the accept loop would
+// deliver. Against the pre-fix demux — which registered a session for ANY
+// well-formed datagram — every stray address below became a ghost session
+// and Accept fired.
+func TestDemuxDropsStrayFrames(t *testing.T) {
+	l, err := ListenRUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	accepted := make(chan *RUDPConn, 8)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+
+	target, err := net.ResolveUDPAddr("udp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each stray frame comes from a fresh source address (its own socket).
+	strays := []*Message{
+		{Kind: KindData, Seq: 1, Payload: []byte("stray data")},
+		{Kind: KindAck, Seq: 7},
+		{Kind: KindControl, Payload: ctlFin},
+		{Kind: KindProbe, Seq: 3},
+		{Kind: KindControl, Seq: 9, Payload: ctlSyn}, // Seq != 0: not a handshake SYN
+	}
+	for i, m := range strays {
+		sock, err := net.DialUDP("udp", nil, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := m.Marshal()
+		if err != nil {
+			t.Fatalf("stray %d: %v", i, err)
+		}
+		if _, err := sock.Write(data); err != nil {
+			t.Fatalf("stray %d: %v", i, err)
+		}
+		sock.Close()
+	}
+
+	select {
+	case c := <-accepted:
+		t.Fatalf("stray frame materialized session %q", c.peer)
+	case <-time.After(200 * time.Millisecond):
+	}
+
+	// A real handshake still works after the strays.
+	conn, err := DialRUDP(l.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	select {
+	case <-accepted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("SYN handshake no longer accepted")
+	}
+}
+
+// TestDialRUDPTimeoutBound pins the handshake loop to the caller's
+// deadline: dialing a silent peer with a timeout that is not a multiple of
+// the 50 ms retry interval must fail at the deadline, not at the next
+// retry boundary. The pre-fix loop waited a full interval before checking
+// the deadline, overshooting by up to 50 ms (here: 230 ms → 250 ms).
+func TestDialRUDPTimeoutBound(t *testing.T) {
+	// A bound-but-never-reading socket: SYNs disappear into its buffer.
+	silent, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+
+	const timeout = 230 * time.Millisecond
+	start := time.Now()
+	_, err = DialRUDP(silent.LocalAddr().String(), timeout)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("handshake with a silent peer succeeded")
+	}
+	if elapsed < timeout-10*time.Millisecond {
+		t.Fatalf("gave up after %v, before the %v deadline", elapsed, timeout)
+	}
+	// Generous scheduling slack, but well under the pre-fix floor of
+	// timeout rounded up to the next retry interval (250 ms).
+	if elapsed > timeout+15*time.Millisecond {
+		t.Fatalf("timed out after %v, overshooting the %v deadline", elapsed, timeout)
+	}
+}
+
+// TestListenerCloseStorm drives Close against live handshake and stray
+// traffic under -race. The pre-fix Close closed the UDP socket while the
+// demux goroutine could still be writing a SYN-ACK through it; the fix
+// sequences shutdown (wake demux, wait for it, then close), which the test
+// asserts directly via demuxDone.
+func TestListenerCloseStorm(t *testing.T) {
+	for iter := 0; iter < 8; iter++ {
+		l, err := ListenRUDP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				go c.Close()
+			}
+		}()
+
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		// Dialers hammer the handshake path.
+		for d := 0; d < 4; d++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					c, err := DialRUDP(l.Addr(), 50*time.Millisecond)
+					if err == nil {
+						c.Close()
+					}
+				}
+			}()
+		}
+		// A raw sprayer fires bare SYNs so demux keeps writing SYN-ACKs.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			target, err := net.ResolveUDPAddr("udp", l.Addr())
+			if err != nil {
+				return
+			}
+			syn, _ := (&Message{Kind: KindControl, Payload: ctlSyn}).Marshal()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sock, err := net.DialUDP("udp", nil, target)
+				if err != nil {
+					continue
+				}
+				_, _ = sock.Write(syn)
+				sock.Close()
+			}
+		}()
+
+		time.Sleep(10 * time.Millisecond)
+		if err := l.Close(); err != nil {
+			t.Fatalf("iter %d: close: %v", iter, err)
+		}
+		// Close must not return before the demux goroutine has exited.
+		select {
+		case <-l.demuxDone:
+		default:
+			t.Fatalf("iter %d: Close returned with demux still running", iter)
+		}
+		close(stop)
+		wg.Wait()
+	}
+}
+
+// TestListenerCloseIdempotent guards the double-Close path of the
+// sequenced shutdown.
+func TestListenerCloseIdempotent(t *testing.T) {
+	l, err := ListenRUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Close(); err != nil {
+			t.Fatalf("close #%d: %v", i+2, err)
+		}
+	}
+}
+
+// TestRetransmitAfterFirstLoss exercises the timer-wheel monitor: a
+// first transmission that never reaches the peer must be retransmitted by
+// RTO and still delivered exactly once.
+func TestRetransmitAfterFirstLoss(t *testing.T) {
+	l, err := ListenRUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	acceptCh := make(chan *RUDPConn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			acceptCh <- c
+		}
+	}()
+	conn, err := DialRUDP(l.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	srv := <-acceptCh
+
+	// Swallow the first transmission of every data frame: delivery then
+	// depends entirely on the monitor's RTO path.
+	realWrite := conn.write
+	var mu sync.Mutex
+	dropped := map[uint64]bool{}
+	conn.write = func(d []byte) error {
+		m, err := Unmarshal(d)
+		if err == nil && m.Kind == KindData {
+			mu.Lock()
+			first := !dropped[m.Seq]
+			dropped[m.Seq] = true
+			mu.Unlock()
+			if first {
+				return nil // swallowed
+			}
+		}
+		return realWrite(d)
+	}
+	conn.writev = nil // force the dropping single-write path
+
+	for i := 0; i < 5; i++ {
+		if err := conn.Send(&Message{Kind: KindData, Payload: []byte(fmt.Sprintf("pkt-%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		m, err := srv.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("pkt-%d", i); string(m.Payload) != want {
+			t.Fatalf("recv %d: got %q want %q", i, m.Payload, want)
+		}
+	}
+	if got := conn.Retransmits(); got < 5 {
+		t.Fatalf("retransmits = %d, want >= 5 (every first transmission was dropped)", got)
+	}
+}

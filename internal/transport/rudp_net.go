@@ -7,10 +7,17 @@ import (
 	"time"
 )
 
+// demuxBatch bounds the datagrams one listener/dialer read syscall may
+// deliver; the receive buffers are pooled WireBufs reused across reads.
+const demuxBatch = 32
+
 // RUDPListener accepts RUDP sessions on one UDP socket, demultiplexing
-// datagrams by peer address.
+// datagrams by peer address. Reads go through the batched wire layer, so
+// a burst of datagrams from many peers costs one recvmmsg, not one
+// syscall each.
 type RUDPListener struct {
 	sock *net.UDPConn
+	bc   *BatchConn
 
 	mu       sync.Mutex
 	accepted *sync.Cond // signaled when pending grows or the listener closes
@@ -21,6 +28,11 @@ type RUDPListener struct {
 	// completed handshake against a session no one would ever Accept.
 	pending []*RUDPConn
 	closed  bool
+
+	// demuxDone closes when the demux goroutine has exited; Close waits on
+	// it before tearing down the socket, so no session write launched from
+	// demux can race the teardown.
+	demuxDone chan struct{}
 }
 
 // ListenRUDP binds a UDP socket (e.g. "127.0.0.1:0") and starts the demux.
@@ -37,9 +49,16 @@ func ListenRUDP(addr string) (*RUDPListener, error) {
 	// may clamp to its limits).
 	_ = sock.SetReadBuffer(1 << 21)
 	_ = sock.SetWriteBuffer(1 << 21)
+	bc, err := NewBatchConn(sock)
+	if err != nil {
+		sock.Close()
+		return nil, err
+	}
 	l := &RUDPListener{
-		sock:     sock,
-		sessions: map[string]*RUDPConn{},
+		sock:      sock,
+		bc:        bc,
+		sessions:  map[string]*RUDPConn{},
+		demuxDone: make(chan struct{}),
 	}
 	l.accepted = sync.NewCond(&l.mu)
 	go l.demux()
@@ -65,7 +84,10 @@ func (l *RUDPListener) Accept() (*RUDPConn, error) {
 	return c, nil
 }
 
-// Close shuts the listener and every session down.
+// Close shuts the listener and every session down. Shutdown is sequenced:
+// the demux goroutine is stopped (and waited for) before the socket
+// closes, so a SYN-ACK or session ack mid-write never hits a dead socket
+// and surfaces a spurious error into send callbacks.
 func (l *RUDPListener) Close() error {
 	l.mu.Lock()
 	if l.closed {
@@ -80,6 +102,10 @@ func (l *RUDPListener) Close() error {
 	}
 	l.accepted.Broadcast()
 	l.mu.Unlock()
+	// Wake the demux read and wait for the goroutine to drain out.
+	_ = l.sock.SetReadDeadline(time.Now())
+	<-l.demuxDone
+	// Session FINs still flow through the (open) socket, then it closes.
 	for _, c := range sessions {
 		_ = c.Close()
 	}
@@ -87,46 +113,80 @@ func (l *RUDPListener) Close() error {
 }
 
 func (l *RUDPListener) demux() {
-	buf := make([]byte, rudpMaxDatagram)
+	defer close(l.demuxDone)
+	dgs := make([]Datagram, demuxBatch)
+	bufs := make([]*WireBuf, demuxBatch)
+	for i := range dgs {
+		bufs[i] = AcquireWire()
+		dgs[i].Buf = bufs[i].Grow(rudpMaxDatagram)
+	}
+	defer func() {
+		for _, wb := range bufs {
+			ReleaseWire(wb)
+		}
+	}()
 	for {
-		n, from, err := l.sock.ReadFromUDP(buf)
+		n, err := l.bc.ReadBatch(dgs)
 		if err != nil {
-			return // socket closed
+			return // socket closed or Close woke us with a deadline
 		}
-		m, err := Unmarshal(buf[:n])
-		if err != nil {
-			continue // garbage datagram
-		}
-		key := from.String()
-		l.mu.Lock()
-		conn, ok := l.sessions[key]
-		if !ok {
-			if l.closed {
-				l.mu.Unlock()
-				continue
+		for i := 0; i < n; i++ {
+			m, err := Unmarshal(dgs[i].Buf[:dgs[i].N])
+			if err != nil {
+				continue // garbage datagram
 			}
-			peer := *from
-			conn = newRUDPConn(key, func(d []byte) error {
-				_, werr := l.sock.WriteToUDP(d, &peer)
-				return werr
-			}, func() {
-				l.mu.Lock()
-				delete(l.sessions, key)
-				l.mu.Unlock()
-			})
-			l.sessions[key] = conn
-			l.pending = append(l.pending, conn)
-			l.accepted.Signal()
+			l.dispatch(m, dgs[i].Addr)
 		}
-		l.mu.Unlock()
-		if m.Kind == KindControl && string(m.Payload) == string(ctlSyn) {
-			ack, _ := (&Message{Kind: KindControl, Payload: ctlSynAck}).Marshal()
-			_, _ = l.sock.WriteToUDP(ack, from)
-			continue
-		}
-		conn.handle(m)
 	}
 }
+
+// dispatch routes one datagram. Sessions are created on SYN only: any
+// other frame from an unknown peer — a stray ack from a half-closed
+// session, a data frame from a port scan — is dropped instead of
+// registering a ghost session that would sit in pending forever.
+func (l *RUDPListener) dispatch(m *Message, from *net.UDPAddr) {
+	isSyn := m.Kind == KindControl && m.Seq == 0 && string(m.Payload) == string(ctlSyn)
+	key := from.String()
+	l.mu.Lock()
+	conn, ok := l.sessions[key]
+	if !ok {
+		if l.closed || !isSyn {
+			l.mu.Unlock()
+			return
+		}
+		peer := *from
+		conn = newRUDPConn(key, func(d []byte) error {
+			_, werr := l.sock.WriteToUDP(d, &peer)
+			return werr
+		}, func() {
+			l.mu.Lock()
+			delete(l.sessions, key)
+			l.mu.Unlock()
+		})
+		conn.writev = func(datas [][]byte) error {
+			dgs := make([]Datagram, len(datas))
+			for i := range datas {
+				dgs[i] = Datagram{Buf: datas[i], Addr: &peer}
+			}
+			_, werr := l.bc.WriteBatch(dgs)
+			return werr
+		}
+		l.sessions[key] = conn
+		l.pending = append(l.pending, conn)
+		l.accepted.Signal()
+	}
+	l.mu.Unlock()
+	if isSyn {
+		// First or duplicate SYN: (re-)confirm the handshake.
+		ack, _ := (&Message{Kind: KindControl, Payload: ctlSynAck}).Marshal()
+		_, _ = l.sock.WriteToUDP(ack, from)
+		return
+	}
+	conn.handle(m)
+}
+
+// rudpHandshakeRetry is the SYN retransmission interval during DialRUDP.
+const rudpHandshakeRetry = 50 * time.Millisecond
 
 // DialRUDP opens an RUDP session to addr, performing a small SYN/SYN-ACK
 // handshake so the server registers the session before data flows.
@@ -141,48 +201,91 @@ func DialRUDP(addr string, timeout time.Duration) (*RUDPConn, error) {
 	}
 	_ = sock.SetReadBuffer(1 << 21)
 	_ = sock.SetWriteBuffer(1 << 21)
+	bc, err := NewBatchConn(sock)
+	if err != nil {
+		sock.Close()
+		return nil, err
+	}
 	conn := newRUDPConn(addr, func(d []byte) error {
 		_, werr := sock.Write(d)
 		return werr
 	}, func() { _ = sock.Close() })
+	conn.writev = func(datas [][]byte) error {
+		dgs := make([]Datagram, len(datas))
+		for i := range datas {
+			dgs[i] = Datagram{Buf: datas[i]}
+		}
+		_, werr := bc.WriteBatch(dgs)
+		return werr
+	}
 
-	// Reader loop: everything from the socket goes to the session.
+	// Reader loop: everything from the socket goes to the session, read in
+	// recvmmsg batches.
 	ready := make(chan struct{})
 	var once sync.Once
 	go func() {
-		buf := make([]byte, rudpMaxDatagram)
+		dgs := make([]Datagram, demuxBatch)
+		bufs := make([]*WireBuf, demuxBatch)
+		for i := range dgs {
+			bufs[i] = AcquireWire()
+			dgs[i].Buf = bufs[i].Grow(rudpMaxDatagram)
+		}
+		defer func() {
+			for _, wb := range bufs {
+				ReleaseWire(wb)
+			}
+		}()
 		for {
-			n, rerr := sock.Read(buf)
+			n, rerr := bc.ReadBatch(dgs)
 			if rerr != nil {
 				_ = conn.Close()
 				return
 			}
-			m, merr := Unmarshal(buf[:n])
-			if merr != nil {
-				continue
+			for i := 0; i < n; i++ {
+				m, merr := Unmarshal(dgs[i].Buf[:dgs[i].N])
+				if merr != nil {
+					continue
+				}
+				if m.Kind == KindControl && string(m.Payload) == string(ctlSynAck) {
+					once.Do(func() { close(ready) })
+					continue
+				}
+				conn.handle(m)
 			}
-			if m.Kind == KindControl && string(m.Payload) == string(ctlSynAck) {
-				once.Do(func() { close(ready) })
-				continue
-			}
-			conn.handle(m)
 		}
 	}()
 
-	// Handshake with retry.
+	// Handshake with retry. One reusable timer serves every wait (the old
+	// per-retry time.After leaked a timer per attempt), and the final wait
+	// is clamped to the remaining deadline so the call returns within the
+	// caller's timeout instead of overshooting by up to a retry interval.
 	syn, _ := (&Message{Kind: KindControl, Payload: ctlSyn}).Marshal()
 	deadline := time.Now().Add(timeout)
+	timer := time.NewTimer(timeout)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
 	for {
 		if _, err := sock.Write(syn); err != nil {
 			_ = conn.Close()
 			return nil, err
 		}
+		wait := rudpHandshakeRetry
+		if remaining := time.Until(deadline); remaining < wait {
+			wait = remaining
+		}
+		if wait <= 0 {
+			_ = conn.Close()
+			return nil, fmt.Errorf("transport: RUDP handshake with %s timed out", addr)
+		}
+		timer.Reset(wait)
 		select {
 		case <-ready:
 			return conn, nil
-		case <-time.After(50 * time.Millisecond):
+		case <-timer.C:
 		}
-		if time.Now().After(deadline) {
+		if !time.Now().Before(deadline) {
 			_ = conn.Close()
 			return nil, fmt.Errorf("transport: RUDP handshake with %s timed out", addr)
 		}
