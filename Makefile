@@ -22,13 +22,14 @@ cover:
 	$(GO) test -cover ./internal/...
 
 # Runs every benchmark and records the ns/op + allocs baseline as JSON
-# (BENCH_PR7.json) for regression comparison across PRs — including the
-# BenchmarkPlaneScale streams × shards sweep (folded into "scaling") and
-# the BenchmarkWireDatagrams dg/s/core series (folded into "wire").
+# (BENCH_PR8.json) for regression comparison across PRs — including the
+# BenchmarkPlaneScale streams × shards sweep (folded into "scaling"),
+# the BenchmarkWireDatagrams dg/s/core series (folded into "wire"), and
+# the BenchmarkConverge conv-ticks series (folded into "gossip").
 # Override BENCHTIME (e.g. BENCHTIME=1x) for a quick smoke pass.
 BENCHTIME ?= 1s
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_PR7.json
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_PR8.json
 
 # Diffs the benchmark suite against the previous PR's baseline and
 # fails on >20 % ns/op regression or any new steady-state allocation.
@@ -37,8 +38,9 @@ bench:
 bench-compare:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) \
 		./internal/pgos/ ./internal/live/ ./internal/sched/ ./internal/predict/ \
-		./internal/shard/ ./internal/telemetry/ ./internal/transport/ | \
-		$(GO) run ./cmd/benchjson -out /tmp/bench-compare.json -compare BENCH_PR6.json -max-regress 20
+		./internal/shard/ ./internal/telemetry/ ./internal/transport/ \
+		./internal/gossip/ | \
+		$(GO) run ./cmd/benchjson -out /tmp/bench-compare.json -compare BENCH_PR7.json -max-regress 20
 
 # Live end-to-end smoke: the Fig. 8 overlay as shaped relay subprocesses
 # on 127.0.0.1 with real UDP sockets and wall-clock pacing. Takes ~40 s;
@@ -64,6 +66,9 @@ fuzz:
 	$(GO) test -fuzz FuzzRead -fuzztime 30s -run xxx ./internal/trace/
 	$(GO) test -fuzz FuzzParseFrame -fuzztime 30s -run xxx ./internal/live/
 	$(GO) test -fuzz FuzzReadFrame -fuzztime 30s -run xxx ./internal/live/
+	$(GO) test -fuzz FuzzParseDelta -fuzztime 30s -run xxx ./internal/gossip/
+	$(GO) test -fuzz FuzzParseDigest -fuzztime 30s -run xxx ./internal/gossip/
+	$(GO) test -fuzz FuzzRecordRoundTrip -fuzztime 30s -run xxx ./internal/gossip/
 
 clean:
 	rm -rf figures

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"regexp"
+	"strconv"
+)
+
+// Gossip-dissemination extraction: benchmarks that report the custom
+// conv-ticks metric (internal/gossip's BenchmarkConverge) are collected
+// into a flat series keyed by their mode= and nodes= components, so a
+// baseline records how convergence latency and wire cost move with
+// overlay size for both the delta mesh and the full-flood oracle.
+
+// GossipPoint is one (engine, overlay size) dissemination measurement.
+type GossipPoint struct {
+	Package string `json:"package,omitempty"`
+	Name    string `json:"name"`
+	// Mode is the mode= component ("delta" or "flood"; empty when absent).
+	Mode string `json:"mode,omitempty"`
+	// Nodes is the nodes= component (0 when absent).
+	Nodes int `json:"nodes,omitempty"`
+	// ConvTicks is the reported conv-ticks metric: mean gossip rounds
+	// from origination to every up node covering the change.
+	ConvTicks float64 `json:"conv_ticks"`
+	// GossipBytes is the reported gossip-B metric (total wire bytes for
+	// the standard churn script), when present.
+	GossipBytes float64 `json:"gossip_bytes,omitempty"`
+	// BytesPerNodeRound is the reported B/node-round metric, when present.
+	BytesPerNodeRound float64 `json:"bytes_per_node_round,omitempty"`
+}
+
+var (
+	modeComponent  = regexp.MustCompile(`(^|/)mode=([a-z]+)($|/|-)`)
+	nodesComponent = regexp.MustCompile(`(^|/)nodes=(\d+)($|/|-)`)
+)
+
+// extractGossip pulls conv-ticks series out of a parsed benchmark set,
+// keeping the input order.
+func extractGossip(benchmarks []Benchmark) []GossipPoint {
+	var pts []GossipPoint
+	for _, b := range benchmarks {
+		ct, ok := b.Metrics["conv-ticks"]
+		if !ok {
+			continue
+		}
+		name, _ := splitProcs(b.Name)
+		p := GossipPoint{
+			Package:           b.Package,
+			Name:              name,
+			ConvTicks:         ct,
+			GossipBytes:       b.Metrics["gossip-B"],
+			BytesPerNodeRound: b.Metrics["B/node-round"],
+		}
+		if m := modeComponent.FindStringSubmatch(name); m != nil {
+			p.Mode = m[2]
+		}
+		if m := nodesComponent.FindStringSubmatch(name); m != nil {
+			p.Nodes, _ = strconv.Atoi(m[2])
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}

@@ -1,0 +1,57 @@
+package main
+
+import "testing"
+
+func mkGossip(name string, conv, bytes, bpnr float64) Benchmark {
+	return Benchmark{
+		Package: "iqpaths/internal/gossip",
+		Name:    name,
+		NsPerOp: 1e6,
+		Metrics: map[string]float64{
+			"conv-ticks":   conv,
+			"gossip-B":     bytes,
+			"B/node-round": bpnr,
+		},
+	}
+}
+
+func TestExtractGossipKeysModeAndNodes(t *testing.T) {
+	pts := extractGossip([]Benchmark{
+		mkGossip("BenchmarkConverge/mode=delta/nodes=100-4", 4.2, 800e3, 85),
+		mkGossip("BenchmarkConverge/mode=flood/nodes=1000-4", 1.8, 56e6, 970),
+		{Name: "BenchmarkTick-4", NsPerOp: 50}, // no conv-ticks metric: ignored
+	})
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	d := pts[0]
+	if d.Mode != "delta" || d.Nodes != 100 {
+		t.Fatalf("point 0 keyed %q/%d, want delta/100", d.Mode, d.Nodes)
+	}
+	if d.Name != "BenchmarkConverge/mode=delta/nodes=100" {
+		t.Fatalf("point 0 name = %q (procs suffix must be stripped)", d.Name)
+	}
+	if d.ConvTicks != 4.2 || d.GossipBytes != 800e3 || d.BytesPerNodeRound != 85 {
+		t.Fatalf("point 0 metrics = %+v", d)
+	}
+	f := pts[1]
+	if f.Mode != "flood" || f.Nodes != 1000 || f.ConvTicks != 1.8 {
+		t.Fatalf("point 1 = %+v", f)
+	}
+}
+
+func TestExtractGossipTolerantOfMissingComponents(t *testing.T) {
+	pts := extractGossip([]Benchmark{{
+		Name:    "BenchmarkConvergeBare-2",
+		Metrics: map[string]float64{"conv-ticks": 3},
+	}})
+	if len(pts) != 1 {
+		t.Fatalf("got %d points, want 1", len(pts))
+	}
+	if pts[0].Mode != "" || pts[0].Nodes != 0 || pts[0].ConvTicks != 3 {
+		t.Fatalf("point = %+v", pts[0])
+	}
+	if pts[0].GossipBytes != 0 || pts[0].BytesPerNodeRound != 0 {
+		t.Fatalf("absent metrics must stay zero: %+v", pts[0])
+	}
+}

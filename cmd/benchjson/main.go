@@ -22,6 +22,11 @@
 // -min-scale-eff fail the run; single-core runs cannot speed up, so their
 // curves are recorded but never gated.
 //
+// Benchmarks reporting the conv-ticks metric (internal/gossip's
+// convergence sweeps) are collected into a "gossip" series keyed by
+// their mode= and nodes= components — convergence ticks and gossip
+// bytes vs overlay size, per engine.
+//
 // Only standard benchmark result lines are parsed; everything else
 // (pkg/goos headers, PASS/ok trailers) passes through untouched. The GOOS
 // `pkg:` headers are tracked so each benchmark records which package it
@@ -56,6 +61,7 @@ type File struct {
 	Benchmarks []Benchmark    `json:"benchmarks"`
 	Scaling    []ScalingCurve `json:"scaling,omitempty"`
 	Wire       []WirePoint    `json:"wire,omitempty"`
+	Gossip     []GossipPoint  `json:"gossip,omitempty"`
 }
 
 // parseBench parses one `go test -bench` result line, or reports !ok.
@@ -133,6 +139,7 @@ func main() {
 
 	f.Scaling = extractScaling(f.Benchmarks)
 	f.Wire = extractWire(f.Benchmarks)
+	f.Gossip = extractGossip(f.Benchmarks)
 
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {

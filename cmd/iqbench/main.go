@@ -12,6 +12,7 @@
 //	iqbench -fig faults       # WFQ/MSFQ/PGOS under a scripted fault scenario
 //	iqbench -fig churn        # static routing vs control-plane rerouting under churn
 //	iqbench -fig scale        # sharded data plane scaling sweep (-shards, -streams)
+//	iqbench -fig cluster      # cluster-scale gossip dissemination sweep (-nodes)
 //	iqbench -fig all          # everything
 //	iqbench -fig ablations    # DESIGN.md §5 ablation sweeps
 //
@@ -26,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"iqpaths/internal/experiment"
@@ -43,6 +45,7 @@ func main() {
 		seeds    = flag.Int("seeds", 0, "with -fig multiseed: number of seeds to aggregate over")
 		shards   = flag.Int("shards", 8, "with -fig scale: largest shard count in the sweep (powers of two up to this)")
 		streams  = flag.Int("streams", 10000, "with -fig scale: total stream count")
+		nodes    = flag.String("nodes", "100,1000,5000", "with -fig cluster: comma-separated overlay sizes to sweep")
 		htmlPath = flag.String("html", "", "write a self-contained HTML report (charts + tables) to this file")
 		telePath = flag.String("telemetry", "", "write the PGOS SmartPointer run's telemetry snapshot (JSON) to this file")
 	)
@@ -57,6 +60,7 @@ func main() {
 	seedCount = *seeds
 	scaleShards = *shards
 	scaleStreams = *streams
+	clusterNodes = *nodes
 	if *htmlPath != "" {
 		if err := writeHTML(*htmlPath, *seed, *duration, *warmup); err != nil {
 			fmt.Fprintln(os.Stderr, "iqbench:", err)
@@ -181,6 +185,8 @@ func run(fig string, seed int64, duration, warmup float64, csv bool) error {
 		return churnFig(cfg, csv)
 	case "scale":
 		return scaleFig(cfg, csv)
+	case "cluster":
+		return clusterFig(cfg, csv)
 	case "multiseed":
 		n := seedCount
 		if n <= 1 {
@@ -210,6 +216,9 @@ var seedCount int
 // scaleShards and scaleStreams are the -shards / -streams flag values
 // (scale figure).
 var scaleShards, scaleStreams int
+
+// clusterNodes is the -nodes flag value (cluster figure).
+var clusterNodes string
 
 // currentSection names the file the next table tees into.
 var currentSection string
@@ -450,6 +459,27 @@ func scaleFig(cfg experiment.RunConfig, csv bool) error {
 		return err
 	}
 	return tee(func(w io.Writer, csv bool) error { return experiment.RenderScale(w, rows, csv) }, csv)
+}
+
+func clusterFig(cfg experiment.RunConfig, csv bool) error {
+	var sizes []int
+	for _, f := range strings.Split(clusterNodes, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("-nodes: invalid overlay size %q", f)
+		}
+		sizes = append(sizes, n)
+	}
+	banner(fmt.Sprintf("Cluster: delta/anti-entropy gossip vs full flood across %v nodes", sizes))
+	rows, err := experiment.RunCluster(experiment.ClusterConfig{Nodes: sizes, Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	return tee(func(w io.Writer, csv bool) error { return experiment.RenderCluster(w, rows, csv) }, csv)
 }
 
 func videoFig(cfg experiment.RunConfig, csv bool) error {

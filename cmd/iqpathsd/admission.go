@@ -22,19 +22,28 @@ import (
 //	GET  /admission/streams
 //
 // and get the control.Decision (including the best-feasible-spec upcall
-// on rejection) as JSON.
+// on rejection) as JSON; errors come back as {"error": ...} bodies with
+// the matching status code.
+//
+// With -cluster N > 1 the sink runs N regional admission shards
+// (stream names hash to a home shard) whose committed load replicates
+// through the gossip channel served under /gossip/ — the live
+// counterpart of control.ShardedAdmission's simulated deployment.
 type daemonAdmission struct {
 	capacity float64
-	adm      *control.Admission
+	adm      *control.ShardedAdmission
+	ver      int64 // publish version counter, bumped each ticker publish
 }
 
 // admissionWindow is the ingress monitor's sample window: one sample per
 // second, so two minutes of history feed the CDF.
 const admissionWindow = 120
 
-func newDaemonAdmission(capacityMbps float64) *daemonAdmission {
-	mon := monitor.New("sink", admissionWindow, 20)
-	adm := control.NewAdmission(control.AdmissionOptions{
+func newDaemonAdmission(capacityMbps float64, shards int) *daemonAdmission {
+	if shards < 1 {
+		shards = 1
+	}
+	opt := control.AdmissionOptions{
 		PreemptBestEffort: true,
 		OnReject: func(d control.Decision) {
 			if d.BestSpec != nil {
@@ -44,19 +53,42 @@ func newDaemonAdmission(capacityMbps float64) *daemonAdmission {
 				log.Printf("admission: rejected %q (%s)", d.Spec.Name, d.Reason)
 			}
 		},
-	}, []*monitor.PathMonitor{mon})
-	adm.SetTelemetry(telemetry.Default(), nil)
+	}
+	mons := make([][]*monitor.PathMonitor, shards)
+	for i := range mons {
+		mons[i] = []*monitor.PathMonitor{monitor.New("sink", admissionWindow, 20)}
+	}
+	adm := control.NewShardedAdmission(opt, mons)
+	for i := 0; i < adm.Shards(); i++ {
+		adm.Shard(i).SetTelemetry(telemetry.Default().WithLabels("shard", strconv.Itoa(i)), nil)
+	}
 	return &daemonAdmission{capacity: capacityMbps, adm: adm}
 }
 
 // observe feeds one aggregate receive-rate sample (Mbps): the ingress
-// path's available bandwidth is whatever the capacity leaves over.
+// path's available bandwidth is whatever the capacity leaves over. Every
+// shard watches the same ingress, so each gets the sample; double
+// booking is prevented by the replicated committed-load vectors, not by
+// splitting the capacity.
 func (d *daemonAdmission) observe(usedMbps float64) {
 	avail := d.capacity - usedMbps
 	if avail < 0 {
 		avail = 0
 	}
-	d.adm.Observe(0, avail)
+	for i := 0; i < d.adm.Shards(); i++ {
+		d.adm.Observe(i, 0, avail)
+	}
+}
+
+// publish snapshots every shard's committed load into the replication
+// table (making it visible to co-located shards immediately and to
+// remote daemons through /gossip/). Called from the sink's report
+// ticker.
+func (d *daemonAdmission) publish() {
+	d.ver++
+	for i := 0; i < d.adm.Shards(); i++ {
+		d.adm.Publish(i, d.ver)
+	}
 }
 
 func (d *daemonAdmission) register(mux *http.ServeMux) {
@@ -73,15 +105,36 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
+// jsonError answers a malformed or rejected request with a JSON body —
+// {"error": msg} — so API clients never have to parse plain-text
+// http.Error output.
+func jsonError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// requireMethod guards a handler: a mismatched verb gets 405 with an
+// Allow header and a JSON error body.
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	jsonError(w, http.StatusMethodNotAllowed, "method "+r.Method+" not allowed; use "+method)
+	return false
+}
+
 // handleAdmit parses a spec from query parameters and runs the admission
 // test. kind=besteffort admits unconditionally; otherwise mbps (and
 // optionally p, the guarantee probability, default 0.95) describe a
 // probabilistic request.
 func (d *daemonAdmission) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
 	q := r.URL.Query()
 	spec := stream.Spec{Name: q.Get("name")}
 	if spec.Name == "" {
-		http.Error(w, "missing name parameter", http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, "missing name parameter")
 		return
 	}
 	if q.Get("kind") == "besteffort" {
@@ -92,7 +145,7 @@ func (d *daemonAdmission) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	} else {
 		mbps, err := strconv.ParseFloat(q.Get("mbps"), 64)
 		if err != nil || mbps <= 0 {
-			http.Error(w, "missing or invalid mbps parameter", http.StatusBadRequest)
+			jsonError(w, http.StatusBadRequest, "missing or invalid mbps parameter")
 			return
 		}
 		spec.Kind = stream.Probabilistic
@@ -101,15 +154,16 @@ func (d *daemonAdmission) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		if ps := q.Get("p"); ps != "" {
 			p, err := strconv.ParseFloat(ps, 64)
 			if err != nil || p <= 0 || p >= 1 {
-				http.Error(w, "invalid p parameter (want 0 < p < 1)", http.StatusBadRequest)
+				jsonError(w, http.StatusBadRequest, "invalid p parameter (want 0 < p < 1)")
 				return
 			}
 			spec.Probability = p
 		}
 	}
-	for _, s := range d.adm.Admitted() {
+	home := d.adm.Shard(d.adm.ShardFor(spec.Name))
+	for _, s := range home.Admitted() {
 		if s.Name == spec.Name {
-			http.Error(w, "stream name already admitted", http.StatusConflict)
+			jsonError(w, http.StatusConflict, "stream name already admitted")
 			return
 		}
 	}
@@ -122,9 +176,12 @@ func (d *daemonAdmission) handleAdmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *daemonAdmission) handleRelease(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
 	name := r.URL.Query().Get("name")
 	if name == "" {
-		http.Error(w, "missing name parameter", http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, "missing name parameter")
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -133,6 +190,14 @@ func (d *daemonAdmission) handleRelease(w http.ResponseWriter, r *http.Request) 
 	})
 }
 
+// handleStreams lists every shard's admitted specs in shard order.
 func (d *daemonAdmission) handleStreams(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, d.adm.Admitted())
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	all := []stream.Spec{}
+	for i := 0; i < d.adm.Shards(); i++ {
+		all = append(all, d.adm.Shard(i).Admitted()...)
+	}
+	writeJSON(w, http.StatusOK, all)
 }

@@ -17,7 +17,9 @@
 // headroom (-capacity minus the observed aggregate rate) once per second
 // and admits a stream only when the PGOS feasibility test over that
 // distribution can meet its specification, answering rejections with the
-// best currently feasible spec.
+// best currently feasible spec. With -cluster N the sink runs N regional
+// admission shards whose committed load replicates via the gossip codec,
+// served to peer daemons under /gossip/ (digest exchange + delta push).
 // On SIGINT/SIGTERM the daemon shuts down gracefully, and with
 // -snapshot it writes a final JSON telemetry snapshot before exiting.
 //
@@ -56,6 +58,7 @@ func main() {
 		httpAddr = flag.String("http", "127.0.0.1:9090", "HTTP address for /metrics and /debug/pprof (empty disables)")
 		snapPath = flag.String("snapshot", "", "write a final JSON telemetry snapshot to this file on shutdown")
 		capacity = flag.Float64("capacity", 100, "sink ingress capacity in Mbps, the ceiling of the admission test")
+		cluster  = flag.Int("cluster", 1, "sink: regional admission shard count; committed load replicates between shards (and peer daemons) over /gossip/")
 
 		// relay role: one shaped testbed link as its own process.
 		udpAddr = flag.String("udp", "127.0.0.1:0", "relay: UDP listen address")
@@ -83,7 +86,7 @@ func main() {
 	var adm *daemonAdmission
 	var ls *liveSink
 	if *role == "sink" {
-		adm = newDaemonAdmission(*capacity)
+		adm = newDaemonAdmission(*capacity, *cluster)
 		ls = newLiveSink()
 	}
 	var httpSrv *http.Server
@@ -152,6 +155,7 @@ func startHTTP(addr string, adm *daemonAdmission, ls *liveSink) *http.Server {
 	mux.Handle("/metrics", telemetry.Handler(telemetry.Default()))
 	if adm != nil {
 		adm.register(mux)
+		(&daemonGossip{adm: adm}).register(mux)
 	}
 	if ls != nil {
 		ls.register(mux)
@@ -260,6 +264,7 @@ func runSink(ctx context.Context, rudpAddr, tcpAddr string, quiet bool, adm *dae
 					total += b
 				}
 				adm.observe(float64(total) * 8 / 1e6)
+				adm.publish()
 			}
 			if quiet || len(snap) == 0 {
 				continue

@@ -65,7 +65,11 @@ type Admission struct {
 	opt      AdmissionOptions
 	mons     []*monitor.PathMonitor
 	admitted []stream.Spec
-	tel      admTelemetry
+	// remote is per-path load committed by other admission shards,
+	// replicated in via SetRemoteCommitted; feasibility subtracts it from
+	// headroom alongside local commitments.
+	remote []float64
+	tel    admTelemetry
 }
 
 // NewAdmission returns an admission controller over the given path
@@ -109,6 +113,24 @@ func (a *Admission) Observe(j int, mbps float64) {
 	if j >= 0 && j < len(a.mons) {
 		a.mons[j].ObserveBandwidth(mbps)
 	}
+}
+
+// CommittedLoad returns the per-path rates currently promised to
+// locally admitted streams (remote shards' load excluded) — the vector a
+// sharded deployment publishes over the gossip channel.
+func (a *Admission) CommittedLoad() []float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.committed(a.cdfs(), a.admitted)
+}
+
+// SetRemoteCommitted replaces the per-path load attributed to other
+// admission shards. Later feasibility tests charge remote[j] against
+// path j's headroom before mapping the candidate. A nil slice clears it.
+func (a *Admission) SetRemoteCommitted(load []float64) {
+	a.mu.Lock()
+	a.remote = append(a.remote[:0], load...)
+	a.mu.Unlock()
 }
 
 // Admitted returns a copy of the admitted specifications in admission
@@ -275,6 +297,11 @@ func (a *Admission) committed(cdfs []stats.Distribution, admitted []stream.Spec)
 // streams.
 func (a *Admission) feasible(spec stream.Spec, cdfs []stats.Distribution, admitted []stream.Spec) bool {
 	committed := a.committed(cdfs, admitted)
+	for j := range committed {
+		if j < len(a.remote) {
+			committed[j] += a.remote[j]
+		}
+	}
 	cand := []*stream.Stream{stream.New(0, spec)}
 	m := pgos.ComputeMappingOpts(cand, cdfs, a.opt.TwSec, pgos.MapOptions{InitialCommitted: committed})
 	return !m.Rejected[0]

@@ -19,6 +19,7 @@ package control
 import (
 	"fmt"
 
+	"iqpaths/internal/gossip"
 	"iqpaths/internal/monitor"
 	"iqpaths/internal/overlay"
 	"iqpaths/internal/sched"
@@ -60,6 +61,13 @@ type Config struct {
 	// version among its up neighbors; convergence time in ticks is roughly
 	// interval × graph diameter.
 	GossipIntervalTicks int64
+	// Cluster, when non-nil, replaces the flat neighbor-max dissemination
+	// with the clustered delta/anti-entropy mesh from internal/gossip:
+	// witness seeds become versioned records originated at the witnesses,
+	// and each gossip interval runs one mesh round (member→rep deltas,
+	// rep ring + fanout, anti-entropy). Nodes is overridden with the
+	// graph size. The flat path remains the differential-test oracle.
+	Cluster *gossip.Params
 	// FailureDetectTicks delays the moment a failed node's neighbors
 	// witness its NodeFail (graceful NodeLeave is always announced
 	// immediately). Default 0.
@@ -120,6 +128,9 @@ type Controller struct {
 	routedVersion int64
 	pending       []pendingChange
 	seeds         []witnessSeed
+	// mesh is the clustered dissemination engine when Config.Cluster is
+	// set; views then mirror each node's table version after every round.
+	mesh *meshView
 
 	routes [][]overlay.NodeID
 	paths  []sched.PathService
@@ -162,6 +173,9 @@ func New(cfg Config, schedule Schedule) (*Controller, error) {
 	}
 	for i := range c.views {
 		c.views[i] = cfg.Graph.Version()
+	}
+	if cfg.Cluster != nil {
+		c.mesh = newMeshView(*cfg.Cluster, cfg.Graph)
 	}
 	if cfg.Factory != nil {
 		routes := c.computeRoutes()
@@ -237,7 +251,7 @@ func (c *Controller) Tick(now int64) {
 	}
 	c.deliverSeeds(now)
 	if now%c.cfg.GossipIntervalTicks == 0 {
-		c.gossip()
+		c.gossip(now)
 	}
 	c.accountConvergence(now)
 	if !c.cfg.Static && c.cfg.Factory != nil && c.views[c.cfg.Src] > c.routedVersion {
@@ -278,6 +292,14 @@ func (c *Controller) apply(e Event, now int64) {
 		g.RemoveDuplex(e.From, e.To)
 		c.setLink(e.From, e.To, false)
 		witnesses = []overlay.NodeID{e.From, e.To}
+	}
+	if c.mesh != nil {
+		switch e.Kind {
+		case NodeJoin:
+			c.mesh.setUp(e.Node, true)
+		case NodeLeave, NodeFail:
+			c.mesh.setUp(e.Node, false)
+		}
 	}
 	c.tel.event(e, g)
 	if v := g.Version(); v > before {
@@ -327,6 +349,9 @@ func (c *Controller) deliverSeeds(now int64) {
 		}
 		for _, n := range s.nodes {
 			if c.cfg.Graph.NodeUp(n) && c.views[n] < s.version {
+				if c.mesh != nil {
+					c.mesh.originate(n, s.version)
+				}
 				c.views[n] = s.version
 			}
 		}
@@ -334,11 +359,21 @@ func (c *Controller) deliverSeeds(now int64) {
 	c.seeds = kept
 }
 
-// gossip runs one synchronous dissemination round: every up node adopts
-// the newest version among its up neighbors. A rejoining node re-syncs
-// through its attachments like everyone else; down nodes neither send nor
-// receive.
-func (c *Controller) gossip() {
+// gossip runs one dissemination round. Clustered (Config.Cluster set):
+// one delta/anti-entropy mesh round, after which views mirror each
+// node's table version. Flat: every up node adopts the newest version
+// among its up neighbors. Either way a rejoining node re-syncs like
+// everyone else and down nodes neither send nor receive.
+func (c *Controller) gossip(now int64) {
+	if c.mesh != nil {
+		c.mesh.round(now / c.cfg.GossipIntervalTicks)
+		for i := range c.views {
+			if v := c.mesh.view(overlay.NodeID(i)); v > c.views[i] {
+				c.views[i] = v
+			}
+		}
+		return
+	}
 	g := c.cfg.Graph
 	next := append([]int64(nil), c.views...)
 	for i := range c.views {

@@ -1,0 +1,201 @@
+package gossip
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"iqpaths/internal/overlay"
+)
+
+// churnScript is a deterministic engine driver: seeded membership churn
+// plus link-state originations, applied identically to any Engine. All
+// downed nodes recover before the trailing drain so every table can
+// converge.
+type churnScript struct {
+	nodes  int
+	events int
+	rounds int
+	drain  int
+	seed   int64
+}
+
+func (s churnScript) run(e Engine) {
+	rng := rand.New(rand.NewSource(s.seed))
+	isDown := make([]bool, s.nodes)
+	var down []overlay.NodeID // FIFO of downed nodes, deterministic order
+	ver := int64(0)
+	now := int64(0)
+	pickUp := func() overlay.NodeID {
+		for {
+			n := overlay.NodeID(rng.Intn(s.nodes))
+			if !isDown[n] {
+				return n
+			}
+		}
+	}
+	for i := 0; i < s.events; i++ {
+		// A burst of 1–3 originations per event step, from up witnesses.
+		for b := rng.Intn(3) + 1; b > 0; b-- {
+			w := pickUp()
+			ver++
+			key := LinkKey{From: w, To: overlay.NodeID(rng.Intn(s.nodes))}
+			e.Originate(w, key, rng.Intn(4) != 0, float64(rng.Intn(1000))/4, ver)
+		}
+		// Occasionally flip membership: down a node or recover one.
+		switch rng.Intn(4) {
+		case 0:
+			if len(down) < s.nodes/4 {
+				n := pickUp()
+				isDown[n] = true
+				down = append(down, n)
+				e.SetNodeUp(n, false)
+			}
+		case 1:
+			if len(down) > 0 {
+				n := down[0]
+				down = down[1:]
+				isDown[n] = false
+				e.SetNodeUp(n, true)
+			}
+		}
+		steps := int64(rng.Intn(3) + 1)
+		for r := int64(0); r < steps && now < int64(s.rounds); r++ {
+			now++
+			e.Round(now)
+		}
+	}
+	// Recover everyone, then drain until quiescent.
+	for _, n := range down {
+		e.SetNodeUp(n, true)
+	}
+	for i := 0; i < s.drain; i++ {
+		now++
+		e.Round(now)
+	}
+}
+
+// TestDifferentialMeshVsFlood is the PR's core acceptance test: on
+// seeds 1, 7, and 42 the delta/anti-entropy mesh (with 20 % simulated
+// delta loss) must converge to byte-identical link-state tables with
+// the lossless full-flood oracle on every node, while spending
+// sublinearly fewer wire bytes at 1000 nodes.
+func TestDifferentialMeshVsFlood(t *testing.T) {
+	nodes := 1000
+	if testing.Short() {
+		nodes = 200
+	}
+	for _, seed := range []int64{1, 7, 42} {
+		p := Params{Nodes: nodes, LossProb: 0.2, Seed: seed}
+		mesh := NewMesh(p)
+		flood := NewFullFlood(p)
+		script := churnScript{nodes: nodes, events: 40, rounds: 200, drain: 24, seed: seed}
+		script.run(mesh)
+		script.run(flood)
+
+		if !mesh.Converged() {
+			t.Fatalf("seed %d: mesh still has in-flight changes after drain", seed)
+		}
+		if !flood.Converged() {
+			t.Fatalf("seed %d: flood still has in-flight changes after drain", seed)
+		}
+		truth := mesh.truth.AppendCanonical(nil)
+		if !bytes.Equal(truth, flood.truth.AppendCanonical(nil)) {
+			t.Fatalf("seed %d: the two engines saw different scripts", seed)
+		}
+		var mb, fb []byte
+		for i := 0; i < nodes; i++ {
+			n := overlay.NodeID(i)
+			mb = mesh.Table(n).AppendCanonical(mb[:0])
+			fb = flood.Table(n).AppendCanonical(fb[:0])
+			if !bytes.Equal(mb, fb) {
+				t.Fatalf("seed %d: node %d tables differ (mesh %dB vs flood %dB)", seed, i, len(mb), len(fb))
+			}
+			if !bytes.Equal(mb, truth) {
+				t.Fatalf("seed %d: node %d did not converge to truth", seed, i)
+			}
+		}
+
+		ms, fs := mesh.Stats(), flood.Stats()
+		if ms.Bytes == 0 || fs.Bytes == 0 {
+			t.Fatalf("seed %d: no traffic counted (mesh %d, flood %d)", seed, ms.Bytes, fs.Bytes)
+		}
+		ratio := float64(ms.Bytes) / float64(fs.Bytes)
+		t.Logf("seed %d: nodes=%d mesh=%dKB flood=%dKB ratio=%.4f meshConv(mean=%.1f max=%d) floodConv(mean=%.1f max=%d)",
+			seed, nodes, ms.Bytes/1024, fs.Bytes/1024, ratio,
+			ms.MeanConvRounds(), ms.MaxConvRounds, fs.MeanConvRounds(), fs.MaxConvRounds)
+		if !testing.Short() && ratio > 0.1 {
+			t.Fatalf("seed %d: mesh bytes not sublinear vs flood: ratio %.4f > 0.1", seed, ratio)
+		}
+	}
+}
+
+// TestMeshDeterministicReplay: same Params + same script must replay
+// bit-for-bit — identical stats and identical table hashes.
+func TestMeshDeterministicReplay(t *testing.T) {
+	run := func() (Stats, uint64) {
+		m := NewMesh(Params{Nodes: 120, LossProb: 0.3, Seed: 9})
+		churnScript{nodes: 120, events: 25, rounds: 120, drain: 16, seed: 9}.run(m)
+		var h uint64
+		for i := 0; i < 120; i++ {
+			h ^= m.Table(overlay.NodeID(i)).Hash() * uint64(i+1)
+		}
+		return m.Stats(), h
+	}
+	s1, h1 := run()
+	s2, h2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats diverged across replays:\n%+v\n%+v", s1, s2)
+	}
+	if h1 != h2 {
+		t.Fatal("table hashes diverged across replays")
+	}
+}
+
+// TestMeshRepairsLoss hammers the loss path: with 60 % delta loss the
+// pushes alone cannot converge, so this passing means anti-entropy is
+// doing the repair.
+func TestMeshRepairsLoss(t *testing.T) {
+	m := NewMesh(Params{Nodes: 64, ClusterSize: 8, LossProb: 0.6, Seed: 3})
+	churnScript{nodes: 64, events: 20, rounds: 100, drain: 20, seed: 3}.run(m)
+	if !m.Converged() {
+		t.Fatal("mesh did not converge under 60% delta loss")
+	}
+	truth := m.truth.AppendCanonical(nil)
+	for i := 0; i < 64; i++ {
+		if !bytes.Equal(m.Table(overlay.NodeID(i)).AppendCanonical(nil), truth) {
+			t.Fatalf("node %d stale after drain", i)
+		}
+	}
+	if m.Stats().DigestBytes == 0 {
+		t.Fatal("anti-entropy never ran")
+	}
+}
+
+// TestMeshRepresentativeFailover kills a representative mid-stream and
+// checks the cluster re-homes onto the next member and still converges.
+func TestMeshRepresentativeFailover(t *testing.T) {
+	m := NewMesh(Params{Nodes: 32, ClusterSize: 8, Seed: 1})
+	now := int64(0)
+	step := func(k int) {
+		for i := 0; i < k; i++ {
+			now++
+			m.Round(now)
+		}
+	}
+	m.Originate(5, LinkKey{5, 6}, true, 100, 1)
+	step(4)
+	// Node 0 is cluster 0's representative; kill it, then originate from
+	// another member of the same cluster.
+	m.SetNodeUp(0, false)
+	if rep, ok := m.Topology().Rep(0); !ok || rep != 1 {
+		t.Fatalf("rep after failover = %d,%v, want 1", rep, ok)
+	}
+	rec := m.Originate(3, LinkKey{3, 7}, false, 0, 2)
+	step(12)
+	for i := 1; i < 32; i++ {
+		if !m.Table(overlay.NodeID(i)).Covers(rec) {
+			t.Fatalf("node %d missed the post-failover change", i)
+		}
+	}
+}
