@@ -22,14 +22,15 @@ cover:
 	$(GO) test -cover ./internal/...
 
 # Runs every benchmark and records the ns/op + allocs baseline as JSON
-# (BENCH_PR8.json) for regression comparison across PRs — including the
+# (BENCH_PR9.json) for regression comparison across PRs — including the
 # BenchmarkPlaneScale streams × shards sweep (folded into "scaling"),
-# the BenchmarkWireDatagrams dg/s/core series (folded into "wire"), and
-# the BenchmarkConverge conv-ticks series (folded into "gossip").
+# the BenchmarkWireDatagrams dg/s/core series (folded into "wire"),
+# the BenchmarkConverge conv-ticks series (folded into "gossip"), and
+# the BenchmarkProbing probe-B/round series (folded into "probing").
 # Override BENCHTIME (e.g. BENCHTIME=1x) for a quick smoke pass.
 BENCHTIME ?= 1s
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_PR8.json
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_PR9.json
 
 # Diffs the benchmark suite against the previous PR's baseline and
 # fails on >20 % ns/op regression or any new steady-state allocation.
@@ -39,8 +40,8 @@ bench-compare:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) \
 		./internal/pgos/ ./internal/live/ ./internal/sched/ ./internal/predict/ \
 		./internal/shard/ ./internal/telemetry/ ./internal/transport/ \
-		./internal/gossip/ | \
-		$(GO) run ./cmd/benchjson -out /tmp/bench-compare.json -compare BENCH_PR7.json -max-regress 20
+		./internal/gossip/ ./internal/bwest/ | \
+		$(GO) run ./cmd/benchjson -out /tmp/bench-compare.json -compare BENCH_PR8.json -max-regress 20
 
 # Live end-to-end smoke: the Fig. 8 overlay as shaped relay subprocesses
 # on 127.0.0.1 with real UDP sockets and wall-clock pacing. Takes ~40 s;
@@ -69,6 +70,8 @@ fuzz:
 	$(GO) test -fuzz FuzzParseDelta -fuzztime 30s -run xxx ./internal/gossip/
 	$(GO) test -fuzz FuzzParseDigest -fuzztime 30s -run xxx ./internal/gossip/
 	$(GO) test -fuzz FuzzRecordRoundTrip -fuzztime 30s -run xxx ./internal/gossip/
+	$(GO) test -fuzz FuzzParsePlan -fuzztime 30s -run xxx ./internal/bwest/
+	$(GO) test -fuzz FuzzParseSummaries -fuzztime 30s -run xxx ./internal/bwest/
 
 clean:
 	rm -rf figures

@@ -27,6 +27,11 @@
 // their mode= and nodes= components — convergence ticks and gossip
 // bytes vs overlay size, per engine.
 //
+// Benchmarks reporting the probe-B/round metric (internal/bwest's
+// probe-planning sweeps) are collected into a "probing" series keyed by
+// their planner= and paths= components — probe bytes per round,
+// posterior entropy, and rounds to the target entropy, per planner.
+//
 // Only standard benchmark result lines are parsed; everything else
 // (pkg/goos headers, PASS/ok trailers) passes through untouched. The GOOS
 // `pkg:` headers are tracked so each benchmark records which package it
@@ -58,10 +63,11 @@ type Benchmark struct {
 
 // File is the JSON document layout.
 type File struct {
-	Benchmarks []Benchmark    `json:"benchmarks"`
-	Scaling    []ScalingCurve `json:"scaling,omitempty"`
-	Wire       []WirePoint    `json:"wire,omitempty"`
-	Gossip     []GossipPoint  `json:"gossip,omitempty"`
+	Benchmarks []Benchmark          `json:"benchmarks"`
+	Scaling    []ScalingCurve       `json:"scaling,omitempty"`
+	Wire       []WirePoint          `json:"wire,omitempty"`
+	Gossip     []GossipPoint        `json:"gossip,omitempty"`
+	Probing    []ProbingSeriesPoint `json:"probing,omitempty"`
 }
 
 // parseBench parses one `go test -bench` result line, or reports !ok.
@@ -140,6 +146,7 @@ func main() {
 	f.Scaling = extractScaling(f.Benchmarks)
 	f.Wire = extractWire(f.Benchmarks)
 	f.Gossip = extractGossip(f.Benchmarks)
+	f.Probing = extractProbing(f.Benchmarks)
 
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {

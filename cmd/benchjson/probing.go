@@ -1,0 +1,68 @@
+package main
+
+import (
+	"regexp"
+	"strconv"
+)
+
+// Probe-planning extraction: benchmarks that report the custom
+// probe-B/round metric (internal/bwest's BenchmarkProbing) are collected
+// into a flat series keyed by their planner= and paths= components, so a
+// baseline records how much probe traffic each planner spends per round,
+// where the mean posterior entropy settles, and how many rounds it takes
+// to reach the target entropy as the overlay grows.
+
+// ProbingSeriesPoint is one (planner, overlay size) probe-budget
+// measurement.
+type ProbingSeriesPoint struct {
+	Package string `json:"package,omitempty"`
+	Name    string `json:"name"`
+	// Planner is the planner= component ("active" or "rr"; empty when
+	// absent).
+	Planner string `json:"planner,omitempty"`
+	// Paths is the paths= component (0 when absent).
+	Paths int `json:"paths,omitempty"`
+	// ProbeBytesPerRound is the reported probe-B/round metric: wire bytes
+	// of probe trains emitted per planning round at the default budget.
+	ProbeBytesPerRound float64 `json:"probe_bytes_per_round"`
+	// EntropyBits is the reported entropy-bits metric: mean posterior
+	// entropy across paths at the end of the run.
+	EntropyBits float64 `json:"entropy_bits,omitempty"`
+	// RoundsToTarget is the reported rounds-to-target metric: planning
+	// rounds until the mean posterior entropy first dropped to the
+	// benchmark's target, when present.
+	RoundsToTarget float64 `json:"rounds_to_target,omitempty"`
+}
+
+var (
+	plannerComponent = regexp.MustCompile(`(^|/)planner=([a-z]+)($|/|-)`)
+	pathsComponent   = regexp.MustCompile(`(^|/)paths=(\d+)($|/|-)`)
+)
+
+// extractProbing pulls probe-B/round series out of a parsed benchmark
+// set, keeping the input order.
+func extractProbing(benchmarks []Benchmark) []ProbingSeriesPoint {
+	var pts []ProbingSeriesPoint
+	for _, b := range benchmarks {
+		pb, ok := b.Metrics["probe-B/round"]
+		if !ok {
+			continue
+		}
+		name, _ := splitProcs(b.Name)
+		p := ProbingSeriesPoint{
+			Package:            b.Package,
+			Name:               name,
+			ProbeBytesPerRound: pb,
+			EntropyBits:        b.Metrics["entropy-bits"],
+			RoundsToTarget:     b.Metrics["rounds-to-target"],
+		}
+		if m := plannerComponent.FindStringSubmatch(name); m != nil {
+			p.Planner = m[2]
+		}
+		if m := pathsComponent.FindStringSubmatch(name); m != nil {
+			p.Paths, _ = strconv.Atoi(m[2])
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}

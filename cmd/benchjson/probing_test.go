@@ -1,0 +1,58 @@
+package main
+
+import "testing"
+
+func mkProbing(name string, probeB, entropy, rounds float64) Benchmark {
+	return Benchmark{
+		Package: "iqpaths/internal/bwest",
+		Name:    name,
+		NsPerOp: 1e6,
+		Metrics: map[string]float64{
+			"probe-B/round":    probeB,
+			"entropy-bits":     entropy,
+			"rounds-to-target": rounds,
+		},
+	}
+}
+
+func TestExtractProbingKeysPlannerAndPaths(t *testing.T) {
+	pts := extractProbing([]Benchmark{
+		mkProbing("BenchmarkProbing/planner=active/paths=100-4", 39296, 3.1, 51),
+		mkProbing("BenchmarkProbing/planner=rr/paths=1000-4", 392960, 3.3, 60),
+		{Name: "BenchmarkObserveProbe-4", NsPerOp: 50}, // no probe-B/round: ignored
+	})
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	a := pts[0]
+	if a.Planner != "active" || a.Paths != 100 {
+		t.Fatalf("point 0 keyed %q/%d, want active/100", a.Planner, a.Paths)
+	}
+	if a.Name != "BenchmarkProbing/planner=active/paths=100" {
+		t.Fatalf("point 0 name = %q (procs suffix must be stripped)", a.Name)
+	}
+	if a.ProbeBytesPerRound != 39296 || a.EntropyBits != 3.1 || a.RoundsToTarget != 51 {
+		t.Fatalf("point 0 metrics = %+v", a)
+	}
+	r := pts[1]
+	if r.Planner != "rr" || r.Paths != 1000 || r.ProbeBytesPerRound != 392960 {
+		t.Fatalf("point 1 = %+v", r)
+	}
+}
+
+func TestExtractProbingTolerantOfMissingComponents(t *testing.T) {
+	pts := extractProbing([]Benchmark{{
+		Name:    "BenchmarkProbingBare-2",
+		Metrics: map[string]float64{"probe-B/round": 1200},
+	}})
+	if len(pts) != 1 {
+		t.Fatalf("got %d points, want 1", len(pts))
+	}
+	p := pts[0]
+	if p.Planner != "" || p.Paths != 0 || p.ProbeBytesPerRound != 1200 {
+		t.Fatalf("point = %+v", p)
+	}
+	if p.EntropyBits != 0 || p.RoundsToTarget != 0 {
+		t.Fatalf("absent metrics must stay zero: %+v", p)
+	}
+}

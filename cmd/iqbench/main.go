@@ -13,6 +13,7 @@
 //	iqbench -fig churn        # static routing vs control-plane rerouting under churn
 //	iqbench -fig scale        # sharded data plane scaling sweep (-shards, -streams)
 //	iqbench -fig cluster      # cluster-scale gossip dissemination sweep (-nodes)
+//	iqbench -fig probing      # Bayesian active probing vs round-robin (-paths) + Backpressure arm
 //	iqbench -fig all          # everything
 //	iqbench -fig ablations    # DESIGN.md §5 ablation sweeps
 //
@@ -46,6 +47,7 @@ func main() {
 		shards   = flag.Int("shards", 8, "with -fig scale: largest shard count in the sweep (powers of two up to this)")
 		streams  = flag.Int("streams", 10000, "with -fig scale: total stream count")
 		nodes    = flag.String("nodes", "100,1000,5000", "with -fig cluster: comma-separated overlay sizes to sweep")
+		paths    = flag.String("paths", "100,1000,5000", "with -fig probing: comma-separated overlay sizes to sweep")
 		htmlPath = flag.String("html", "", "write a self-contained HTML report (charts + tables) to this file")
 		telePath = flag.String("telemetry", "", "write the PGOS SmartPointer run's telemetry snapshot (JSON) to this file")
 	)
@@ -61,6 +63,7 @@ func main() {
 	scaleShards = *shards
 	scaleStreams = *streams
 	clusterNodes = *nodes
+	probingPaths = *paths
 	if *htmlPath != "" {
 		if err := writeHTML(*htmlPath, *seed, *duration, *warmup); err != nil {
 			fmt.Fprintln(os.Stderr, "iqbench:", err)
@@ -187,6 +190,8 @@ func run(fig string, seed int64, duration, warmup float64, csv bool) error {
 		return scaleFig(cfg, csv)
 	case "cluster":
 		return clusterFig(cfg, csv)
+	case "probing":
+		return probingFig(cfg, csv)
 	case "multiseed":
 		n := seedCount
 		if n <= 1 {
@@ -219,6 +224,9 @@ var scaleShards, scaleStreams int
 
 // clusterNodes is the -nodes flag value (cluster figure).
 var clusterNodes string
+
+// probingPaths is the -paths flag value (probing figure).
+var probingPaths string
 
 // currentSection names the file the next table tees into.
 var currentSection string
@@ -480,6 +488,31 @@ func clusterFig(cfg experiment.RunConfig, csv bool) error {
 		return err
 	}
 	return tee(func(w io.Writer, csv bool) error { return experiment.RenderCluster(w, rows, csv) }, csv)
+}
+
+func probingFig(cfg experiment.RunConfig, csv bool) error {
+	var sizes []int
+	for _, f := range strings.Split(probingPaths, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("-paths: invalid overlay size %q", f)
+		}
+		sizes = append(sizes, n)
+	}
+	banner(fmt.Sprintf("Probing: Bayesian active probe selection vs round-robin across %v paths, + scheduler arms", sizes))
+	res, err := experiment.RunProbing(experiment.ProbingConfig{
+		Paths:    sizes,
+		Seed:     cfg.Seed,
+		SchedCfg: cfg,
+	})
+	if err != nil {
+		return err
+	}
+	return tee(func(w io.Writer, csv bool) error { return experiment.RenderProbingFigure(w, res, csv) }, csv)
 }
 
 func videoFig(cfg experiment.RunConfig, csv bool) error {

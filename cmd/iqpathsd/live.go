@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"iqpaths/internal/bwest"
 	"iqpaths/internal/live"
 	"iqpaths/internal/live/testbed"
 	"iqpaths/internal/monitor"
@@ -163,6 +164,8 @@ type sourceConfig struct {
 	windowSec float64
 	tickSec   float64
 	probeSec  float64
+	planner   string // probe scheduling: "timer" | "rr" | "active"
+	budget    int    // probe trains per round for rr/active (0 = default)
 	report    string // sink HTTP base URL for link-state POSTs (optional)
 	duration  time.Duration
 	shards    int // >1 runs the sharded driver (paths split round-robin)
@@ -258,14 +261,8 @@ func runSource(ctx context.Context, cfg sourceConfig) error {
 		runCtx, cancel = context.WithTimeout(ctx, cfg.duration)
 		defer cancel()
 	}
-	for j, conn := range conns {
-		p := live.NewProber(live.ProbeConfig{IntervalSec: cfg.probeSec}, clock, conn)
-		j := j
-		p.OnBandwidth = func(mbps float64) { d.ObserveBandwidth(j, mbps) }
-		p.OnRTT = func(sec float64) { d.ObserveRTT(j, sec) }
-		p.OnLoss = func(rate float64) { d.ObserveLoss(j, rate) }
-		live.Bind(conn, p, nil)
-		go p.Run(runCtx)
+	if err := startProbing(runCtx, cfg, clock, conns, d); err != nil {
+		return err
 	}
 	go d.Run(runCtx)
 	if cfg.report != "" {
@@ -426,6 +423,79 @@ func runSourceSharded(ctx context.Context, cfg sourceConfig, clock live.Clock,
 				st.ScheduledSent+st.OtherPathSent+st.UnscheduledSent)
 		}
 	}
+}
+
+// startProbing wires probe trains for the unsharded source. "timer" is
+// the historical deployment: one Run loop per path, every path trained
+// every interval. "rr" and "active" replace the per-path timers with one
+// budgeted ProberSet planning loop; "active" additionally routes every
+// measurement through a bwest.Estimator whose information-gain planner
+// concentrates the budget on the paths with the most posterior
+// uncertainty, and whose credible intervals back the driver's monitors
+// with shared-bottleneck-informed posteriors.
+func startProbing(ctx context.Context, cfg sourceConfig, clock live.Clock,
+	conns []*transport.RUDPConn, d *live.Driver) error {
+	probers := make([]*live.Prober, len(conns))
+	mk := func(est *bwest.Estimator) {
+		for j, conn := range conns {
+			p := live.NewProber(live.ProberConfig{IntervalSec: cfg.probeSec}, clock, conn)
+			j := j
+			p.OnBandwidth = func(mbps float64) {
+				d.ObserveBandwidth(j, mbps)
+				if est != nil {
+					est.ObserveProbe(j, mbps)
+				}
+			}
+			p.OnRTT = func(sec float64) {
+				d.ObserveRTT(j, sec)
+				if est != nil {
+					est.ObserveRTT(j, sec)
+				}
+			}
+			p.OnLoss = func(rate float64) {
+				d.ObserveLoss(j, rate)
+				if est != nil {
+					est.ObserveLoss(j, rate, d.MeanBandwidth(j))
+				}
+			}
+			live.Bind(conn, p, nil)
+			probers[j] = p
+		}
+	}
+	budget := cfg.budget
+	if budget <= 0 {
+		budget = len(conns) / 2
+		if budget < 1 {
+			budget = 1
+		}
+	}
+	switch cfg.planner {
+	case "", "timer":
+		mk(nil)
+		for _, p := range probers {
+			go p.Run(ctx)
+		}
+	case "rr":
+		mk(nil)
+		ps := live.NewProberSet(live.ProberSetConfig{IntervalSec: cfg.probeSec, Budget: budget},
+			clock, probers, live.NewFixedPlanner(len(conns)))
+		go ps.Run(ctx)
+		log.Printf("source: round-robin probe planner, %d trains/round over %d paths", budget, len(conns))
+	case "active":
+		est := bwest.NewEstimator(bwest.Config{
+			Paths:     len(conns),
+			Budget:    budget,
+			Telemetry: telemetry.Default(),
+		})
+		mk(est)
+		ps := live.NewProberSet(live.ProberSetConfig{IntervalSec: cfg.probeSec, Budget: budget},
+			clock, probers, est)
+		go ps.Run(ctx)
+		log.Printf("source: active probe planner, %d trains/round over %d paths", budget, len(conns))
+	default:
+		return fmt.Errorf("source: unknown -probe-planner %q (timer | rr | active)", cfg.planner)
+	}
+	return nil
 }
 
 func monSummary(d *live.Driver, names []string) string {

@@ -1,0 +1,165 @@
+package bwest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Wire encodings for the bwest control messages a coordinator exchanges
+// with remote probers: a probe Plan (which paths to train this round)
+// and a batch of posterior Summaries (per-path digest for peers that
+// consume beliefs without holding them). Same conventions as the gossip
+// codec: one magic byte, uvarint counts bounded *before* allocation,
+// float64 as raw little-endian bits, and hard trailing-byte rejection so
+// every valid message has exactly one canonical encoding.
+
+const (
+	planMagic      = 0xB1
+	summariesMagic = 0xB5
+
+	// maxWireEntries bounds decoded counts so a hostile header can't
+	// drive allocation; generous versus any real overlay (5000 paths).
+	maxWireEntries = 1 << 20
+)
+
+var (
+	errTruncated = errors.New("bwest: truncated message")
+	errTrailing  = errors.New("bwest: trailing bytes")
+)
+
+// Plan is a probe-plan wire message: the planning round it belongs to
+// and the path indexes to train.
+type Plan struct {
+	Round uint64
+	Paths []uint32
+}
+
+// EncodePlan appends p's canonical encoding to dst and returns it.
+func EncodePlan(dst []byte, p Plan) []byte {
+	dst = append(dst, planMagic)
+	dst = binary.AppendUvarint(dst, p.Round)
+	dst = binary.AppendUvarint(dst, uint64(len(p.Paths)))
+	for _, path := range p.Paths {
+		dst = binary.AppendUvarint(dst, uint64(path))
+	}
+	return dst
+}
+
+// ParsePlan decodes a probe plan, rejecting oversized counts, truncated
+// bodies, path indexes beyond uint32, and trailing bytes.
+func ParsePlan(buf []byte) (Plan, error) {
+	var p Plan
+	if len(buf) == 0 || buf[0] != planMagic {
+		return p, errors.New("bwest: bad plan magic")
+	}
+	rest := buf[1:]
+	round, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return p, errTruncated
+	}
+	rest = rest[n:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return p, errTruncated
+	}
+	rest = rest[n:]
+	if count > maxWireEntries {
+		return p, fmt.Errorf("bwest: plan count %d exceeds limit", count)
+	}
+	if count > uint64(len(rest)) { // every path takes >= 1 byte
+		return p, errTruncated
+	}
+	p.Round = round
+	p.Paths = make([]uint32, 0, count)
+	for i := uint64(0); i < count; i++ {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return Plan{}, errTruncated
+		}
+		if v > math.MaxUint32 {
+			return Plan{}, fmt.Errorf("bwest: path index %d exceeds uint32", v)
+		}
+		rest = rest[n:]
+		p.Paths = append(p.Paths, uint32(v))
+	}
+	if len(rest) != 0 {
+		return Plan{}, errTrailing
+	}
+	return p, nil
+}
+
+// EncodeSummaries appends the canonical encoding of the summary batch.
+// Panics on non-finite floats — producers only ever export finite
+// posterior statistics, so a NaN here is a bug upstream.
+func EncodeSummaries(dst []byte, ss []Summary) []byte {
+	dst = append(dst, summariesMagic)
+	dst = binary.AppendUvarint(dst, uint64(len(ss)))
+	for _, s := range ss {
+		for _, f := range []float64{s.MeanMbps, s.Q05Mbps, s.Q95Mbps, s.EntropyBits} {
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				panic("bwest: non-finite summary field")
+			}
+		}
+		dst = binary.AppendUvarint(dst, uint64(uint32(s.Path)))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(s.MeanMbps))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(s.Q05Mbps))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(s.Q95Mbps))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(s.EntropyBits))
+	}
+	return dst
+}
+
+// ParseSummaries decodes a summary batch, rejecting oversized counts,
+// non-finite floats, truncated bodies, and trailing bytes.
+func ParseSummaries(buf []byte) ([]Summary, error) {
+	if len(buf) == 0 || buf[0] != summariesMagic {
+		return nil, errors.New("bwest: bad summaries magic")
+	}
+	rest := buf[1:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, errTruncated
+	}
+	rest = rest[n:]
+	if count > maxWireEntries {
+		return nil, fmt.Errorf("bwest: summaries count %d exceeds limit", count)
+	}
+	if count > uint64(len(rest)) { // each entry takes >= 33 bytes
+		return nil, errTruncated
+	}
+	out := make([]Summary, 0, count)
+	for i := uint64(0); i < count; i++ {
+		path, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, errTruncated
+		}
+		if path > math.MaxUint32 {
+			return nil, fmt.Errorf("bwest: path index %d exceeds uint32", path)
+		}
+		rest = rest[n:]
+		if len(rest) < 32 {
+			return nil, errTruncated
+		}
+		var fs [4]float64
+		for k := 0; k < 4; k++ {
+			fs[k] = math.Float64frombits(binary.LittleEndian.Uint64(rest[8*k:]))
+			if math.IsNaN(fs[k]) || math.IsInf(fs[k], 0) {
+				return nil, errors.New("bwest: non-finite summary field")
+			}
+		}
+		rest = rest[32:]
+		out = append(out, Summary{
+			Path:        int(path),
+			MeanMbps:    fs[0],
+			Q05Mbps:     fs[1],
+			Q95Mbps:     fs[2],
+			EntropyBits: fs[3],
+		})
+	}
+	if len(rest) != 0 {
+		return nil, errTrailing
+	}
+	return out, nil
+}

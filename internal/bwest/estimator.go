@@ -1,0 +1,499 @@
+package bwest
+
+import (
+	"math"
+	"sync"
+
+	"iqpaths/internal/monitor"
+	"iqpaths/internal/telemetry"
+)
+
+// Config parameterizes an Estimator. Zero value fields take defaults.
+type Config struct {
+	// Paths is the number of overlay paths tracked. Required.
+	Paths int
+	// MaxMbps is the upper edge of every belief's support. Default 100.
+	MaxMbps float64
+	// Bins is the belief resolution. Default 24.
+	Bins int
+	// RelNoise is the relative std-dev of a dispersion measurement
+	// (σ = RelNoise · rate, floored at one bin). Default 0.12.
+	RelNoise float64
+	// DecayPerRound mixes each belief toward uniform by this weight per
+	// planning round (applied lazily in closed form). Default 0.01.
+	DecayPerRound float64
+	// Budget is the number of probe trains per planning round. Default
+	// max(1, Paths/50).
+	Budget int
+	// StalenessBonusBits is the planner's per-round score bonus for an
+	// unprobed path, in bits. Default 0.02.
+	StalenessBonusBits float64
+	// MinShareRho is the |correlation| threshold above which a probe on
+	// one path also (fractionally) updates its declared partners.
+	// Default 0.4.
+	MinShareRho float64
+	// Planner selects paths each round. Default NewInfoGainPlanner().
+	Planner Planner
+	// Telemetry receives bwest gauges/counters; nil disables.
+	Telemetry *telemetry.Registry
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxMbps <= 0 {
+		c.MaxMbps = 100
+	}
+	if c.Bins <= 0 {
+		c.Bins = 24
+	}
+	if c.RelNoise <= 0 {
+		c.RelNoise = 0.12
+	}
+	if c.DecayPerRound < 0 {
+		c.DecayPerRound = 0
+	} else if c.DecayPerRound == 0 {
+		c.DecayPerRound = 0.01
+	}
+	if c.Budget <= 0 {
+		c.Budget = c.Paths / 50
+		if c.Budget < 1 {
+			c.Budget = 1
+		}
+	}
+	if c.StalenessBonusBits <= 0 {
+		c.StalenessBonusBits = 0.02
+	}
+	if c.MinShareRho <= 0 {
+		c.MinShareRho = 0.4
+	}
+	if c.Planner == nil {
+		c.Planner = NewInfoGainPlanner()
+	}
+}
+
+// MonitorQuantiles are the posterior quantiles FeedMonitor pushes into a
+// PathMonitor window per refresh — a 10-point sketch of the posterior
+// that reproduces its shape in the window's empirical CDF, so PGOS
+// mapping and admission read the belief through the interface they
+// already speak.
+var MonitorQuantiles = []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95}
+
+// Estimator owns the per-path beliefs, the shared-bottleneck correlation
+// model, the information-gain cache, and the probe planner. It is the
+// subsystem's single entry point: the prober asks PlanTrains which
+// trains to emit, feeds measurements back through ObserveProbe /
+// ObserveLoss / ObserveRTT, and downstream consumers read posterior
+// quantiles (Quantile, FeedMonitor) or admission headroom
+// (PosteriorHeadroom).
+//
+// Scalability rests on three invariants: decay is lazy (closed-form
+// batch at touch time, so idle paths cost nothing per round), the
+// measurement-conditional matrix for expected information gain is
+// precomputed once and shared by all paths (EIG per path is O(B²) only
+// when that path is observed), and correlation is sparse over declared
+// pairs. A 5000-path round costs O(P) for planner scoring plus O(K·B²)
+// for the observed paths.
+//
+// Safe for concurrent use.
+type Estimator struct {
+	mu  sync.Mutex
+	cfg Config
+
+	beliefs []*Belief
+	correl  *Correlation
+
+	gain      []float64 // cached EIG bits per path (refreshed on touch)
+	lastTouch []int64   // round of last decay application
+	observed  []bool    // ever received a direct probe measurement
+	minRTT    []float64 // per-path min RTT baseline (s); 0 = none yet
+	round     int64
+
+	// Shared EIG precomputation: cond[i][j] = P(measurement bin j | truth
+	// bin i) under the Gaussian dispersion-noise model, and condH[i] =
+	// H(measurement | truth bin i) in bits. EIG for belief p is then
+	// H(Σ_i p_i·cond[i]) − Σ_i p_i·condH[i] — mutual information I(B;Y)
+	// with the measurement discretized to the same bins.
+	cond  [][]float64
+	condH []float64
+	py    []float64 // scratch for the predictive distribution
+
+	planScratch []int
+
+	probesPerRound *telemetry.Gauge
+	budgetUtil     *telemetry.Gauge
+	entropyMean    *telemetry.Gauge
+	probesTotal    *telemetry.Counter
+}
+
+// NewEstimator builds an estimator for cfg.Paths paths with uniform
+// priors.
+func NewEstimator(cfg Config) *Estimator {
+	if cfg.Paths <= 0 {
+		panic("bwest: Config.Paths must be > 0")
+	}
+	cfg.fillDefaults()
+	e := &Estimator{
+		cfg:       cfg,
+		beliefs:   make([]*Belief, cfg.Paths),
+		correl:    NewCorrelation(cfg.Paths),
+		gain:      make([]float64, cfg.Paths),
+		lastTouch: make([]int64, cfg.Paths),
+		observed:  make([]bool, cfg.Paths),
+		minRTT:    make([]float64, cfg.Paths),
+		py:        make([]float64, cfg.Bins),
+	}
+	for i := range e.beliefs {
+		e.beliefs[i] = NewBelief(cfg.MaxMbps, cfg.Bins)
+	}
+	e.buildConditional()
+	g0 := e.eig(e.beliefs[0])
+	for i := range e.gain {
+		e.gain[i] = g0
+	}
+	if cfg.Telemetry != nil {
+		scope := cfg.Telemetry.WithLabels("scope", "bwest")
+		e.probesPerRound = scope.Gauge("iqpaths_bwest_probes_per_round", "probe trains emitted in the last planning round")
+		e.budgetUtil = scope.Gauge("iqpaths_bwest_budget_util", "fraction of the per-round probe budget used")
+		e.entropyMean = scope.Gauge("iqpaths_bwest_entropy_bits_mean", "mean posterior entropy across paths (bits)")
+		e.probesTotal = scope.Counter("iqpaths_bwest_probes_total", "probe trains planned since start")
+	}
+	return e
+}
+
+// Paths returns the tracked path count.
+func (e *Estimator) Paths() int { return len(e.beliefs) }
+
+// Budget returns the per-round probe budget.
+func (e *Estimator) Budget() int { return e.cfg.Budget }
+
+// PlannerName returns the active planner's name ("active", "rr", ...).
+func (e *Estimator) PlannerName() string { return e.cfg.Planner.Name() }
+
+// DeclareShared registers a shared-bottleneck candidate pair for the
+// correlation model (typically: paths traversing the same relay).
+func (e *Estimator) DeclareShared(a, b int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.correl.DeclareShared(a, b)
+}
+
+// DeclareSharedPrior registers a candidate pair with a topology-derived
+// prior correlation coefficient (see Correlation.DeclareSharedPrior).
+func (e *Estimator) DeclareSharedPrior(a, b int, rho float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.correl.DeclareSharedPrior(a, b, rho)
+}
+
+// buildConditional precomputes the measurement-bin conditional matrix
+// shared by every path's EIG computation.
+func (e *Estimator) buildConditional() {
+	b0 := e.beliefs[0]
+	bins := b0.Bins()
+	e.cond = make([][]float64, bins)
+	e.condH = make([]float64, bins)
+	for i := 0; i < bins; i++ {
+		row := make([]float64, bins)
+		sum := 0.0
+		for j := 0; j < bins; j++ {
+			row[j] = b0.rateLikelihood(b0.Center(j), i, e.cfg.RelNoise)
+			sum += row[j]
+		}
+		h := 0.0
+		for j := 0; j < bins; j++ {
+			row[j] /= sum
+			if row[j] > 0 {
+				h -= row[j] * math.Log2(row[j])
+			}
+		}
+		e.cond[i] = row
+		e.condH[i] = h
+	}
+}
+
+// eig returns the expected information gain (bits) of one measurement
+// on belief b: I(B;Y) = H(p_y) − Σ_i p_i·H(Y|B=i), with p_y the
+// predictive measurement distribution p·cond.
+func (e *Estimator) eig(b *Belief) float64 {
+	bins := b.Bins()
+	for j := 0; j < bins; j++ {
+		e.py[j] = 0
+	}
+	condEnt := 0.0
+	for i := 0; i < bins; i++ {
+		pi := b.p[i]
+		if pi == 0 {
+			continue
+		}
+		row := e.cond[i]
+		for j := 0; j < bins; j++ {
+			e.py[j] += pi * row[j]
+		}
+		condEnt += pi * e.condH[i]
+	}
+	hY := 0.0
+	for j := 0; j < bins; j++ {
+		if e.py[j] > 0 {
+			hY -= e.py[j] * math.Log2(e.py[j])
+		}
+	}
+	g := hY - condEnt
+	if g < 0 {
+		g = 0
+	}
+	return g
+}
+
+// touch applies the lazy decay backlog to path i and refreshes its
+// cached gain. Callers hold e.mu.
+func (e *Estimator) touch(i int) {
+	back := e.round - e.lastTouch[i]
+	if back > 0 {
+		e.beliefs[i].Decay(int(back), e.cfg.DecayPerRound)
+		e.lastTouch[i] = e.round
+		e.gain[i] = e.eig(e.beliefs[i])
+	}
+}
+
+// ObserveProbe folds a probe-train dispersion measurement (Mbps) for
+// path i, propagates it fractionally to correlated partners, and feeds
+// the innovation to the correlation tracker.
+func (e *Estimator) ObserveProbe(i int, mbps float64) {
+	if i < 0 || i >= len(e.beliefs) || math.IsNaN(mbps) || math.IsInf(mbps, 0) {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.touch(i)
+	innov := mbps - e.beliefs[i].Mean()
+	e.beliefs[i].ObserveRate(mbps, e.cfg.RelNoise)
+	e.observed[i] = true
+	e.gain[i] = e.eig(e.beliefs[i])
+	e.correl.Observe(i, innov, e.round)
+	e.correl.ForNeighbors(i, func(j int, rho float64) {
+		if rho < 0 {
+			rho = -rho
+		}
+		if rho < e.cfg.MinShareRho {
+			return
+		}
+		e.touch(j)
+		e.beliefs[j].ObserveRateTempered(mbps, e.cfg.RelNoise, rho*rho)
+		e.observed[j] = true
+		e.gain[j] = e.eig(e.beliefs[j])
+	})
+}
+
+// ObserveLoss folds passive loss evidence for path i: a loss-rate
+// sample observed while sending at sendMbps. Sustained loss at a send
+// rate is soft evidence the available bandwidth sits below that rate; a
+// clean interval at a meaningful rate is weak evidence it sits above.
+func (e *Estimator) ObserveLoss(i int, lossRate, sendMbps float64) {
+	if i < 0 || i >= len(e.beliefs) || sendMbps <= 0 ||
+		math.IsNaN(lossRate) || math.IsNaN(sendMbps) || math.IsInf(sendMbps, 0) {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.touch(i)
+	switch {
+	case lossRate > 0.02:
+		e.beliefs[i].ObserveBound(sendMbps, true, 0.6)
+	case lossRate == 0:
+		e.beliefs[i].ObserveBound(sendMbps, false, 0.55)
+	default:
+		return
+	}
+	e.gain[i] = e.eig(e.beliefs[i])
+}
+
+// ObserveRTT folds passive RTT evidence for path i. The minimum RTT
+// seen is the uncongested baseline; a sample well above it signals
+// queueing, i.e. the path is running at or past its available
+// bandwidth — soft evidence the truth sits below the posterior median.
+func (e *Estimator) ObserveRTT(i int, rttSec float64) {
+	if i < 0 || i >= len(e.beliefs) || rttSec <= 0 || math.IsNaN(rttSec) || math.IsInf(rttSec, 0) {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.minRTT[i] == 0 || rttSec < e.minRTT[i] {
+		e.minRTT[i] = rttSec
+		return
+	}
+	if rttSec > 1.5*e.minRTT[i]+0.005 {
+		e.touch(i)
+		med := e.beliefs[i].Quantile(0.5)
+		e.beliefs[i].ObserveBound(med, true, 0.55)
+		e.gain[i] = e.eig(e.beliefs[i])
+	}
+}
+
+// PlanTrains advances one planning round and returns the paths to probe
+// this round, at most k (k ≤ 0 means the configured budget). It
+// implements the prober-side TrainPlanner contract.
+func (e *Estimator) PlanTrains(k int) []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if k <= 0 || k > e.cfg.Budget {
+		k = e.cfg.Budget
+	}
+	e.round++
+	e.planScratch = e.cfg.Planner.Plan(e, k, e.planScratch[:0])
+	plan := e.planScratch
+	if e.probesPerRound != nil {
+		e.probesPerRound.Set(float64(len(plan)))
+		e.budgetUtil.Set(float64(len(plan)) / float64(e.cfg.Budget))
+		e.probesTotal.Add(uint64(len(plan)))
+		if e.round%16 == 0 {
+			e.entropyMean.Set(e.meanEntropyLocked())
+		}
+	}
+	out := make([]int, len(plan))
+	copy(out, plan)
+	return out
+}
+
+// Round returns the number of completed planning rounds.
+func (e *Estimator) Round() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.round
+}
+
+// Quantile returns path i's posterior q-quantile in Mbps (decay-current).
+func (e *Estimator) Quantile(i int, q float64) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if i < 0 || i >= len(e.beliefs) {
+		return 0
+	}
+	e.touch(i)
+	return e.beliefs[i].Quantile(q)
+}
+
+// Mean returns path i's posterior mean in Mbps.
+func (e *Estimator) Mean(i int) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if i < 0 || i >= len(e.beliefs) {
+		return 0
+	}
+	e.touch(i)
+	return e.beliefs[i].Mean()
+}
+
+// CDFAt returns path i's posterior P{bandwidth ≤ x}.
+func (e *Estimator) CDFAt(i int, x float64) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if i < 0 || i >= len(e.beliefs) {
+		return 0
+	}
+	e.touch(i)
+	return e.beliefs[i].CDF(x)
+}
+
+// EntropyBits returns path i's posterior entropy in bits.
+func (e *Estimator) EntropyBits(i int) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if i < 0 || i >= len(e.beliefs) {
+		return 0
+	}
+	e.touch(i)
+	return e.beliefs[i].EntropyBits()
+}
+
+// MeanEntropyBits returns the mean posterior entropy across all paths.
+func (e *Estimator) MeanEntropyBits() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.meanEntropyLocked()
+}
+
+func (e *Estimator) meanEntropyLocked() float64 {
+	sum := 0.0
+	for i := range e.beliefs {
+		e.touch(i)
+		sum += e.beliefs[i].EntropyBits()
+	}
+	return sum / float64(len(e.beliefs))
+}
+
+// PMF copies path i's decay-current posterior masses into dst (resized
+// as needed) — the raw belief vector for evaluation harnesses that
+// compare posteriors against a known truth distribution.
+func (e *Estimator) PMF(i int, dst []float64) []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if i < 0 || i >= len(e.beliefs) {
+		return dst[:0]
+	}
+	e.touch(i)
+	return append(dst[:0], e.beliefs[i].p...)
+}
+
+// PosteriorHeadroom reports path i's conservative available-bandwidth
+// headroom — the posterior 5th percentile — and whether the posterior
+// has absorbed any direct or shared measurement at all. ok=false means
+// "unknown, not bad": admission must not treat it as zero. Implements
+// the control-plane HeadroomSource contract.
+func (e *Estimator) PosteriorHeadroom(i int) (mbps float64, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if i < 0 || i >= len(e.beliefs) || !e.observed[i] {
+		return 0, false
+	}
+	e.touch(i)
+	return e.beliefs[i].Quantile(0.05), true
+}
+
+// FeedMonitor pushes path i's posterior quantile sketch into mon's
+// bandwidth window, refreshing the empirical CDF downstream PGOS and
+// admission code reads. Call once per refresh interval per path.
+func (e *Estimator) FeedMonitor(i int, mon *monitor.PathMonitor) {
+	e.mu.Lock()
+	if i < 0 || i >= len(e.beliefs) {
+		e.mu.Unlock()
+		return
+	}
+	e.touch(i)
+	b := e.beliefs[i]
+	var vals [16]float64
+	n := 0
+	for _, q := range MonitorQuantiles {
+		vals[n] = b.Quantile(q)
+		n++
+	}
+	e.mu.Unlock()
+	for j := 0; j < n; j++ {
+		mon.ObserveBandwidth(vals[j])
+	}
+}
+
+// Summary is a compact per-path posterior digest for export/telemetry.
+type Summary struct {
+	Path        int
+	MeanMbps    float64
+	Q05Mbps     float64
+	Q95Mbps     float64
+	EntropyBits float64
+}
+
+// Summarize returns posterior digests for all paths.
+func (e *Estimator) Summarize() []Summary {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Summary, len(e.beliefs))
+	for i, b := range e.beliefs {
+		e.touch(i)
+		out[i] = Summary{
+			Path:        i,
+			MeanMbps:    b.Mean(),
+			Q05Mbps:     b.Quantile(0.05),
+			Q95Mbps:     b.Quantile(0.95),
+			EntropyBits: b.EntropyBits(),
+		}
+	}
+	return out
+}

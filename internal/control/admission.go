@@ -52,6 +52,22 @@ type Decision struct {
 	// BestRateMbps. Nil when nothing is feasible or the stream was
 	// admitted.
 	BestSpec *stream.Spec
+	// Warming marks a rejection caused by insufficient measurement, not
+	// insufficient bandwidth: no path monitor is warm yet, so the overlay
+	// genuinely does not know its headroom. Clients should retry shortly
+	// rather than lower their specification.
+	Warming bool
+}
+
+// HeadroomSource supplies a conservative per-path available-bandwidth
+// floor from an external estimator — bwest.Estimator's posterior 5th
+// percentile. ok=false means the source has no information about path j
+// ("unknown"), which admission must treat as a non-answer, never as zero
+// headroom. When a source is set, Admit vetoes specs whose required rate
+// exceeds the summed credible floor of the known paths even if the
+// window-CDF feasibility test (which can lag the posterior) would pass.
+type HeadroomSource interface {
+	PosteriorHeadroom(j int) (mbps float64, ok bool)
 }
 
 // Admission is the CDF-based admission controller: a stream is admitted
@@ -68,8 +84,9 @@ type Admission struct {
 	// remote is per-path load committed by other admission shards,
 	// replicated in via SetRemoteCommitted; feasibility subtracts it from
 	// headroom alongside local commitments.
-	remote []float64
-	tel    admTelemetry
+	remote   []float64
+	headroom HeadroomSource
+	tel      admTelemetry
 }
 
 // NewAdmission returns an admission controller over the given path
@@ -100,6 +117,14 @@ func (a *Admission) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.Trac
 func (a *Admission) SetPaths(mons []*monitor.PathMonitor) {
 	a.mu.Lock()
 	a.mons = mons
+	a.mu.Unlock()
+}
+
+// SetHeadroomSource attaches (or, with nil, detaches) a posterior
+// headroom source consulted on every guaranteed admission.
+func (a *Admission) SetHeadroomSource(src HeadroomSource) {
+	a.mu.Lock()
+	a.headroom = src
 	a.mu.Unlock()
 }
 
@@ -176,6 +201,21 @@ func (a *Admission) Admit(spec stream.Spec) Decision {
 	if len(cdfs) == 0 {
 		return a.reject(spec, "no paths available", cdfs)
 	}
+	if !a.anyWarm() {
+		// Distinguish "we don't know yet" from "we know there isn't room":
+		// with every monitor still warming, the window CDFs are degenerate
+		// and any verdict from them would be noise. Warming tells clients
+		// to retry, not to lower their spec.
+		d := Decision{Spec: spec, Reason: "insufficient samples (monitors warming)", Warming: true}
+		a.tel.reject(d)
+		if a.opt.OnReject != nil {
+			a.opt.OnReject(d)
+		}
+		return d
+	}
+	if reason, vetoed := a.posteriorVeto(spec, cdfs); vetoed {
+		return a.reject(spec, reason, cdfs)
+	}
 	if a.feasible(spec, cdfs, a.admitted) {
 		a.admitted = append(a.admitted, spec)
 		d := Decision{Spec: spec, Admitted: true}
@@ -188,6 +228,55 @@ func (a *Admission) Admit(spec stream.Spec) Decision {
 		}
 	}
 	return a.reject(spec, "insufficient guaranteed headroom", cdfs)
+}
+
+// anyWarm reports whether at least one path monitor has enough samples
+// for its CDF to mean anything.
+func (a *Admission) anyWarm() bool {
+	for _, m := range a.mons {
+		if m.Warm() {
+			return true
+		}
+	}
+	return false
+}
+
+// posteriorVeto consults the attached HeadroomSource, if any: when every
+// path the source knows about sums — at the posterior's conservative 5th
+// percentile — to less than the already-committed load plus the
+// candidate's rate, the spec is vetoed regardless of what the (possibly
+// stale) window CDFs say. Paths the source reports as unknown contribute
+// their window-CDF guarantee level instead, so a partially-observed
+// overlay is not unfairly capped.
+func (a *Admission) posteriorVeto(spec stream.Spec, cdfs []stats.Distribution) (string, bool) {
+	if a.headroom == nil || spec.RequiredMbps <= 0 {
+		return "", false
+	}
+	total := 0.0
+	known := 0
+	for j := range cdfs {
+		if hr, ok := a.headroom.PosteriorHeadroom(j); ok {
+			total += hr
+			known++
+		} else if !cdfs[j].IsEmpty() {
+			total += cdfs[j].Quantile(0.05)
+		}
+	}
+	if known == 0 {
+		return "", false
+	}
+	committed := a.committed(cdfs, a.admitted)
+	need := spec.RequiredMbps
+	for j, c := range committed {
+		need += c
+		if j < len(a.remote) {
+			need += a.remote[j]
+		}
+	}
+	if total < need {
+		return "insufficient posterior headroom", true
+	}
+	return "", false
 }
 
 // tryPreempt evicts admitted best-effort streams newest-first until spec

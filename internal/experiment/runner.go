@@ -30,6 +30,9 @@ const (
 	AlgOptSched    = "OptSched"
 	AlgBlocked     = "Blocked"     // stock GridFTP blocked layout
 	AlgPartitioned = "Partitioned" // GridFTP partitioned layout
+	// AlgBackpressure is the max-weight throughput-optimal baseline
+	// (Rai–Singh–Modiano): wins on aggregate Mbps, blind to guarantees.
+	AlgBackpressure = "Backpressure"
 )
 
 // RunConfig parameterizes one testbed run.
@@ -260,6 +263,8 @@ func run(cfg RunConfig, tb *emulab.Testbed, w workload, ppf ppfFunc) (Result, er
 			return tb.PathB.AvailMbps()
 		}
 		scheduler = sched.NewOptSched(streams, pathServices, avail, net.TickSeconds(), cfg.PaceLimit)
+	case AlgBackpressure:
+		scheduler = sched.NewBackpressure(streams, pathServices, cfg.PaceLimit)
 	case AlgBlocked:
 		scheduler = sched.NewRoundRobin(streams, pathServices, cfg.PaceLimit)
 	case AlgPartitioned:

@@ -56,8 +56,8 @@ func unpackTrainMeta(f uint64) (index, count int) {
 	return int(f >> 32), int(uint32(f))
 }
 
-// ProbeConfig tunes a Prober.
-type ProbeConfig struct {
+// ProberConfig tunes a Prober.
+type ProberConfig struct {
 	// IntervalSec is the time between probe rounds (default 0.25): one
 	// train plus one passive sample per round. The paper's monitors want
 	// hundreds of samples per window-history, so intervals in the
@@ -70,7 +70,11 @@ type ProbeConfig struct {
 	ProbeBytes int
 }
 
-func (c *ProbeConfig) fillDefaults() {
+// ProbeConfig is the historical name for ProberConfig, kept as an alias
+// for existing call sites.
+type ProbeConfig = ProberConfig
+
+func (c *ProberConfig) fillDefaults() {
 	if c.IntervalSec <= 0 {
 		c.IntervalSec = 0.25
 	}
@@ -89,7 +93,7 @@ func (c *ProbeConfig) fillDefaults() {
 // driver's Observe* methods for the matching path index — closing the
 // loop that keeps the CDF predictors driven by measured data.
 type Prober struct {
-	cfg   ProbeConfig
+	cfg   ProberConfig
 	clock Clock
 	conn  RawConn
 
@@ -109,7 +113,7 @@ type Prober struct {
 }
 
 // NewProber builds a prober over conn using clock for pacing.
-func NewProber(cfg ProbeConfig, clock Clock, conn RawConn) *Prober {
+func NewProber(cfg ProberConfig, clock Clock, conn RawConn) *Prober {
 	cfg.fillDefaults()
 	if clock == nil {
 		clock = NewWallClock()

@@ -76,8 +76,48 @@ func (m *PathMonitor) MeanBandwidth() float64 { return m.bw.Mean() }
 func (m *PathMonitor) BandwidthStdDev() float64 { return m.bw.StdDev() }
 
 // Percentile returns the q-quantile of the bandwidth window: the level the
-// path exceeds with probability ≈ 1−q.
+// path exceeds with probability ≈ 1−q. On an empty or still-warming
+// window the result is degenerate (an empty window quantile is 0, and a
+// handful of samples pins every percentile to the same few values);
+// callers that must distinguish "unknown" from "genuinely zero" use
+// PercentileOK.
 func (m *PathMonitor) Percentile(q float64) float64 { return m.bw.Quantile(q) }
+
+// PercentileOK is Percentile with an explicit insufficient-samples
+// signal: ok is false until the bandwidth window is Warm, and the value
+// is only meaningful when ok. Admission control and the bwest estimator
+// both need the distinction — a cold path must read as "unknown" (defer,
+// keep probing), never as "0 Mbps" (reject).
+func (m *PathMonitor) PercentileOK(q float64) (mbps float64, ok bool) {
+	if !m.Warm() {
+		return 0, false
+	}
+	return m.bw.Quantile(q), true
+}
+
+// minPassiveSamples is the sample floor for the passive RTT/loss
+// windows' *OK queries. Passive samples arrive for free with every
+// probe round, so the floor is small — enough that a quantile is not a
+// single-sample artifact.
+const minPassiveSamples = 8
+
+// RTTPercentileOK is RTTPercentile with an insufficient-samples signal
+// (false below a small fixed floor of RTT samples).
+func (m *PathMonitor) RTTPercentileOK(q float64) (sec float64, ok bool) {
+	if m.rtt.Len() < minPassiveSamples {
+		return 0, false
+	}
+	return m.rtt.Quantile(q), true
+}
+
+// LossPercentileOK is LossPercentile with an insufficient-samples signal
+// (false below a small fixed floor of loss samples).
+func (m *PathMonitor) LossPercentileOK(q float64) (rate float64, ok bool) {
+	if m.loss.Len() < minPassiveSamples {
+		return 0, false
+	}
+	return m.loss.Quantile(q), true
+}
 
 // ExceedProbability estimates P{bandwidth ≥ mbps} from the window —
 // Lemma 1's 1 − F^j(b).

@@ -1,0 +1,62 @@
+package monitor
+
+import "testing"
+
+func TestPercentileOKDistinguishesUnknownFromBad(t *testing.T) {
+	m := New("p", 100, 20)
+	// Cold: the raw query degenerates to 0, the OK query says "unknown".
+	if got := m.Percentile(0.5); got != 0 {
+		t.Fatalf("cold Percentile = %v, want degenerate 0", got)
+	}
+	if _, ok := m.PercentileOK(0.5); ok {
+		t.Fatal("cold monitor must report ok=false")
+	}
+	// Warming: samples present but below the floor — still unknown.
+	for i := 0; i < 19; i++ {
+		m.ObserveBandwidth(50)
+	}
+	if _, ok := m.PercentileOK(0.5); ok {
+		t.Fatal("warming monitor (19/20 samples) must report ok=false")
+	}
+	// One more sample crosses the floor.
+	m.ObserveBandwidth(50)
+	v, ok := m.PercentileOK(0.5)
+	if !ok || v != 50 {
+		t.Fatalf("warm monitor: (%v, %v), want (50, true)", v, ok)
+	}
+	// A genuinely dead path reads as (0, true): known-bad, not unknown.
+	dead := New("dead", 100, 20)
+	for i := 0; i < 20; i++ {
+		dead.ObserveBandwidth(0)
+	}
+	v, ok = dead.PercentileOK(0.5)
+	if !ok || v != 0 {
+		t.Fatalf("dead path: (%v, %v), want (0, true)", v, ok)
+	}
+}
+
+func TestRTTAndLossPercentileOKFloors(t *testing.T) {
+	m := New("p", 100, 10)
+	for i := 0; i < minPassiveSamples-1; i++ {
+		m.ObserveRTT(0.02)
+		m.ObserveLoss(0.01)
+	}
+	if _, ok := m.RTTPercentileOK(0.9); ok {
+		t.Fatal("RTT below floor must report ok=false")
+	}
+	if _, ok := m.LossPercentileOK(0.9); ok {
+		t.Fatal("loss below floor must report ok=false")
+	}
+	m.ObserveRTT(0.02)
+	m.ObserveLoss(0.01)
+	if v, ok := m.RTTPercentileOK(0.9); !ok || v != 0.02 {
+		t.Fatalf("RTT at floor: (%v, %v)", v, ok)
+	}
+	if v, ok := m.LossPercentileOK(0.9); !ok || v != 0.01 {
+		t.Fatalf("loss at floor: (%v, %v)", v, ok)
+	}
+	// Bandwidth warmth is independent of the passive floors.
+	if _, ok := m.PercentileOK(0.5); ok {
+		t.Fatal("bandwidth window is still cold")
+	}
+}

@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"iqpaths/internal/stream"
+)
+
+func TestBackpressurePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty streams")
+		}
+	}()
+	NewBackpressure(nil, []PathService{&fakePath{}}, 0)
+}
+
+func TestBackpressureServesDeepestQueue(t *testing.T) {
+	s1 := stream.New(0, stream.Spec{Name: "shallow"})
+	s2 := stream.New(1, stream.Spec{Name: "deep"})
+	fill(s1, 10, 12000)
+	fill(s2, 500, 12000)
+	p := &fakePath{id: 0, name: "P"}
+	bp := NewBackpressure([]*stream.Stream{s1, s2}, p2s(p), 100)
+	bp.Tick(0)
+	got := countByStream(p.sent)
+	// The deep queue stays deepest until it drains to the shallow one's
+	// level, so all 100 dispatches go to stream 1.
+	if got[1] != 100 || got[0] != 0 {
+		t.Fatalf("backpressure shares = %v, want 0/100", got)
+	}
+}
+
+func TestBackpressureEqualizesBacklogs(t *testing.T) {
+	s1 := stream.New(0, stream.Spec{Name: "a"})
+	s2 := stream.New(1, stream.Spec{Name: "b"})
+	fill(s1, 300, 12000)
+	fill(s2, 100, 12000)
+	p := &fakePath{id: 0, name: "P"}
+	bp := NewBackpressure([]*stream.Stream{s1, s2}, p2s(p), 300)
+	bp.Tick(0)
+	// After 300 dispatches from 400 queued, max-weight leaves the two
+	// backlogs level: 50/50.
+	if s1.Len() != 50 || s2.Len() != 50 {
+		t.Fatalf("remaining backlogs %d/%d, want 50/50", s1.Len(), s2.Len())
+	}
+}
+
+func TestBackpressureUsesAllPaths(t *testing.T) {
+	s1 := stream.New(0, stream.Spec{Name: "a"})
+	fill(s1, 1000, 12000)
+	pA := &fakePath{id: 0, name: "A"}
+	pB := &fakePath{id: 1, name: "B"}
+	bp := NewBackpressure([]*stream.Stream{s1}, []PathService{pA, pB}, 100)
+	bp.Tick(0)
+	if len(pA.sent) != 100 || len(pB.sent) != 100 {
+		t.Fatalf("backpressure should fill both paths to pace: %d/%d", len(pA.sent), len(pB.sent))
+	}
+}
+
+func TestBackpressureStopsWhenBlocked(t *testing.T) {
+	s1 := stream.New(0, stream.Spec{Name: "a"})
+	fill(s1, 10, 12000)
+	p := &fakePath{id: 0, name: "P", refuse: true}
+	bp := NewBackpressure([]*stream.Stream{s1}, p2s(p), 100)
+	bp.Tick(0)
+	if len(p.sent) != 0 {
+		t.Fatal("refusing path accepted packets?")
+	}
+}
+
+// pickStreamScan is the reference linear selection the heap replaced:
+// largest backlog bits, ties to the lowest index.
+func (b *Backpressure) pickStreamScan() int {
+	best := -1
+	for i, s := range b.streams {
+		if s.Len() == 0 {
+			continue
+		}
+		if best < 0 || s.Bits() > b.streams[best].Bits() {
+			best = i
+		}
+	}
+	return best
+}
+
+func TestBackpressureHeapMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	streams := make([]*stream.Stream, 16)
+	for i := range streams {
+		streams[i] = stream.New(i, stream.Spec{Name: "s"})
+	}
+	p := &fakePath{id: 0, name: "P"}
+	bp := NewBackpressure(streams, p2s(p), 1<<30)
+	for step := 0; step < 3000; step++ {
+		// Random queue churn: pushes of varied size, occasional pops.
+		i := rng.Intn(len(streams))
+		if rng.Intn(3) > 0 {
+			streams[i].Push(pkt(i, float64(4000+rng.Intn(24000))))
+		} else if streams[i].Len() > 0 {
+			streams[i].Pop()
+		}
+		want := bp.pickStreamScan()
+		got := bp.pickStream()
+		if got != want {
+			t.Fatalf("step %d: heap picked %d, scan picked %d", step, got, want)
+		}
+	}
+}
+
+func p2s(p PathService) []PathService { return []PathService{p} }
