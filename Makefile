@@ -22,15 +22,16 @@ cover:
 	$(GO) test -cover ./internal/...
 
 # Runs every benchmark and records the ns/op + allocs baseline as JSON
-# (BENCH_PR9.json) for regression comparison across PRs — including the
+# (BENCH_PR10.json) for regression comparison across PRs — including the
 # BenchmarkPlaneScale streams × shards sweep (folded into "scaling"),
 # the BenchmarkWireDatagrams dg/s/core series (folded into "wire"),
-# the BenchmarkConverge conv-ticks series (folded into "gossip"), and
-# the BenchmarkProbing probe-B/round series (folded into "probing").
+# the BenchmarkConverge conv-ticks series (folded into "gossip"),
+# the BenchmarkProbing probe-B/round series (folded into "probing"), and
+# the BenchmarkMatrix cell-Mbps series (folded into "matrix").
 # Override BENCHTIME (e.g. BENCHTIME=1x) for a quick smoke pass.
 BENCHTIME ?= 1s
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_PR9.json
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_PR10.json
 
 # Diffs the benchmark suite against the previous PR's baseline and
 # fails on >20 % ns/op regression or any new steady-state allocation.
@@ -41,7 +42,7 @@ bench-compare:
 		./internal/pgos/ ./internal/live/ ./internal/sched/ ./internal/predict/ \
 		./internal/shard/ ./internal/telemetry/ ./internal/transport/ \
 		./internal/gossip/ ./internal/bwest/ | \
-		$(GO) run ./cmd/benchjson -out /tmp/bench-compare.json -compare BENCH_PR8.json -max-regress 20
+		$(GO) run ./cmd/benchjson -out /tmp/bench-compare.json -compare BENCH_PR9.json -max-regress 20
 
 # Live end-to-end smoke: the Fig. 8 overlay as shaped relay subprocesses
 # on 127.0.0.1 with real UDP sockets and wall-clock pacing. Takes ~40 s;

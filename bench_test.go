@@ -393,6 +393,44 @@ func BenchmarkVideoPlayback(b *testing.B) {
 	}
 }
 
+// BenchmarkMatrix runs one scenario-matrix cell per sub-benchmark over a
+// reduced grid (two arms × two workloads × two bands, one seed per
+// iteration). The arm=/workload=/band= name components plus the reported
+// cell-Mbps / violated-frac / jitter-ms metrics are what benchjson folds
+// into its "matrix" series, so the baseline records how each arm's
+// guarantee quality moves across bands.
+func BenchmarkMatrix(b *testing.B) {
+	bandByName := map[string]experiment.Band{}
+	for _, band := range experiment.DefaultBands() {
+		bandByName[band.Name] = band
+	}
+	for _, arm := range []string{experiment.AlgMSFQ, experiment.AlgPGOS} {
+		for _, wl := range []string{"cbr", "gridftp"} {
+			for _, bandName := range []string{"lan", "congested"} {
+				name := "arm=" + arm + "/workload=" + wl + "/band=" + bandName
+				b.Run(name, func(b *testing.B) {
+					var last experiment.CellRow
+					for i := 0; i < b.N; i++ {
+						m := experiment.DefaultMatrix()
+						m.Arms = []string{arm}
+						m.Workloads = []string{wl}
+						m.Bands = []experiment.Band{bandByName[bandName]}
+						m.Seeds = []int64{int64(42 + i)}
+						res, err := experiment.RunMatrix(m)
+						if err != nil {
+							b.Fatal(err)
+						}
+						last = res.Rows[0]
+					}
+					b.ReportMetric(last.AggMbps, "cell-Mbps")
+					b.ReportMetric(last.ViolatedFrac, "violated-frac")
+					b.ReportMetric(last.DelayJitterMs, "jitter-ms")
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkAblationPathsSweep sweeps the concurrent-path count.
 func BenchmarkAblationPathsSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -32,6 +32,12 @@
 // their planner= and paths= components — probe bytes per round,
 // posterior entropy, and rounds to the target entropy, per planner.
 //
+// Benchmarks reporting the cell-Mbps metric (the root package's
+// BenchmarkMatrix scenario-matrix cells) are collected into a "matrix"
+// series keyed by their arm=, workload=, and band= components —
+// violated-window fraction, aggregate goodput, and delivery jitter per
+// scheduler arm, workload, and network band.
+//
 // Only standard benchmark result lines are parsed; everything else
 // (pkg/goos headers, PASS/ok trailers) passes through untouched. The GOOS
 // `pkg:` headers are tracked so each benchmark records which package it
@@ -68,6 +74,7 @@ type File struct {
 	Wire       []WirePoint          `json:"wire,omitempty"`
 	Gossip     []GossipPoint        `json:"gossip,omitempty"`
 	Probing    []ProbingSeriesPoint `json:"probing,omitempty"`
+	Matrix     []MatrixSeriesPoint  `json:"matrix,omitempty"`
 }
 
 // parseBench parses one `go test -bench` result line, or reports !ok.
@@ -147,6 +154,7 @@ func main() {
 	f.Wire = extractWire(f.Benchmarks)
 	f.Gossip = extractGossip(f.Benchmarks)
 	f.Probing = extractProbing(f.Benchmarks)
+	f.Matrix = extractMatrix(f.Benchmarks)
 
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {

@@ -1,0 +1,69 @@
+package main
+
+import "regexp"
+
+// Scenario-matrix extraction: benchmarks that report the custom cell-Mbps
+// metric (the root package's BenchmarkMatrix) are collected into a flat
+// series keyed by their arm=, workload=, and band= components, so a
+// baseline records each scheduler arm's guarantee quality — violated
+// window fraction, aggregate goodput, delivery jitter — per workload and
+// network band.
+
+// MatrixSeriesPoint is one (arm, workload, band) matrix-cell measurement.
+type MatrixSeriesPoint struct {
+	Package string `json:"package,omitempty"`
+	Name    string `json:"name"`
+	// Arm is the arm= component (a scheduler registry name; empty when
+	// absent).
+	Arm string `json:"arm,omitempty"`
+	// Workload is the workload= component (empty when absent).
+	Workload string `json:"workload,omitempty"`
+	// Band is the band= component (empty when absent).
+	Band string `json:"band,omitempty"`
+	// CellMbps is the reported cell-Mbps metric: aggregate delivered
+	// goodput across all streams over the cell's measured window.
+	CellMbps float64 `json:"cell_mbps"`
+	// ViolatedFrac is the reported violated-frac metric: the fraction of
+	// guarantee windows violated across the cell's guaranteed streams.
+	ViolatedFrac float64 `json:"violated_frac"`
+	// JitterMs is the reported jitter-ms metric: the standard deviation of
+	// sampled client one-way delays in milliseconds.
+	JitterMs float64 `json:"jitter_ms,omitempty"`
+}
+
+var (
+	armComponent      = regexp.MustCompile(`(^|/)arm=([A-Za-z]+)($|/|-)`)
+	workloadComponent = regexp.MustCompile(`(^|/)workload=([a-z]+)($|/|-)`)
+	bandComponent     = regexp.MustCompile(`(^|/)band=([a-z]+)($|/|-)`)
+)
+
+// extractMatrix pulls cell-Mbps series out of a parsed benchmark set,
+// keeping the input order.
+func extractMatrix(benchmarks []Benchmark) []MatrixSeriesPoint {
+	var pts []MatrixSeriesPoint
+	for _, b := range benchmarks {
+		mbps, ok := b.Metrics["cell-Mbps"]
+		if !ok {
+			continue
+		}
+		name, _ := splitProcs(b.Name)
+		p := MatrixSeriesPoint{
+			Package:      b.Package,
+			Name:         name,
+			CellMbps:     mbps,
+			ViolatedFrac: b.Metrics["violated-frac"],
+			JitterMs:     b.Metrics["jitter-ms"],
+		}
+		if m := armComponent.FindStringSubmatch(name); m != nil {
+			p.Arm = m[2]
+		}
+		if m := workloadComponent.FindStringSubmatch(name); m != nil {
+			p.Workload = m[2]
+		}
+		if m := bandComponent.FindStringSubmatch(name); m != nil {
+			p.Band = m[2]
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}

@@ -1,0 +1,58 @@
+package main
+
+import "testing"
+
+func mkMatrix(name string, mbps, violated, jitter float64) Benchmark {
+	return Benchmark{
+		Package: "iqpaths",
+		Name:    name,
+		NsPerOp: 1e9,
+		Metrics: map[string]float64{
+			"cell-Mbps":     mbps,
+			"violated-frac": violated,
+			"jitter-ms":     jitter,
+		},
+	}
+}
+
+func TestExtractMatrixKeysArmWorkloadBand(t *testing.T) {
+	pts := extractMatrix([]Benchmark{
+		mkMatrix("BenchmarkMatrix/arm=PGOS/workload=cbr/band=congested-4", 22.5, 0.16, 4534.6),
+		mkMatrix("BenchmarkMatrix/arm=MSFQ/workload=gridftp/band=lan-4", 61.1, 0, 12.3),
+		{Name: "BenchmarkFig10CDF-4", NsPerOp: 50}, // no cell-Mbps: ignored
+	})
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	p := pts[0]
+	if p.Arm != "PGOS" || p.Workload != "cbr" || p.Band != "congested" {
+		t.Fatalf("point 0 keyed %q/%q/%q, want PGOS/cbr/congested", p.Arm, p.Workload, p.Band)
+	}
+	if p.Name != "BenchmarkMatrix/arm=PGOS/workload=cbr/band=congested" {
+		t.Fatalf("point 0 name = %q (procs suffix must be stripped)", p.Name)
+	}
+	if p.CellMbps != 22.5 || p.ViolatedFrac != 0.16 || p.JitterMs != 4534.6 {
+		t.Fatalf("point 0 metrics = %+v", p)
+	}
+	m := pts[1]
+	if m.Arm != "MSFQ" || m.Workload != "gridftp" || m.Band != "lan" || m.CellMbps != 61.1 {
+		t.Fatalf("point 1 = %+v", m)
+	}
+}
+
+func TestExtractMatrixTolerantOfMissingComponents(t *testing.T) {
+	pts := extractMatrix([]Benchmark{{
+		Name:    "BenchmarkMatrixBare-2",
+		Metrics: map[string]float64{"cell-Mbps": 8.4},
+	}})
+	if len(pts) != 1 {
+		t.Fatalf("got %d points, want 1", len(pts))
+	}
+	p := pts[0]
+	if p.Arm != "" || p.Workload != "" || p.Band != "" || p.CellMbps != 8.4 {
+		t.Fatalf("point = %+v", p)
+	}
+	if p.ViolatedFrac != 0 || p.JitterMs != 0 {
+		t.Fatalf("absent metrics must stay zero: %+v", p)
+	}
+}

@@ -14,6 +14,7 @@
 //	iqbench -fig scale        # sharded data plane scaling sweep (-shards, -streams)
 //	iqbench -fig cluster      # cluster-scale gossip dissemination sweep (-nodes)
 //	iqbench -fig probing      # Bayesian active probing vs round-robin (-paths) + Backpressure arm
+//	iqbench -fig matrix       # scheduler arm × workload × scenario band grid (-arms, -workloads, -bands, -mseeds)
 //	iqbench -fig all          # everything
 //	iqbench -fig ablations    # DESIGN.md §5 ablation sweeps
 //
@@ -48,6 +49,10 @@ func main() {
 		streams  = flag.Int("streams", 10000, "with -fig scale: total stream count")
 		nodes    = flag.String("nodes", "100,1000,5000", "with -fig cluster: comma-separated overlay sizes to sweep")
 		paths    = flag.String("paths", "100,1000,5000", "with -fig probing: comma-separated overlay sizes to sweep")
+		arms     = flag.String("arms", "", "with -fig matrix: comma-separated scheduler arms (default WFQ,MSFQ,PGOS,Backpressure)")
+		works    = flag.String("workloads", "", "with -fig matrix: comma-separated workloads (default all)")
+		bands    = flag.String("bands", "", "with -fig matrix: comma-separated scenario bands (default all)")
+		mseeds   = flag.String("mseeds", "1,7,42", "with -fig matrix: comma-separated seeds")
 		htmlPath = flag.String("html", "", "write a self-contained HTML report (charts + tables) to this file")
 		telePath = flag.String("telemetry", "", "write the PGOS SmartPointer run's telemetry snapshot (JSON) to this file")
 	)
@@ -64,6 +69,10 @@ func main() {
 	scaleStreams = *streams
 	clusterNodes = *nodes
 	probingPaths = *paths
+	matrixArms = *arms
+	matrixWorkloads = *works
+	matrixBands = *bands
+	matrixSeeds = *mseeds
 	if *htmlPath != "" {
 		if err := writeHTML(*htmlPath, *seed, *duration, *warmup); err != nil {
 			fmt.Fprintln(os.Stderr, "iqbench:", err)
@@ -192,6 +201,8 @@ func run(fig string, seed int64, duration, warmup float64, csv bool) error {
 		return clusterFig(cfg, csv)
 	case "probing":
 		return probingFig(cfg, csv)
+	case "matrix":
+		return matrixFig(csv)
 	case "multiseed":
 		n := seedCount
 		if n <= 1 {
@@ -227,6 +238,10 @@ var clusterNodes string
 
 // probingPaths is the -paths flag value (probing figure).
 var probingPaths string
+
+// matrixArms/matrixWorkloads/matrixBands/matrixSeeds are the -fig matrix
+// flag values (empty = grid default).
+var matrixArms, matrixWorkloads, matrixBands, matrixSeeds string
 
 // currentSection names the file the next table tees into.
 var currentSection string
@@ -513,6 +528,60 @@ func probingFig(cfg experiment.RunConfig, csv bool) error {
 		return err
 	}
 	return tee(func(w io.Writer, csv bool) error { return experiment.RenderProbingFigure(w, res, csv) }, csv)
+}
+
+// splitList parses a comma-separated flag value, returning nil when empty
+// so the grid default applies.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func matrixFig(csv bool) error {
+	m := experiment.DefaultMatrix()
+	if arms := splitList(matrixArms); len(arms) > 0 {
+		m.Arms = arms
+	}
+	if works := splitList(matrixWorkloads); len(works) > 0 {
+		m.Workloads = works
+	}
+	if bands := splitList(matrixBands); len(bands) > 0 {
+		byName := map[string]experiment.Band{}
+		for _, b := range m.Bands {
+			byName[b.Name] = b
+		}
+		var sel []experiment.Band
+		for _, name := range bands {
+			b, ok := byName[name]
+			if !ok {
+				return fmt.Errorf("-bands: unknown band %q (known: lan, wan, lossy, congested)", name)
+			}
+			sel = append(sel, b)
+		}
+		m.Bands = sel
+	}
+	if seeds := splitList(matrixSeeds); len(seeds) > 0 {
+		m.Seeds = m.Seeds[:0]
+		for _, f := range seeds {
+			n, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return fmt.Errorf("-mseeds: invalid seed %q", f)
+			}
+			m.Seeds = append(m.Seeds, n)
+		}
+	}
+	banner(fmt.Sprintf("Matrix: %d arms × %d workloads × %d bands × %d seeds (violated-window fraction, aggregate Mbps, delay jitter)",
+		len(m.Arms), len(m.Workloads), len(m.Bands), len(m.Seeds)))
+	res, err := experiment.RunMatrix(m)
+	if err != nil {
+		return err
+	}
+	return tee(func(w io.Writer, csv bool) error { return experiment.RenderMatrix(w, res, csv) }, csv)
 }
 
 func videoFig(cfg experiment.RunConfig, csv bool) error {

@@ -23,7 +23,7 @@ import (
 
 	"iqpaths/internal/gridftp"
 	"iqpaths/internal/monitor"
-	"iqpaths/internal/pgos"
+	_ "iqpaths/internal/pgos" // registers the PGOS arm in the scheduler registry
 	"iqpaths/internal/sched"
 	"iqpaths/internal/simnet"
 	"iqpaths/internal/transport"
@@ -209,15 +209,26 @@ func runSend(addrs []string, layout string, seconds float64, seed int64) error {
 	w := gridftp.NewWorkload(net, guarantees)
 	streams := w.Streams()
 
-	var scheduler sched.Scheduler
+	// Layout names map onto registry arms: the stock blocked layout is the
+	// round-robin scheduler; any other registered arm may be named
+	// directly.
+	arm := layout
 	switch layout {
 	case "pgos":
-		scheduler = pgos.New(pgos.Config{TwSec: 1, TickSeconds: tickSec, PaceLimit: 200},
-			streams, pathServices, mons)
+		arm = sched.NamePGOS
 	case "blocked":
-		scheduler = sched.NewRoundRobin(streams, pathServices, 200)
-	default:
-		return fmt.Errorf("unknown layout %q", layout)
+		arm = sched.NameBlocked
+	}
+	scheduler, err := sched.Build(arm, sched.BuildConfig{
+		Streams:     streams,
+		Paths:       pathServices,
+		PaceLimit:   200,
+		TickSeconds: tickSec,
+		TwSec:       1,
+		Monitors:    mons,
+	})
+	if err != nil {
+		return fmt.Errorf("layout %q: %w", layout, err)
 	}
 
 	log.Printf("sending DT1/DT2/DT3 over %d paths, layout=%s, %gs", len(addrs), layout, seconds)

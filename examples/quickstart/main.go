@@ -38,15 +38,22 @@ func main() {
 	sampA := iqpaths.NewSampler(tb.PathA, monA, 0, nil)
 	sampB := iqpaths.NewSampler(tb.PathB, monB, 0, nil)
 
-	// 4. The PGOS scheduler.
-	pgos := iqpaths.NewPGOS(iqpaths.PGOSConfig{
+	// 4. The PGOS scheduler, built by registry name — swap the arm string
+	// (iqpaths.RegisteredSchedulers() lists them) to compare baselines.
+	scheduler, err := iqpaths.BuildScheduler(iqpaths.ArmPGOS, iqpaths.SchedulerConfig{
+		Streams:     streams,
+		Paths:       []iqpaths.PathService{tb.PathA, tb.PathB},
+		Monitors:    []*iqpaths.PathMonitor{monA, monB},
 		TwSec:       1.0,
 		TickSeconds: net.TickSeconds(),
 		OnReject: func(s *iqpaths.Stream) {
 			log.Printf("admission control rejected %s — lower its requirement", s.Name)
 		},
-	}, streams, []iqpaths.PathService{tb.PathA, tb.PathB},
-		[]*iqpaths.PathMonitor{monA, monB})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pgos := scheduler.(*iqpaths.PGOS)
 
 	// 5. Run 120 virtual seconds; measure delivered throughput per second.
 	const tick = 0.01

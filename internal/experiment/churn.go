@@ -11,7 +11,6 @@ import (
 	"iqpaths/internal/sched"
 	"iqpaths/internal/simnet"
 	"iqpaths/internal/stream"
-	"iqpaths/internal/telemetry"
 )
 
 // churnTickSec is the BuildN testbed tick the churn timeline is scripted
@@ -152,12 +151,7 @@ func churnRun(cfg RunConfig, tl ChurnTimeline, static bool) (ChurnRun, []control
 
 	// All three paths are monitored continuously (§4's always-on
 	// statistical monitoring), so a reroute lands on a warm distribution.
-	mons := make([]*monitor.PathMonitor, len(tb.Paths))
-	samplers := make([]*monitor.Sampler, len(tb.Paths))
-	for i, p := range tb.Paths {
-		mons[i] = monitor.New(p.Name(), 500, 100)
-		samplers[i] = monitor.NewSampler(p, mons[i], 0, nil)
-	}
+	mons, samplers := pathMonitors(tb.Paths)
 
 	// Data plane: overlay link state maps onto the testbed hops — the
 	// S↔Ri pair onto the ingress hop, Ri↔C onto the bottleneck and egress
@@ -201,23 +195,7 @@ func churnRun(cfg RunConfig, tl ChurnTimeline, static bool) (ChurnRun, []control
 		streams[i] = stream.New(i, sp)
 	}
 
-	reg := telemetry.NewRegistry()
-	tracer := telemetry.NewTracer(net, 4096)
-	net.SetTelemetry(reg)
-	slos := make([]telemetry.StreamSLO, len(streams))
-	for i, s := range streams {
-		slos[i] = telemetry.StreamSLO{
-			Name:         s.Name,
-			Kind:         s.Kind.String(),
-			RequiredMbps: s.RequiredMbps,
-			Probability:  s.Probability,
-			PacketBits:   s.PacketBits,
-		}
-		if s.Kind != stream.BestEffort {
-			slos[i].QuotaPackets = s.RequiredPacketsPerWindow(cfg.TwSec)
-		}
-	}
-	acct := telemetry.NewAccountant(net, reg, tracer, cfg.TwSec, slos)
+	reg, tracer, acct := newRunTelemetry(net, streams, cfg.TwSec)
 
 	adm := control.NewAdmission(control.AdmissionOptions{TwSec: cfg.TwSec}, nil)
 	adm.SetTelemetry(reg, tracer)
@@ -250,22 +228,22 @@ func churnRun(cfg RunConfig, tl ChurnTimeline, static bool) (ChurnRun, []control
 	if paceLimit <= 0 {
 		paceLimit = 170
 	}
-	scheduler = pgos.New(pgos.Config{
-		TwSec:       cfg.TwSec,
-		TickSeconds: net.TickSeconds(),
+	built, err := sched.Build(AlgPGOS, sched.BuildConfig{
+		Streams:     streams,
+		Paths:       ctl.Paths(),
 		PaceLimit:   paceLimit,
+		TickSeconds: net.TickSeconds(),
+		TwSec:       cfg.TwSec,
+		Monitors:    ctl.Monitors(),
 		Telemetry:   reg,
-		OnRemap: func(m pgos.Mapping, latencySec float64) {
-			committed := false
-			for _, rej := range m.Rejected {
-				if !rej {
-					committed = true
-					break
-				}
-			}
+		OnRemap: func(latencySec float64, committed bool) {
 			acct.ObserveRemap(latencySec, committed)
 		},
-	}, streams, ctl.Paths(), ctl.Monitors())
+	})
+	if err != nil {
+		return ChurnRun{}, nil, err
+	}
+	scheduler = built.(*pgos.Scheduler)
 
 	sources := []*cbrSource{
 		{st: streams[0], net: net, rate: specs[0].RequiredMbps},
@@ -273,50 +251,35 @@ func churnRun(cfg RunConfig, tl ChurnTimeline, static bool) (ChurnRun, []control
 	}
 
 	tickSec := net.TickSeconds()
-	warmupTicks := int64(cfg.WarmupSec / tickSec)
-	totalTicks := warmupTicks + int64(cfg.DurationSec/tickSec)
-	monEvery := int64(0.1 / tickSec)
-	if monEvery < 1 {
-		monEvery = 1
-	}
-	windowTicks := int64(cfg.TwSec / tickSec)
-	if windowTicks < 1 {
-		windowTicks = 1
-	}
-
 	var decisions []control.Decision
-	for t := int64(0); t < totalTicks; t++ {
-		ctl.Tick(t)
-		for _, s := range sources {
-			s.tick(tickSec)
-		}
-		scheduler.Tick(t)
-		net.Step()
-		if t%monEvery == 0 {
-			for _, s := range samplers {
-				s.Sample()
+	h := &Harness{
+		Net:         net,
+		Scheduler:   scheduler,
+		Paths:       tb.Paths,
+		Samplers:    samplers,
+		Accountant:  acct,
+		WarmupSec:   cfg.WarmupSec,
+		DurationSec: cfg.DurationSec,
+		TwSec:       cfg.TwSec,
+		PreTick: func(t int64) {
+			ctl.Tick(t)
+			for _, s := range sources {
+				s.tick(tickSec)
 			}
-		}
-		for j, sp := range tb.Paths {
-			for _, pkt := range sp.TakeDelivered() {
-				if pkt.Stream < 0 || pkt.Stream >= len(streams) {
-					continue
-				}
-				if pkt.ID%64 == 0 {
-					mons[j].ObserveRTT(2 * float64(pkt.Delivered-pkt.Created) * tickSec)
-				}
-				missed := pkt.Deadline != 0 && pkt.Delivered > pkt.Deadline
-				acct.ObserveDelivery(pkt.Stream, pkt.Bits, missed)
+		},
+		OnDeliver: func(j int, pkt *simnet.Packet, _ int64) {
+			if pkt.Stream < 0 || pkt.Stream >= len(streams) {
+				return
 			}
-		}
-		if (t+1)%windowTicks == 0 {
-			if t >= warmupTicks {
-				acct.CloseWindow()
-			} else {
-				acct.DiscardWindow()
+			if pkt.ID%64 == 0 {
+				mons[j].ObserveRTT(2 * float64(pkt.Delivered-pkt.Created) * tickSec)
 			}
-		}
-		if t == warmupTicks {
+			missed := pkt.Deadline != 0 && pkt.Delivered > pkt.Deadline
+			acct.ObserveDelivery(pkt.Stream, pkt.Bits, missed)
+		},
+	}
+	h.PostTick = func(t int64) {
+		if t == h.WarmupTicks() {
 			// Post-warmup admission probes: the running guaranteed stream's
 			// own spec must be feasible on the warm paths; an oversized ask
 			// must be deterministically rejected with the best-feasible-spec
@@ -327,6 +290,9 @@ func churnRun(cfg RunConfig, tl ChurnTimeline, static bool) (ChurnRun, []control
 				RequiredMbps: 250, Probability: 0.99,
 			}))
 		}
+	}
+	if err := h.Run(); err != nil {
+		return ChurnRun{}, nil, err
 	}
 
 	run := ChurnRun{

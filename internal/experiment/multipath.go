@@ -53,11 +53,15 @@ func PathsSweep(cfg RunConfig) ([]PathsRow, error) {
 			mons[j] = monitor.New(p.Name(), 500, 100)
 			pathServices[j] = p
 		}
-		scheduler := pgos.New(pgos.Config{
-			TwSec:       cfg.TwSec,
-			TickSeconds: net.TickSeconds(),
-			PaceLimit:   cfg.PaceLimit,
-		}, streams, pathServices, mons)
+		built, err := sched.Build(AlgPGOS, sched.BuildConfig{
+			Streams: streams, Paths: pathServices,
+			PaceLimit: cfg.PaceLimit, TickSeconds: net.TickSeconds(),
+			TwSec: cfg.TwSec, Monitors: mons,
+		})
+		if err != nil {
+			return nil, err
+		}
+		scheduler := built.(*pgos.Scheduler)
 
 		tickSec := net.TickSeconds()
 		warmupTicks := int64(cfg.WarmupSec / tickSec)

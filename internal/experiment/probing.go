@@ -7,7 +7,6 @@ import (
 	"iqpaths/internal/emulab"
 	"iqpaths/internal/monitor"
 	"iqpaths/internal/pathload"
-	"iqpaths/internal/pgos"
 	"iqpaths/internal/sched"
 	"iqpaths/internal/simnet"
 	"iqpaths/internal/smartpointer"
@@ -46,9 +45,14 @@ func ProbingAblation(cfg RunConfig) ([]ProbingRow, error) {
 		mons := []*monitor.PathMonitor{
 			monitor.New("A", 500, 60), monitor.New("B", 500, 60),
 		}
-		scheduler := pgos.New(pgos.Config{
-			TwSec: cfg.TwSec, TickSeconds: net.TickSeconds(), PaceLimit: cfg.PaceLimit,
-		}, streams, []sched.PathService{tb.PathA, tb.PathB}, mons)
+		scheduler, err := sched.Build(AlgPGOS, sched.BuildConfig{
+			Streams: streams, Paths: []sched.PathService{tb.PathA, tb.PathB},
+			PaceLimit: cfg.PaceLimit, TickSeconds: net.TickSeconds(),
+			TwSec: cfg.TwSec, Monitors: mons,
+		})
+		if err != nil {
+			return nil, err
+		}
 
 		acc := map[int]float64{}
 		series := map[int][]float64{}

@@ -12,7 +12,6 @@ import (
 	"iqpaths/internal/emulab"
 	"iqpaths/internal/faults"
 	"iqpaths/internal/gridftp"
-	"iqpaths/internal/monitor"
 	"iqpaths/internal/pgos"
 	"iqpaths/internal/sched"
 	"iqpaths/internal/simnet"
@@ -22,17 +21,18 @@ import (
 	"iqpaths/internal/telemetry"
 )
 
-// Algorithm names accepted by the runners.
+// Algorithm names accepted by the runners — the canonical registry names
+// from internal/sched; any other registered arm works too.
 const (
-	AlgWFQ         = "WFQ"
-	AlgMSFQ        = "MSFQ"
-	AlgPGOS        = "PGOS"
-	AlgOptSched    = "OptSched"
-	AlgBlocked     = "Blocked"     // stock GridFTP blocked layout
-	AlgPartitioned = "Partitioned" // GridFTP partitioned layout
+	AlgWFQ         = sched.NameWFQ
+	AlgMSFQ        = sched.NameMSFQ
+	AlgPGOS        = sched.NamePGOS
+	AlgOptSched    = sched.NameOptSched
+	AlgBlocked     = sched.NameBlocked     // stock GridFTP blocked layout
+	AlgPartitioned = sched.NamePartitioned // GridFTP partitioned layout
 	// AlgBackpressure is the max-weight throughput-optimal baseline
 	// (Rai–Singh–Modiano): wins on aggregate Mbps, blind to guarantees.
-	AlgBackpressure = "Backpressure"
+	AlgBackpressure = sched.NameBackpressure
 )
 
 // RunConfig parameterizes one testbed run.
@@ -45,8 +45,13 @@ type RunConfig struct {
 	// paper's Fig. 9c/d x-axis).
 	DurationSec float64
 	// WarmupSec runs before measurement starts so monitors fill and
-	// queues reach steady state (default 60 s).
+	// queues reach steady state (default 60 s). A zero or negative value
+	// means "use the default"; set NoWarmup for a genuine zero-warmup run.
 	WarmupSec float64
+	// NoWarmup starts measurement at tick zero regardless of WarmupSec —
+	// the fast path for matrix smoke cells and short CI runs, where the
+	// 60 s default would dominate the run.
+	NoWarmup bool
 	// SampleSec is the throughput sampling interval (default 1 s).
 	SampleSec float64
 	// TwSec is PGOS's scheduling window (default 1 s).
@@ -71,7 +76,9 @@ func (c *RunConfig) fillDefaults() {
 	if c.DurationSec <= 0 {
 		c.DurationSec = 150
 	}
-	if c.WarmupSec <= 0 {
+	if c.NoWarmup {
+		c.WarmupSec = 0
+	} else if c.WarmupSec <= 0 {
 		c.WarmupSec = 60
 	}
 	if c.SampleSec <= 0 {
@@ -187,35 +194,10 @@ func run(cfg RunConfig, tb *emulab.Testbed, w workload, ppf ppfFunc) (Result, er
 		pathServices[j] = p
 	}
 
-	// Monitors sample every 0.1 s with a 500-sample window (§4).
-	mons := make([]*monitor.PathMonitor, len(paths))
-	samplers := make([]*monitor.Sampler, len(paths))
-	for j, sp := range paths {
-		mons[j] = monitor.New(sp.Name(), 500, 100)
-		samplers[j] = monitor.NewSampler(sp, mons[j], 0, nil)
-	}
-
-	// Telemetry: a per-run registry (isolated, reproducible), an event
-	// tracer on the emulator's virtual clock, and a guarantee accountant
-	// holding each stream's contract.
-	reg := telemetry.NewRegistry()
-	tracer := telemetry.NewTracer(net, 4096)
-	net.SetTelemetry(reg)
-	slos := make([]telemetry.StreamSLO, len(streams))
-	for i, s := range streams {
-		slos[i] = telemetry.StreamSLO{
-			Name:          s.Name,
-			Kind:          s.Kind.String(),
-			RequiredMbps:  s.RequiredMbps,
-			Probability:   s.Probability,
-			MaxViolations: s.MaxViolations,
-			PacketBits:    s.PacketBits,
-		}
-		if s.Kind != stream.BestEffort {
-			slos[i].QuotaPackets = s.RequiredPacketsPerWindow(cfg.TwSec)
-		}
-	}
-	acct := telemetry.NewAccountant(net, reg, tracer, cfg.TwSec, slos)
+	// Monitors sample every 0.1 s with a 500-sample window (§4), and the
+	// per-run telemetry rig holds each stream's contract.
+	mons, samplers := pathMonitors(paths)
+	reg, tracer, acct := newRunTelemetry(net, streams, cfg.TwSec)
 
 	// Fault injection: the scripted scenario plays against the testbed's
 	// links on the same virtual clock as everything else.
@@ -230,61 +212,28 @@ func run(cfg RunConfig, tb *emulab.Testbed, w workload, ppf ppfFunc) (Result, er
 	}
 
 	var remapTimes []float64
-	var scheduler sched.Scheduler
-	switch cfg.Algorithm {
-	case AlgWFQ:
-		scheduler = sched.NewWFQ(streams, tb.PathA, cfg.PaceLimit)
-	case AlgMSFQ:
-		scheduler = sched.NewMSFQ(streams, pathServices, cfg.PaceLimit)
-	case AlgPGOS:
-		scheduler = pgos.New(pgos.Config{
-			TwSec:          cfg.TwSec,
-			TickSeconds:    net.TickSeconds(),
-			MeanPrediction: cfg.MeanPrediction,
-			PaceLimit:      cfg.PaceLimit,
-			Telemetry:      reg,
-			OnRemap: func(m pgos.Mapping, latencySec float64) {
-				committed := false
-				for _, rej := range m.Rejected {
-					if !rej {
-						committed = true
-						break
-					}
-				}
-				acct.ObserveRemap(latencySec, committed)
-				remapTimes = append(remapTimes, net.Now())
-			},
-		}, streams, pathServices, mons)
-	case AlgOptSched:
-		avail := func(id int) float64 {
-			if id == tb.PathA.ID() {
-				return tb.PathA.AvailMbps()
-			}
-			return tb.PathB.AvailMbps()
-		}
-		scheduler = sched.NewOptSched(streams, pathServices, avail, net.TickSeconds(), cfg.PaceLimit)
-	case AlgBackpressure:
-		scheduler = sched.NewBackpressure(streams, pathServices, cfg.PaceLimit)
-	case AlgBlocked:
-		scheduler = sched.NewRoundRobin(streams, pathServices, cfg.PaceLimit)
-	case AlgPartitioned:
-		scheduler = sched.NewPartitioned(streams, pathServices, cfg.PaceLimit)
-	default:
-		return Result{}, fmt.Errorf("experiment: unknown algorithm %q", cfg.Algorithm)
+	scheduler, err := sched.Build(cfg.Algorithm, sched.BuildConfig{
+		Streams:        streams,
+		Paths:          pathServices,
+		PaceLimit:      cfg.PaceLimit,
+		TickSeconds:    net.TickSeconds(),
+		TwSec:          cfg.TwSec,
+		Monitors:       mons,
+		MeanPrediction: cfg.MeanPrediction,
+		Telemetry:      reg,
+		OnRemap: func(latencySec float64, committed bool) {
+			acct.ObserveRemap(latencySec, committed)
+			remapTimes = append(remapTimes, net.Now())
+		},
+		Avail: availOracle(paths),
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("experiment: %w", err)
 	}
 
 	tickSec := net.TickSeconds()
 	sampleTicks := int64(cfg.SampleSec / tickSec)
 	warmupTicks := int64(cfg.WarmupSec / tickSec)
-	totalTicks := warmupTicks + int64(cfg.DurationSec/tickSec)
-	monEvery := int64(0.1 / tickSec)
-	if monEvery < 1 {
-		monEvery = 1
-	}
-	windowTicks := int64(cfg.TwSec / tickSec)
-	if windowTicks < 1 {
-		windowTicks = 1
-	}
 
 	nStreams := len(streams)
 	pathNames := make([]string, len(paths))
@@ -303,54 +252,45 @@ func run(cfg RunConfig, tb *emulab.Testbed, w workload, ppf ppfFunc) (Result, er
 		frameProgress[i] = make(map[uint64]int)
 	}
 
-	for t := int64(0); t < totalTicks; t++ {
-		if scn != nil {
-			scn.Apply(t)
-		}
-		w.Tick()
-		scheduler.Tick(t)
-		net.Step()
-		if t%monEvery == 0 {
-			for _, s := range samplers {
-				s.Sample()
+	h := &Harness{
+		Net:         net,
+		Scheduler:   scheduler,
+		Paths:       paths,
+		Samplers:    samplers,
+		Scenario:    scn,
+		Accountant:  acct,
+		WarmupSec:   cfg.WarmupSec,
+		DurationSec: cfg.DurationSec,
+		TwSec:       cfg.TwSec,
+		PreTick:     func(int64) { w.Tick() },
+		OnDeliver: func(j int, pkt *simnet.Packet, t int64) {
+			if pkt.Stream < 0 || pkt.Stream >= nStreams {
+				return
 			}
-		}
-		for j, sp := range paths {
-			for _, pkt := range sp.TakeDelivered() {
-				if pkt.Stream < 0 || pkt.Stream >= nStreams {
-					continue
-				}
-				// Sparse one-way-delay sampling feeds the RTT window (×2 as
-				// the round-trip proxy), enabling per-stream RTT objectives.
-				if pkt.ID%64 == 0 {
-					mons[j].ObserveRTT(2 * float64(pkt.Delivered-pkt.Created) * tickSec)
-				}
-				acc[pkt.Stream][j] += pkt.Bits
-				missed := pkt.Deadline != 0 && pkt.Delivered > pkt.Deadline
-				acct.ObserveDelivery(pkt.Stream, pkt.Bits, missed)
-				if n := ppf(pkt.Stream); n > 0 && pkt.Frame != 0 {
-					fp := frameProgress[pkt.Stream]
-					fp[pkt.Frame]++
-					if fp[pkt.Frame] == n {
-						delete(fp, pkt.Frame)
-						if t >= warmupTicks {
-							frameTimes[pkt.Stream] = append(frameTimes[pkt.Stream],
-								float64(t-warmupTicks)*tickSec)
-						}
+			// Sparse one-way-delay sampling feeds the RTT window (×2 as
+			// the round-trip proxy), enabling per-stream RTT objectives.
+			if pkt.ID%64 == 0 {
+				mons[j].ObserveRTT(2 * float64(pkt.Delivered-pkt.Created) * tickSec)
+			}
+			acc[pkt.Stream][j] += pkt.Bits
+			missed := pkt.Deadline != 0 && pkt.Delivered > pkt.Deadline
+			acct.ObserveDelivery(pkt.Stream, pkt.Bits, missed)
+			if n := ppf(pkt.Stream); n > 0 && pkt.Frame != 0 {
+				fp := frameProgress[pkt.Stream]
+				fp[pkt.Frame]++
+				if fp[pkt.Frame] == n {
+					delete(fp, pkt.Frame)
+					if t >= warmupTicks {
+						frameTimes[pkt.Stream] = append(frameTimes[pkt.Stream],
+							float64(t-warmupTicks)*tickSec)
 					}
 				}
 			}
-		}
-		if (t+1)%windowTicks == 0 {
-			// Guarantee windows run on the virtual clock; warmup windows
-			// are discarded with the same timing RunViolationBound uses.
-			if t >= warmupTicks {
-				acct.CloseWindow()
-			} else {
-				acct.DiscardWindow()
+		},
+		PostTick: func(t int64) {
+			if (t+1)%sampleTicks != 0 {
+				return
 			}
-		}
-		if (t+1)%sampleTicks == 0 {
 			for i := range acc {
 				if t >= warmupTicks {
 					total := 0.0
@@ -365,7 +305,10 @@ func run(cfg RunConfig, tb *emulab.Testbed, w workload, ppf ppfFunc) (Result, er
 					acc[i][j] = 0
 				}
 			}
-		}
+		},
+	}
+	if err := h.Run(); err != nil {
+		return Result{}, err
 	}
 
 	res := Result{Algorithm: cfg.Algorithm, SampleSec: cfg.SampleSec}

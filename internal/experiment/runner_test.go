@@ -14,6 +14,46 @@ func TestRunSmartPointerUnknownAlgorithm(t *testing.T) {
 	}
 }
 
+func TestFillDefaultsWarmup(t *testing.T) {
+	cfg := RunConfig{}
+	cfg.fillDefaults()
+	if cfg.WarmupSec != 60 {
+		t.Errorf("zero WarmupSec should default to 60, got %v", cfg.WarmupSec)
+	}
+	cfg = RunConfig{WarmupSec: -5}
+	cfg.fillDefaults()
+	if cfg.WarmupSec != 60 {
+		t.Errorf("negative WarmupSec should default to 60, got %v", cfg.WarmupSec)
+	}
+	cfg = RunConfig{WarmupSec: 7}
+	cfg.fillDefaults()
+	if cfg.WarmupSec != 7 {
+		t.Errorf("explicit WarmupSec overridden to %v", cfg.WarmupSec)
+	}
+	cfg = RunConfig{NoWarmup: true, WarmupSec: 30}
+	cfg.fillDefaults()
+	if cfg.WarmupSec != 0 {
+		t.Errorf("NoWarmup should zero WarmupSec, got %v", cfg.WarmupSec)
+	}
+}
+
+// A NoWarmup run measures from tick zero: every sample lands in the
+// series, so the series length covers the full duration.
+func TestRunSmartPointerNoWarmup(t *testing.T) {
+	skipIfRace(t)
+	res, err := RunSmartPointer(RunConfig{
+		Algorithm: AlgMSFQ, Seed: 7, DurationSec: 10, NoWarmup: true, SampleSec: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Streams {
+		if len(s.Total) != 10 {
+			t.Fatalf("%s: %d samples, want 10 (no warmup)", s.Name, len(s.Total))
+		}
+	}
+}
+
 func TestRunSmartPointerAllAlgorithms(t *testing.T) {
 	skipIfRace(t)
 	for _, alg := range []string{AlgWFQ, AlgMSFQ, AlgPGOS, AlgOptSched} {

@@ -7,8 +7,8 @@ import (
 
 	"iqpaths/internal/emulab"
 	"iqpaths/internal/monitor"
-	"iqpaths/internal/pgos"
 	"iqpaths/internal/sched"
+	"iqpaths/internal/simnet"
 	"iqpaths/internal/stream"
 	"iqpaths/internal/video"
 )
@@ -55,42 +55,50 @@ func RunVideo(cfg RunConfig, algorithms ...string) ([]VideoRow, error) {
 		mons := []*monitor.PathMonitor{
 			monitor.New("A", 500, 100), monitor.New("B", 500, 100),
 		}
-		var scheduler sched.Scheduler
-		switch alg {
-		case AlgPGOS:
-			scheduler = pgos.New(pgos.Config{
-				TwSec: cfg.TwSec, TickSeconds: net.TickSeconds(), PaceLimit: cfg.PaceLimit,
-			}, streams, paths, mons)
-		case AlgMSFQ:
-			scheduler = sched.NewMSFQ(streams, paths, cfg.PaceLimit)
-		case AlgWFQ:
-			scheduler = sched.NewWFQ(streams, tb.PathA, cfg.PaceLimit)
-		default:
-			return nil, fmt.Errorf("experiment: video does not support %q", alg)
+		// Any registered arm plays; an unknown name errors with the full
+		// registered list instead of being silently skipped.
+		scheduler, err := sched.Build(alg, sched.BuildConfig{
+			Streams:     streams,
+			Paths:       paths,
+			PaceLimit:   cfg.PaceLimit,
+			TickSeconds: net.TickSeconds(),
+			TwSec:       cfg.TwSec,
+			Monitors:    mons,
+			Avail:       availOracle([]*simnet.Path{tb.PathA, tb.PathB}),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: video: %w", err)
 		}
 
-		tickSec := net.TickSeconds()
-		warmupTicks := int64(cfg.WarmupSec / tickSec)
-		totalTicks := warmupTicks + int64(cfg.DurationSec/tickSec)
-		for t := int64(0); t < totalTicks; t++ {
-			src.Tick()
-			bulkSrc.Tick()
-			scheduler.Tick(t)
-			net.Step()
-			if t%10 == 0 {
+		h := &Harness{
+			Net:         net,
+			Scheduler:   scheduler,
+			Paths:       []*simnet.Path{tb.PathA, tb.PathB},
+			WarmupSec:   cfg.WarmupSec,
+			DurationSec: cfg.DurationSec,
+			TwSec:       cfg.TwSec,
+			PreTick: func(int64) {
+				src.Tick()
+				bulkSrc.Tick()
+			},
+			// The video monitors are oracle-fed rather than sampler-fed: the
+			// same 0.1 s cadence, observing true available bandwidth.
+			OnMonitor: func(int64) {
 				mons[0].ObserveBandwidth(tb.PathA.AvailMbps())
 				mons[1].ObserveBandwidth(tb.PathB.AvailMbps())
-			}
-			for _, pkt := range tb.PathA.TakeDelivered() {
+			},
+			OnDeliver: func(_ int, pkt *simnet.Packet, _ int64) {
 				rcv.OnPacket(pkt)
-			}
-			for _, pkt := range tb.PathB.TakeDelivered() {
-				rcv.OnPacket(pkt)
-			}
-			rcv.Tick(net.Tick())
-			if t%1000 == 0 && src.Frames() > 600 {
-				src.Forget(src.Frames() - 600)
-			}
+			},
+			PostTick: func(t int64) {
+				rcv.Tick(net.Tick())
+				if t%1000 == 0 && src.Frames() > 600 {
+					src.Forget(src.Frames() - 600)
+				}
+			},
+		}
+		if err := h.Run(); err != nil {
+			return nil, err
 		}
 		rep := rcv.Report()
 		rows = append(rows, VideoRow{

@@ -20,15 +20,11 @@ func TestVideoShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var msfq, pgos VideoRow
+	byAlg := map[string]VideoRow{}
 	for _, r := range rows {
-		switch r.Algorithm {
-		case AlgMSFQ:
-			msfq = r
-		case AlgPGOS:
-			pgos = r
-		}
+		byAlg[r.Algorithm] = r
 	}
+	msfq, pgos := byAlg[AlgMSFQ], byAlg[AlgPGOS]
 	t.Logf("MSFQ: %+v", msfq)
 	t.Logf("PGOS: %+v", pgos)
 	if pgos.FramesScored == 0 || msfq.FramesScored == 0 {

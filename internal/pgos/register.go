@@ -1,0 +1,50 @@
+package pgos
+
+import (
+	"fmt"
+
+	"iqpaths/internal/sched"
+)
+
+// init registers PGOS in the scheduler registry, so every runner and
+// command builds it through sched.Build alongside the baselines. The
+// generic BuildConfig callbacks are adapted here: OnRemap receives the
+// rebuild latency plus a committed-anything bit instead of the pgos
+// Mapping, keeping the registry free of pgos types.
+func init() {
+	sched.Register(sched.NamePGOS, func(cfg sched.BuildConfig) (sched.Scheduler, error) {
+		if cfg.TickSeconds <= 0 {
+			return nil, fmt.Errorf("PGOS requires BuildConfig.TickSeconds")
+		}
+		if len(cfg.Paths) == 0 {
+			return nil, fmt.Errorf("no paths")
+		}
+		if len(cfg.Monitors) != len(cfg.Paths) {
+			return nil, fmt.Errorf("PGOS requires one monitor per path (%d monitors, %d paths)",
+				len(cfg.Monitors), len(cfg.Paths))
+		}
+		var onRemap func(Mapping, float64)
+		if cfg.OnRemap != nil {
+			cb := cfg.OnRemap
+			onRemap = func(m Mapping, latencySec float64) {
+				committed := false
+				for _, rej := range m.Rejected {
+					if !rej {
+						committed = true
+						break
+					}
+				}
+				cb(latencySec, committed)
+			}
+		}
+		return New(Config{
+			TwSec:          cfg.TwSec,
+			TickSeconds:    cfg.TickSeconds,
+			PaceLimit:      cfg.PaceLimit,
+			MeanPrediction: cfg.MeanPrediction,
+			Telemetry:      cfg.Telemetry,
+			OnReject:       cfg.OnReject,
+			OnRemap:        onRemap,
+		}, cfg.Streams, cfg.Paths, cfg.Monitors), nil
+	})
+}

@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"iqpaths/internal/stream"
+)
+
+func registryCfg() BuildConfig {
+	s := stream.New(0, stream.Spec{Name: "x"})
+	return BuildConfig{
+		Streams:     []*stream.Stream{s},
+		Paths:       []PathService{&fakePath{}, &fakePath{id: 1}},
+		TickSeconds: 0.01,
+		Avail:       func(int) float64 { return 100 },
+	}
+}
+
+func TestBuildKnownArms(t *testing.T) {
+	for _, name := range []string{NameWFQ, NameMSFQ, NameOptSched, NameBackpressure, NameBlocked, NameRoundRobin, NamePartitioned} {
+		s, err := Build(name, registryCfg())
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		if s == nil {
+			t.Fatalf("Build(%s): nil scheduler", name)
+		}
+	}
+}
+
+func TestBuildUnknownListsRegistered(t *testing.T) {
+	_, err := Build("nope", registryCfg())
+	if err == nil {
+		t.Fatal("expected error for unknown arm")
+	}
+	for _, name := range []string{NameWFQ, NameMSFQ, NameOptSched, NameBackpressure, NameBlocked} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered arm %s", err, name)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(NameWFQ, BuildConfig{}); err == nil {
+		t.Error("WFQ with no paths should error")
+	}
+	cfg := registryCfg()
+	cfg.Avail = nil
+	if _, err := Build(NameOptSched, cfg); err == nil {
+		t.Error("OptSched without Avail should error")
+	}
+	cfg = registryCfg()
+	cfg.TickSeconds = 0
+	if _, err := Build(NameOptSched, cfg); err == nil {
+		t.Error("OptSched without TickSeconds should error")
+	}
+}
+
+func TestRegisteredSortedAndStable(t *testing.T) {
+	names := Registered()
+	if len(names) < 7 {
+		t.Fatalf("expected at least 7 registered arms, got %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Registered() not sorted: %v", names)
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(NameWFQ, func(BuildConfig) (Scheduler, error) { return nil, nil })
+}
+
+func TestRegisteredNamesMatchSchedulerNames(t *testing.T) {
+	// The arm name used for registry lookup must match the scheduler's
+	// self-reported Name for the canonical (non-alias) entries, so result
+	// rows keyed by either agree.
+	for _, name := range []string{NameWFQ, NameMSFQ, NameBackpressure} {
+		s, err := Build(name, registryCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() != name {
+			t.Errorf("arm %s reports Name() = %s", name, s.Name())
+		}
+	}
+}

@@ -168,6 +168,29 @@ type (
 	Mapping = pgos.Mapping
 )
 
+// SchedulerConfig carries everything any registered scheduler arm may
+// need; arms read the fields that apply to them (see internal/sched).
+type SchedulerConfig = sched.BuildConfig
+
+// Registry arm names accepted by BuildScheduler.
+const (
+	ArmWFQ          = sched.NameWFQ
+	ArmMSFQ         = sched.NameMSFQ
+	ArmPGOS         = sched.NamePGOS
+	ArmOptSched     = sched.NameOptSched
+	ArmBackpressure = sched.NameBackpressure
+	ArmRoundRobin   = sched.NameRoundRobin
+)
+
+// BuildScheduler constructs a scheduler arm by registry name. Unknown
+// names error with the full registered list.
+func BuildScheduler(name string, cfg SchedulerConfig) (Scheduler, error) {
+	return sched.Build(name, cfg)
+}
+
+// RegisteredSchedulers returns the sorted names of every registered arm.
+func RegisteredSchedulers() []string { return sched.Registered() }
+
 // NewPGOS builds the Predictive Guarantee Overlay Scheduler over parallel
 // slices of paths and their monitors.
 func NewPGOS(cfg PGOSConfig, streams []*Stream, paths []PathService, mons []*PathMonitor) *PGOS {
